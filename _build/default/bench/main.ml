@@ -1,0 +1,225 @@
+(* The benchmark harness.
+
+   Part 1 — Bechamel microbenchmarks: real (host-machine) costs of the
+   mechanisms the paper claims are cheap: event dispatch ("roughly one
+   procedure call"), guard evaluation (packet filters), VIEW header
+   access, mbuf operations and the Internet checksum.
+
+   Part 2 — the paper-reproduction harness: regenerates every table and
+   figure of the evaluation (Figure 5, the section 4.2 throughput table,
+   Figure 6, Figure 7), the section 3.3 active-message microbenchmarks
+   and the design ablations, printing measured values next to the
+   paper's. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- Part 1: microbenchmark subjects --------------------------------- *)
+
+(* A dispatcher wired to a live engine; each raise is drained so state
+   does not accumulate across benchmark iterations. *)
+let dispatcher_env n_handlers =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~name:"bench" in
+  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+  let ev = Spin.Dispatcher.event d "bench" in
+  for i = 0 to n_handlers - 1 do
+    let (_ : unit -> unit) =
+      Spin.Dispatcher.install ev
+        ~guard:(fun x -> x mod n_handlers = i)
+        ~cost:Sim.Stime.zero
+        (fun _ -> ())
+    in
+    ()
+  done;
+  (engine, ev)
+
+let test_direct_call =
+  let f = Sys.opaque_identity (fun x -> x + 1) in
+  Test.make ~name:"direct procedure call" (Staged.stage (fun () -> ignore (f 1)))
+
+let test_dispatch_1 =
+  let engine, ev = dispatcher_env 1 in
+  Test.make ~name:"dispatcher raise (1 handler)"
+    (Staged.stage (fun () ->
+         Spin.Dispatcher.raise ev 0;
+         Sim.Engine.run engine))
+
+let test_dispatch_8 =
+  let engine, ev = dispatcher_env 8 in
+  Test.make ~name:"dispatcher raise (8 guards, 1 match)"
+    (Staged.stage (fun () ->
+         Spin.Dispatcher.raise ev 3;
+         Sim.Engine.run engine))
+
+let sample_frame =
+  let pkt = Mbuf.of_string (String.make 64 '\000') in
+  let v = Mbuf.view pkt in
+  Proto.Ether.write v
+    {
+      Proto.Ether.dst = Proto.Ether.Mac.of_int 0x1111;
+      src = Proto.Ether.Mac.of_int 0x2222;
+      etype = Proto.Ether.etype_ip;
+    };
+  View.ro v
+
+let test_guard =
+  Test.make ~name:"guard: EtherType packet filter"
+    (Staged.stage (fun () ->
+         ignore
+           (Sys.opaque_identity
+              (match Proto.Ether.parse sample_frame with
+              | Some h -> h.Proto.Ether.etype = Proto.Ether.etype_ip
+              | None -> false))))
+
+let test_view_read =
+  Test.make ~name:"VIEW: u16+u32 header reads"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (View.get_u16 sample_frame 12));
+         ignore (Sys.opaque_identity (View.get_u32 sample_frame 0))))
+
+let test_ipv4_parse =
+  let v = View.create 20 in
+  Proto.Ipv4.write v
+    (Proto.Ipv4.make ~proto:17 ~src:(Proto.Ipaddr.v 10 0 0 1)
+       ~dst:(Proto.Ipaddr.v 10 0 0 2) ~payload_len:100 ());
+  let v = View.ro v in
+  Test.make ~name:"IPv4 header parse + checksum"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Proto.Ipv4.parse v));
+         ignore (Sys.opaque_identity (Proto.Ipv4.checksum_valid v))))
+
+let test_mbuf_alloc =
+  Test.make ~name:"mbuf alloc (1500B)"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (Mbuf.alloc 1500))))
+
+let test_mbuf_prepend =
+  Test.make ~name:"mbuf alloc+prepend header"
+    (Staged.stage (fun () ->
+         let m = Mbuf.alloc 100 in
+         ignore (Sys.opaque_identity (Mbuf.prepend m 14))))
+
+let test_cksum_1500 =
+  let v = View.of_string (String.make 1500 'x') in
+  Test.make ~name:"Internet checksum (1500B)"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (Cksum.of_view v))))
+
+let test_tcp_encode =
+  let hdr =
+    {
+      Proto.Tcp_wire.src_port = 1;
+      dst_port = 2;
+      seq = Proto.Tcp_wire.Seq.of_int 1;
+      ack = Proto.Tcp_wire.Seq.of_int 2;
+      flags = Proto.Tcp_wire.Flags.ack;
+      window = 100;
+    }
+  in
+  let payload = String.make 512 'p' in
+  Test.make ~name:"TCP segment encode (512B, checksummed)"
+    (Staged.stage (fun () ->
+         ignore
+           (Sys.opaque_identity
+              (Proto.Tcp_wire.to_packet ~src:(Proto.Ipaddr.v 10 0 0 1)
+                 ~dst:(Proto.Ipaddr.v 10 0 0 2) hdr payload))))
+
+let test_filter_eval =
+  let ctx =
+    let engine = Sim.Engine.create () in
+    let host =
+      Netsim.Host.create engine ~name:"h" ~ip:(Proto.Ipaddr.v 10 0 0 1)
+    in
+    let dev = Netsim.Host.add_device host (Netsim.Costs.loopback ()) in
+    Plexus.Pctx.make dev (Mbuf.ro (Mbuf.of_string (String.make 64 'p')))
+  in
+  let filter =
+    Plexus.Filter.(
+      And (Gt (Payload_len, 0), Or (Eq (U8 (Cur, 0), Char.code 'p'), True)))
+  in
+  Test.make ~name:"interpreted packet filter (5 nodes)"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Plexus.Filter.eval filter ctx))))
+
+let test_link_unlink =
+  let iface = Spin.Interface.create "Svc" in
+  let w : int Spin.Univ.witness = Spin.Univ.witness () in
+  Spin.Interface.export iface ~sym:"op" w 7;
+  let domain = Spin.Domain.of_interfaces "d" [ iface ] in
+  let ext =
+    Spin.Extension.Compiler.compile ~name:"e" ~imports:[ ("Svc", "op") ]
+      (fun linkage -> ignore (linkage.get w ~iface:"Svc" ~sym:"op"))
+  in
+  Test.make ~name:"dynamic link + unlink"
+    (Staged.stage (fun () ->
+         match Spin.Linker.link ~domain ext with
+         | Ok l -> Spin.Linker.unlink l
+         | Error _ -> ()))
+
+let test_ephemeral_plan =
+  let prog =
+    List.init 4 (fun _ ->
+        Spin.Ephemeral.work ~label:"w" ~cost:(Sim.Stime.us 5) ignore)
+  in
+  Test.make ~name:"ephemeral plan+commit (4 actions)"
+    (Staged.stage (fun () ->
+         ignore
+           (Sys.opaque_identity
+              (Spin.Ephemeral.execute ~budget:(Sim.Stime.us 12) prog))))
+
+let micro_tests =
+  [
+    test_direct_call;
+    test_dispatch_1;
+    test_dispatch_8;
+    test_guard;
+    test_view_read;
+    test_ipv4_parse;
+    test_mbuf_alloc;
+    test_mbuf_prepend;
+    test_cksum_1500;
+    test_tcp_encode;
+    test_filter_eval;
+    test_link_unlink;
+    test_ephemeral_plan;
+  ]
+
+let run_bechamel () =
+  Experiments.Common.print_header
+    "Bechamel microbenchmarks (host-machine ns per operation)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances
+          (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-44s %12.1f ns\n%!" name est
+          | _ -> Printf.printf "  %-44s (no estimate)\n%!" name)
+        analyzed)
+    micro_tests
+
+(* ---- Part 2: paper reproduction --------------------------------------- *)
+
+let () =
+  run_bechamel ();
+  ignore (Experiments.Fig5.print ~iters:200 ());
+  ignore (Experiments.Tput.print ~bytes:2_000_000 ());
+  ignore (Experiments.Fig6.print ());
+  ignore (Experiments.Fig7.print ~iters:50 ());
+  ignore (Experiments.Micro.print ~iters:100 ());
+  ignore (Experiments.Sweep.print ~iters:100 ());
+  ignore (Experiments.Livelock.print ());
+  Experiments.Motivate.print ();
+  ignore (Experiments.Http_bench.print ());
+  Experiments.Ablate.print ();
+  print_newline ()

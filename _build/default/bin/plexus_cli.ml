@@ -1,0 +1,194 @@
+(* plexus-cli: run any experiment from the paper's evaluation by name. *)
+
+open Cmdliner
+
+let iters =
+  Arg.(value & opt int 200 & info [ "iters" ] ~doc:"Round trips per data point.")
+
+let run_fig5 iters = ignore (Experiments.Fig5.print ~iters ())
+
+let run_tput bytes = ignore (Experiments.Tput.print ~bytes ())
+
+let run_fig6 max_streams step =
+  let counts =
+    List.filter
+      (fun n -> n mod step = 0 || n = 1)
+      (List.init max_streams (fun i -> i + 1))
+  in
+  ignore (Experiments.Fig6.print ~stream_counts:counts ())
+
+let run_fig7 iters = ignore (Experiments.Fig7.print ~iters ())
+
+let run_micro iters = ignore (Experiments.Micro.print ~iters ())
+
+let run_ablate () = Experiments.Ablate.print ()
+
+let run_sweep iters = ignore (Experiments.Sweep.print ~iters ())
+
+let run_livelock () = ignore (Experiments.Livelock.print ())
+
+let run_motivate () = Experiments.Motivate.print ()
+
+let run_http iters = ignore (Experiments.Http_bench.print ~iters ())
+
+(* A mixed workload (UDP echo + TCP transfer + a misdirected datagram),
+   then the full diagnostics report of both hosts. *)
+let run_stats () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  (match Plexus.Udp_mgr.bind udp_b ~owner:"echo" ~port:7 with
+  | Ok ep ->
+      let (_ : unit -> unit) =
+        Plexus.Udp_mgr.install_recv udp_b ep (fun ctx ->
+            let data = Packet.View.to_string (Plexus.Pctx.view ctx) in
+            let src = (Plexus.Pctx.ip_exn ctx).Proto.Ipv4.src in
+            Plexus.Udp_mgr.send udp_b ep
+              ~dst:(src, ctx.Plexus.Pctx.src_port)
+              data)
+      in
+      ()
+  | Error _ -> ());
+  (match Plexus.Udp_mgr.bind udp_a ~owner:"cli" ~port:5000 with
+  | Ok ep ->
+      for i = 1 to 5 do
+        Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 7)
+          (Printf.sprintf "ping-%d" i)
+      done;
+      Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 4242)
+        "nobody home"
+  | Error _ -> ());
+  (match
+     Plexus.Tcp_mgr.listen (Plexus.Stack.tcp p.Experiments.Common.b)
+       ~owner:"sink" ~port:80
+       ~on_accept:(fun conn -> Plexus.Tcp_mgr.on_receive conn (fun _ -> ()))
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> ());
+  (match
+     Plexus.Tcp_mgr.connect (Plexus.Stack.tcp p.Experiments.Common.a)
+       ~owner:"src" ~dst:(Experiments.Common.ip_b, 80) ()
+   with
+  | Ok conn ->
+      Plexus.Tcp_mgr.on_established conn (fun () ->
+          Plexus.Tcp_mgr.send conn (String.make 100_000 'd'))
+  | Error _ -> ());
+  Sim.Engine.run p.Experiments.Common.engine ~until:(Sim.Stime.s 60)
+    ~max_events:10_000_000;
+  print_string (Plexus.Stack.report p.Experiments.Common.a);
+  print_string (Plexus.Stack.report p.Experiments.Common.b)
+
+let run_graph () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  print_string (Plexus.Graph.to_dot (Plexus.Stack.graph p.Experiments.Common.a))
+
+let run_all iters =
+  ignore (Experiments.Fig5.print ~iters ());
+  ignore (Experiments.Tput.print ());
+  ignore (Experiments.Fig7.print ~iters:(min iters 50) ());
+  ignore (Experiments.Fig6.print ());
+  ignore (Experiments.Micro.print ~iters:(min iters 100) ());
+  ignore (Experiments.Sweep.print ~iters:(min iters 100) ());
+  ignore (Experiments.Livelock.print ());
+  Experiments.Motivate.print ();
+  ignore (Experiments.Http_bench.print ~iters:(min iters 30) ());
+  Experiments.Ablate.print ()
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Figure 5: UDP round-trip latency across devices")
+    Term.(const run_fig5 $ iters)
+
+let tput_cmd =
+  let bytes =
+    Arg.(
+      value & opt int 2_000_000 & info [ "bytes" ] ~doc:"Bytes per TCP transfer.")
+  in
+  Cmd.v
+    (Cmd.info "tput" ~doc:"Section 4.2: TCP throughput table")
+    Term.(const run_tput $ bytes)
+
+let fig6_cmd =
+  let max_streams =
+    Arg.(value & opt int 30 & info [ "max-streams" ] ~doc:"Largest stream count.")
+  in
+  let step = Arg.(value & opt int 1 & info [ "step" ] ~doc:"Stream count step.") in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: video server CPU utilization")
+    Term.(const run_fig6 $ max_streams $ step)
+
+let fig7_cmd =
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Figure 7: TCP redirection latency")
+    Term.(const run_fig7 $ iters)
+
+let micro_cmd =
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Section 3.3: active-message microbenchmarks")
+    Term.(const run_micro $ iters)
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"UDP latency vs. message size across devices")
+    Term.(const run_sweep $ iters)
+
+let livelock_cmd =
+  Cmd.v
+    (Cmd.info "livelock"
+       ~doc:"Overload: interrupt-level protocol work vs. application progress")
+    Term.(const run_livelock $ const ())
+
+let motivate_cmd =
+  Cmd.v
+    (Cmd.info "motivate"
+       ~doc:"Section 1.1's motivating claims: WAN windows, transaction tuning")
+    Term.(const run_motivate $ const ())
+
+let http_cmd =
+  Cmd.v
+    (Cmd.info "http" ~doc:"HTTP GET latency: Plexus extension vs. DU process")
+    Term.(const run_http $ iters)
+
+let ablate_cmd =
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Ablations: guards, spoof policy, checksum variant")
+    Term.(const run_ablate $ const ())
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a mixed workload and print both hosts' diagnostics")
+    Term.(const run_stats $ const ())
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print the protocol graph in Graphviz DOT form")
+    Term.(const run_graph $ const ())
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run_all $ iters)
+
+let () =
+  let info =
+    Cmd.info "plexus-cli" ~version:"1.0"
+      ~doc:"Reproduction experiments for the Plexus paper (USENIX 1996)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig5_cmd;
+            tput_cmd;
+            fig6_cmd;
+            fig7_cmd;
+            micro_cmd;
+            sweep_cmd;
+            livelock_cmd;
+            motivate_cmd;
+            http_cmd;
+            ablate_cmd;
+            stats_cmd;
+            graph_cmd;
+            all_cmd;
+          ]))

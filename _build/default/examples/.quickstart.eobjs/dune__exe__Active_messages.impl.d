@@ -1,0 +1,1 @@
+examples/active_messages.ml: Apps Experiments Fmt Netsim Plexus Printf Sim Spin

@@ -1,0 +1,1 @@
+examples/forwarding.ml: Apps Experiments List Netsim Osmodel Plexus Printf Sim

@@ -1,0 +1,1 @@
+examples/http_demo.ml: Apps Experiments List Netsim Printf Sim String

@@ -1,0 +1,1 @@
+examples/packet_filters.ml: Char Experiments Fmt List Netsim Plexus Printf Sim View

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Netsim Plexus Printf Proto Sim String Sys View

@@ -1,0 +1,1 @@
+examples/video.ml: Apps Experiments List Netsim Plexus Printf Sim

@@ -1,0 +1,77 @@
+(* Active messages as dynamically linked kernel extensions (paper
+   section 3.3): the responder's handler is an EPHEMERAL program running
+   at interrupt level under a time budget; the whole thing is compiled,
+   signed, linked against a restricted protection domain, and unlinked
+   again at the end.
+
+   Run with:  dune exec examples/active_messages.exe *)
+
+let () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let engine = p.Experiments.Common.engine in
+  let a = p.Experiments.Common.a and b = p.Experiments.Common.b in
+
+  (* The echo responder: replies from the receive interrupt. *)
+  let _bctx, echo_ext =
+    Apps.Active_messages.echo_extension ~name:"am-echo"
+      ~reply_cost:(Sim.Stime.us 2) ()
+  in
+  let linked =
+    match Plexus.Stack.link b echo_ext with
+    | Ok l -> l
+    | Error f -> failwith (Fmt.str "%a" Spin.Extension.pp_failure f)
+  in
+  Printf.printf "linked extension %S into bob's kernel\n"
+    (Spin.Extension.name (Spin.Linker.extension linked));
+
+  (* The pinger. *)
+  let sent_at = ref Sim.Stime.zero in
+  let actx_holder = ref None in
+  let dst = Plexus.Ether_mgr.mac (Plexus.Stack.ether b) in
+  let remaining = ref 5 in
+  let handlers _ctx idx ~src:_ payload =
+    if idx = 1 then
+      [
+        Spin.Ephemeral.work ~label:"pong" ~cost:(Sim.Stime.us 1) (fun () ->
+            let rtt = Sim.Stime.sub (Sim.Engine.now engine) !sent_at in
+            Printf.printf "AM pong %S, rtt %s\n" payload (Sim.Stime.to_string rtt);
+            if !remaining > 0 then begin
+              decr remaining;
+              sent_at := Sim.Engine.now engine;
+              match !actx_holder with
+              | Some actx ->
+                  Apps.Active_messages.send actx ~dst ~handler:0 payload
+              | None -> ()
+            end);
+      ]
+    else Spin.Ephemeral.nothing
+  in
+  let actx, ping_ext =
+    Apps.Active_messages.extension ~name:"am-ping" ~handlers ()
+  in
+  actx_holder := Some actx;
+  (match Plexus.Stack.link a ping_ext with
+  | Ok _ -> ()
+  | Error f -> failwith (Fmt.str "%a" Spin.Extension.pp_failure f));
+
+  sent_at := Sim.Engine.now engine;
+  Apps.Active_messages.send actx ~dst ~handler:0 "ball";
+  Sim.Engine.run engine;
+
+  (* Budget termination: an over-long handler is cut off between atomic
+     actions. *)
+  let r =
+    Experiments.Micro.budget_termination ~messages:5 ~actions:10
+      ~action_cost:(Sim.Stime.us 5) ~budget:(Sim.Stime.us 22) ()
+  in
+  Printf.printf
+    "budget demo: %d messages, %d handlers terminated, %d/%d actions committed\n"
+    r.Experiments.Micro.messages r.Experiments.Micro.terminations
+    r.Experiments.Micro.committed_actions
+    (r.Experiments.Micro.messages * 10);
+
+  (* Runtime adaptation: unlink the responder; its guard and handler are
+     gone from the graph. *)
+  Spin.Linker.unlink linked;
+  Printf.printf "after unlink, responder linked: %b\n"
+    (Spin.Linker.is_linked linked)

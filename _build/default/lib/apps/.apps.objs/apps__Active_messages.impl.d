@@ -1,0 +1,1 @@
+lib/apps/active_messages.ml: Mbuf Plexus Proto Sim Spin String View

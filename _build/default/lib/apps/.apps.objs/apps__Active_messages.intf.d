@@ -1,0 +1,1 @@
+lib/apps/active_messages.mli: Proto Sim Spin

@@ -1,0 +1,1 @@
+lib/apps/blast.ml: Array Buffer Fun List Netsim Plexus Printf Proto Sim String View

@@ -1,0 +1,1 @@
+lib/apps/blast.mli: Plexus Proto

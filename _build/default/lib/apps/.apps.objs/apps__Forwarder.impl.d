@@ -1,0 +1,1 @@
+lib/apps/forwarder.ml: Cksum Hashtbl List Mbuf Netsim Plexus Printf Proto Sim Spin View

@@ -1,0 +1,1 @@
+lib/apps/forwarder.mli: Plexus Proto

@@ -1,0 +1,1 @@
+lib/apps/http_client.ml: Buffer Netsim Plexus Proto Sim

@@ -1,0 +1,1 @@
+lib/apps/http_client.mli: Plexus Proto Sim

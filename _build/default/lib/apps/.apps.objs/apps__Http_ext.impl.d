@@ -1,0 +1,1 @@
+lib/apps/http_ext.ml: Buffer Hashtbl Plexus Proto Spin

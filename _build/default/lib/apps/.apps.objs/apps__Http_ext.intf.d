@@ -1,0 +1,1 @@
+lib/apps/http_ext.mli: Hashtbl Spin

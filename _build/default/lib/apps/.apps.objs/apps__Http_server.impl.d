@@ -1,0 +1,1 @@
+lib/apps/http_server.ml: Buffer Hashtbl Plexus Proto

@@ -1,0 +1,1 @@
+lib/apps/http_server.mli: Hashtbl Plexus

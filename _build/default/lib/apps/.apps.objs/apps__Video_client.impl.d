@@ -1,0 +1,1 @@
+lib/apps/video_client.ml: Codec Netsim Osmodel Plexus Sim String

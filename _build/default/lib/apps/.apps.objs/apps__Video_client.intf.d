@@ -1,0 +1,1 @@
+lib/apps/video_client.mli: Netsim Osmodel Plexus Sim

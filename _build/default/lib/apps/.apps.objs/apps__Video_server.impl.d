@@ -1,0 +1,1 @@
+lib/apps/video_server.ml: List Proto Sim

@@ -1,0 +1,1 @@
+lib/apps/video_server.mli: Proto Sim

@@ -1,0 +1,18 @@
+(* Video codec cost model (paper section 5.1).
+
+   "The client extension checksums and decompresses the image and
+   displays it directly to the screen's framebuffer.  The current
+   implementation makes two passes over the data, one pass for the
+   checksum and another to decompress the image."
+
+   The checksum pass is charged by the UDP layer; this module models the
+   decompression pass (a memory-bound pass over the compressed bytes)
+   and the expansion factor that determines how many bytes hit the
+   framebuffer. *)
+
+let expansion_factor = 2
+
+let decompress_cost (costs : Netsim.Costs.t) ~len =
+  Netsim.Costs.per_byte costs.layer.copy_ns_per_byte len
+
+let decompressed_len ~len = len * expansion_factor

@@ -1,0 +1,7 @@
+(** Video codec cost model: one decompression pass over the data. *)
+
+val expansion_factor : int
+
+val decompress_cost : Netsim.Costs.t -> len:int -> Sim.Stime.t
+
+val decompressed_len : len:int -> int

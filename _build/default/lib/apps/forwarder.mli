@@ -1,0 +1,25 @@
+(** In-kernel NAT-style protocol forwarder (paper section 5.2).
+
+    Redirects TCP and UDP packets — including control packets, preserving
+    end-to-end transport semantics — from a forwarded port to a backend,
+    rewriting addresses with incremental checksum updates. *)
+
+type t
+
+val create :
+  Plexus.Stack.t -> listen_port:int -> backend:Proto.Ipaddr.t * int -> t
+
+val remove : t -> unit
+(** Uninstall the forwarder's graph handlers (runtime adaptation). *)
+
+val forwarded : t -> int
+(** Packets redirected client -> backend. *)
+
+val returned : t -> int
+(** Packets rewritten backend -> client. *)
+
+val ttl_drops : t -> int
+(** Packets dropped because their TTL expired at the forwarder (the
+    sender gets an ICMP time-exceeded). *)
+
+val sessions : t -> int

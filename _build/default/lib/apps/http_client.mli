@@ -1,0 +1,9 @@
+(** HTTP/1.0 client over the Plexus TCP manager. *)
+
+type result = { status : int; body : string; elapsed : Sim.Stime.t }
+
+val get :
+  Plexus.Stack.t -> dst:Proto.Ipaddr.t * int -> path:string ->
+  (result option -> unit) -> unit
+(** Fetch [path]; the continuation receives the parsed response (or
+    [None] on protocol failure) when the connection closes. *)

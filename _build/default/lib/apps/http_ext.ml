@@ -1,0 +1,64 @@
+(* The HTTP server as a *bona fide* dynamically linked extension: it
+   declares an import on the Tcp interface, is compiled and signed, and
+   installs its listener at link time.  Unlinking it tears the listener
+   down — the openness and runtime-adaptation properties of section 1
+   demonstrated on the paper's own closing example. *)
+
+type t = {
+  routes : (string, string) Hashtbl.t;
+  mutable requests : int;
+  mutable not_found : int;
+}
+
+let default_routes () =
+  let r = Hashtbl.create 4 in
+  Hashtbl.replace r "/" "Plexus HTTP extension\n";
+  r
+
+let respond t (ops : Plexus.Api.tcp_conn_ops) (req : Proto.Http.request) =
+  t.requests <- t.requests + 1;
+  let resp =
+    match Hashtbl.find_opt t.routes req.Proto.Http.path with
+    | Some body -> Proto.Http.ok body
+    | None ->
+        t.not_found <- t.not_found + 1;
+        Proto.Http.not_found
+  in
+  ops.Plexus.Api.tc_send (Proto.Http.response_to_string resp);
+  ops.Plexus.Api.tc_close ()
+
+let on_accept t (ops : Plexus.Api.tcp_conn_ops) =
+  let buf = Buffer.create 256 in
+  ops.Plexus.Api.tc_set_receive (fun data ->
+      Buffer.add_string buf data;
+      let s = Buffer.contents buf in
+      match Proto.Str_find.find_sub s "\r\n\r\n" with
+      | None -> ()
+      | Some _ -> (
+          match Proto.Http.parse_request s with
+          | Some req -> respond t ops req
+          | None -> ops.Plexus.Api.tc_close ()))
+
+let extension ?(port = 80) ?routes ~name () =
+  let t =
+    {
+      routes = (match routes with Some r -> r | None -> default_routes ());
+      requests = 0;
+      not_found = 0;
+    }
+  in
+  let imports = [ (Plexus.Api.tcp_iface, Plexus.Api.sym_listen) ] in
+  let init (linkage : Spin.Extension.linkage) =
+    let listen =
+      linkage.get Plexus.Api.tcp_listen_w ~iface:Plexus.Api.tcp_iface
+        ~sym:Plexus.Api.sym_listen
+    in
+    match listen ~owner:name ~port ~on_accept:(on_accept t) with
+    | Ok unlisten -> linkage.on_unlink unlisten
+    | Error msg -> failwith msg
+  in
+  (t, Spin.Extension.Compiler.compile ~name ~imports init)
+
+let add_route t path body = Hashtbl.replace t.routes path body
+let requests t = t.requests
+let not_found_count t = t.not_found

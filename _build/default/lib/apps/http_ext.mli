@@ -1,0 +1,13 @@
+(** The HTTP server as a dynamically linked SPIN extension. *)
+
+type t
+
+val extension :
+  ?port:int -> ?routes:(string, string) Hashtbl.t -> name:string -> unit ->
+  t * Spin.Extension.t
+(** A signed extension whose initializer installs the listener through
+    the imported Tcp interface; unlinking removes it. *)
+
+val add_route : t -> string -> string -> unit
+val requests : t -> int
+val not_found_count : t -> int

@@ -1,0 +1,76 @@
+(* A small HTTP/1.0 server running as a Plexus extension over the TCP
+   manager — the paper's closing demonstration ("a demonstration of the
+   protocol stack as it services HTTP requests"). *)
+
+type t = {
+  stack : Plexus.Stack.t;
+  port : int;
+  routes : (string, string) Hashtbl.t;
+  mutable requests : int;
+  mutable not_found : int;
+}
+
+let default_routes () =
+  let r = Hashtbl.create 8 in
+  Hashtbl.replace r "/"
+    "<html><body>Plexus: application-specific networking in the kernel.</body></html>\n";
+  Hashtbl.replace r "/index.html"
+    "<html><body>Plexus: application-specific networking in the kernel.</body></html>\n";
+  Hashtbl.replace r "/paper" "Fiuczynski & Bershad, USENIX 1996.\n";
+  r
+
+let respond t conn (req : Proto.Http.request) =
+  t.requests <- t.requests + 1;
+  let resp =
+    match Hashtbl.find_opt t.routes req.Proto.Http.path with
+    | Some body ->
+        Proto.Http.ok ~headers:[ ("content-type", "text/html") ] body
+    | None ->
+        t.not_found <- t.not_found + 1;
+        Proto.Http.not_found
+  in
+  Plexus.Tcp_mgr.send conn (Proto.Http.response_to_string resp);
+  Plexus.Tcp_mgr.close conn
+
+let create ?(port = 80) ?routes stack =
+  let t =
+    {
+      stack;
+      port;
+      routes = (match routes with Some r -> r | None -> default_routes ());
+      requests = 0;
+      not_found = 0;
+    }
+  in
+  let on_accept conn =
+    let buf = Buffer.create 256 in
+    Plexus.Tcp_mgr.on_receive conn (fun data ->
+        Buffer.add_string buf data;
+        let s = Buffer.contents buf in
+        match Proto.Str_find.find_sub s "\r\n\r\n" with
+        | None -> ()
+        | Some _ -> (
+            match Proto.Http.parse_request s with
+            | Some req -> respond t conn req
+            | None ->
+                Plexus.Tcp_mgr.send conn
+                  (Proto.Http.response_to_string
+                     {
+                       Proto.Http.status = 400;
+                       reason = "Bad Request";
+                       headers = [];
+                       body = "";
+                     });
+                Plexus.Tcp_mgr.close conn))
+  in
+  (match
+     Plexus.Tcp_mgr.listen (Plexus.Stack.tcp stack) ~owner:"http" ~port
+       ~on_accept ()
+   with
+  | Ok () -> ()
+  | Error (`Port_in_use _) -> invalid_arg "Http_server.create: port in use");
+  t
+
+let requests t = t.requests
+let not_found_count t = t.not_found
+let add_route t path body = Hashtbl.replace t.routes path body

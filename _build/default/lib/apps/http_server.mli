@@ -1,0 +1,8 @@
+(** HTTP/1.0 server as a Plexus extension (the paper's closing demo). *)
+
+type t
+
+val create : ?port:int -> ?routes:(string, string) Hashtbl.t -> Plexus.Stack.t -> t
+val add_route : t -> string -> string -> unit
+val requests : t -> int
+val not_found_count : t -> int

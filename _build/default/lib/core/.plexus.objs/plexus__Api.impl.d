@@ -1,0 +1,1 @@
+lib/core/api.ml: Endpoint Mbuf Pctx Proto Sim Spin

@@ -1,0 +1,1 @@
+lib/core/api.mli: Endpoint Mbuf Pctx Proto Sim Spin

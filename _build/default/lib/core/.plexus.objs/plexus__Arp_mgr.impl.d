@@ -1,0 +1,1 @@
+lib/core/arp_mgr.ml: Ether_mgr Graph Hashtbl Netsim Pctx Proto Sim View

@@ -1,0 +1,1 @@
+lib/core/arp_mgr.mli: Ether_mgr Graph Proto Sim

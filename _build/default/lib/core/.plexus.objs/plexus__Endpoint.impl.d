@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Fmt Proto

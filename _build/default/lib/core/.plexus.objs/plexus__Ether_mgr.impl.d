@@ -1,0 +1,1 @@
+lib/core/ether_mgr.ml: Graph List Netsim Pctx Proto Sim Spin

@@ -1,0 +1,1 @@
+lib/core/ether_mgr.mli: Graph Mbuf Netsim Pctx Proto Sim Spin

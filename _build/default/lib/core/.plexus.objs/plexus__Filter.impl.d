@@ -1,0 +1,1 @@
+lib/core/filter.ml: Fmt Mbuf Pctx Proto Sim View

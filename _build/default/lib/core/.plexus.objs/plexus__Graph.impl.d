@@ -1,0 +1,1 @@
+lib/core/graph.ml: Buffer List Netsim Pctx Printf Spin

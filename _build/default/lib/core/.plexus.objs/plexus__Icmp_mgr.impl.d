@@ -1,0 +1,1 @@
+lib/core/icmp_mgr.ml: Graph Ip_mgr Netsim Pctx Proto Sim Spin

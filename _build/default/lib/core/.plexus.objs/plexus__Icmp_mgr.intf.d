@@ -1,0 +1,1 @@
+lib/core/icmp_mgr.mli: Graph Ip_mgr

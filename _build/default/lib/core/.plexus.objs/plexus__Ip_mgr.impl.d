@@ -1,0 +1,1 @@
+lib/core/ip_mgr.ml: Arp_mgr Ether_mgr Graph List Mbuf Netsim Pctx Proto Sim Spin String View

@@ -1,0 +1,1 @@
+lib/core/ip_mgr.mli: Arp_mgr Ether_mgr Graph Mbuf Proto Sim

@@ -1,0 +1,1 @@
+lib/core/pctx.ml: Mbuf Netsim Proto View

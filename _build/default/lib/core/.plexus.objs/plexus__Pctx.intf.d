@@ -1,0 +1,1 @@
+lib/core/pctx.mli: Mbuf Netsim Proto View

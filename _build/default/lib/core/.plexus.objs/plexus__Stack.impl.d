@@ -1,0 +1,1 @@
+lib/core/stack.ml: Api Arp_mgr Buffer Ether_mgr Graph Icmp_mgr Interface Ip_mgr Kernel List Mbuf Netsim Printf Spin Tcp_mgr Udp_mgr

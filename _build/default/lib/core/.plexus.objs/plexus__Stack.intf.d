@@ -1,0 +1,1 @@
+lib/core/stack.mli: Arp_mgr Ether_mgr Graph Icmp_mgr Ip_mgr Netsim Proto Spin Tcp_mgr Udp_mgr

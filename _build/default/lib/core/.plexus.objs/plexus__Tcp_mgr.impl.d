@@ -1,0 +1,1 @@
+lib/core/tcp_mgr.ml: Endpoint Graph Hashtbl Ip_mgr List Mbuf Netsim Pctx Printf Proto Sim Spin View

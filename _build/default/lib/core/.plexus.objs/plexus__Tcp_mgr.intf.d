@@ -1,0 +1,1 @@
+lib/core/tcp_mgr.mli: Endpoint Graph Ip_mgr Proto

@@ -1,0 +1,1 @@
+lib/core/udp_mgr.ml: Endpoint Filter Fmt Graph Hashtbl Ip_mgr List Mbuf Netsim Pctx Printf Proto Sim Spin String View

@@ -1,0 +1,1 @@
+lib/core/udp_mgr.mli: Endpoint Filter Graph Ip_mgr Pctx Proto Sim Spin

@@ -1,0 +1,21 @@
+(** ARP protocol manager. *)
+
+type t
+
+val create :
+  ?retry_interval:Sim.Stime.t -> ?max_retries:int -> Graph.t -> Ether_mgr.t ->
+  ip:Proto.Ipaddr.t -> t
+
+val resolve : t -> Proto.Ipaddr.t -> (Proto.Ether.Mac.t -> unit) -> unit
+(** Cache hit: immediate.  Miss: broadcast a request and continue when the
+    reply arrives. *)
+
+val prime : t -> Proto.Ipaddr.t -> Proto.Ether.Mac.t -> unit
+(** Pre-populate the cache (steady-state experiments). *)
+
+val cache : t -> Proto.Arp.Cache.t
+val requests_sent : t -> int
+val replies_sent : t -> int
+
+val resolution_failures : t -> int
+(** Resolutions abandoned after the retry budget (unreachable hosts). *)

@@ -1,0 +1,103 @@
+(* The Ethernet protocol manager: the bottom of the protocol graph.
+
+   The device driver's receive upcall raises <dev>.PacketRecv; everything
+   above demultiplexes with guards.  The manager is the only code that
+   touches the device directly — applications obtain access through
+   manager operations, never raw device handles, so they can neither
+   snoop frames (guards filter by EtherType) nor transmit arbitrary
+   frames (the manager writes the source MAC itself). *)
+
+type error = [ `Reserved_etype of int ]
+
+type t = {
+  graph : Graph.t;
+  dev : Netsim.Dev.t;
+  node : Graph.node;
+  costs : Netsim.Costs.t;
+  mutable reserved : int list;
+}
+
+let create graph dev =
+  let node = Graph.node graph (Netsim.Dev.name dev) in
+  let t =
+    {
+      graph;
+      dev;
+      node;
+      costs = Netsim.Host.costs (Graph.host graph);
+      reserved = [ Proto.Ether.etype_ip; Proto.Ether.etype_arp ];
+    }
+  in
+  (* Driver top half: the only code running directly off the device
+     interrupt.  It immediately raises the protocol event. *)
+  Netsim.Dev.set_rx dev (fun pkt ->
+      Spin.Dispatcher.raise (Graph.recv_event node) (Pctx.make dev pkt));
+  t
+
+let dev t = t.dev
+let node t = t.node
+
+(* Programmed-I/O devices make the CPU touch every byte anyway, so
+   transports fold their checksum into that pass (integrated layer
+   processing, [CT90], which the paper cites as an optimization Plexus
+   enables). *)
+let touches_data t =
+  (Netsim.Dev.params t.dev).Netsim.Costs.pio_ns_per_byte > 0.
+let mtu t = Netsim.Dev.mtu t.dev
+let mac t = Netsim.Dev.mac t.dev
+
+(* The current execution priority for the send path: if the graph runs at
+   interrupt level (Figure 5 "interrupt"), replies are sent from
+   interrupt context too. *)
+let prio t =
+  match Spin.Dispatcher.mode (Graph.recv_event t.node) with
+  | Spin.Dispatcher.Interrupt -> Sim.Cpu.Interrupt
+  | Spin.Dispatcher.Thread -> Sim.Cpu.Thread
+
+let cpu t = Netsim.Host.cpu (Graph.host t.graph)
+
+(* Trusted install used by in-kernel protocol managers (IP, ARP). *)
+let install_protocol t ~child ~guard ?dyncost ~cost fn =
+  Graph.add_edge t.graph ~parent:t.node ~child ~label:"guard";
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?dyncost ~cost fn
+
+let etype_guard etype ctx =
+  match Proto.Ether.parse (Pctx.view ctx) with
+  | Some h -> h.Proto.Ether.etype = etype
+  | None -> false
+
+(* Application-facing install: the manager checks the EtherType is not one
+   of the kernel protocols' (anti-snoop) and requires an EPHEMERAL handler
+   for interrupt-level delivery (section 3.3): a non-ephemeral procedure
+   simply cannot be passed here — its type does not fit. *)
+let install_ephemeral t ~owner ~etype ?budget fn =
+  ignore owner;
+  if List.mem etype t.reserved then Error (`Reserved_etype etype)
+  else begin
+    Graph.add_edge t.graph ~parent:t.node ~child:(owner ^ ":" ^ string_of_int etype)
+      ~label:"ephemeral";
+    Ok
+      (Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
+         ~guard:(etype_guard etype) ?budget fn)
+  end
+
+(* Thread-delivered application handler on a non-reserved EtherType. *)
+let install_handler t ~owner ~etype ?(cost = Sim.Stime.us 4) fn =
+  if List.mem etype t.reserved then Error (`Reserved_etype etype)
+  else begin
+    Graph.add_edge t.graph ~parent:t.node ~child:(owner ^ ":" ^ string_of_int etype)
+      ~label:"handler";
+    Ok
+      (Spin.Dispatcher.install (Graph.recv_event t.node)
+         ~guard:(etype_guard etype) ~cost fn)
+  end
+
+(* Send a frame: charge the Ethernet output cost, write the header — the
+   source MAC comes from the device, never the caller — and hand the
+   frame to the driver. *)
+let send t ?prio:p ~dst ~etype payload =
+  let prio = match p with Some p -> p | None -> prio t in
+  Sim.Cpu.run (cpu t) ~prio ~cost:t.costs.Netsim.Costs.layer.ether_out (fun () ->
+      Proto.Ether.encapsulate payload
+        { Proto.Ether.dst; src = Netsim.Dev.mac t.dev; etype };
+      Netsim.Dev.transmit t.dev ~prio payload)

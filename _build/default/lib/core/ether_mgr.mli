@@ -1,0 +1,51 @@
+(** Ethernet protocol manager (bottom of the graph).
+
+    Owns the device; raises [<dev>.PacketRecv] from the driver's interrupt
+    upcall.  Applications may attach handlers only for non-reserved
+    EtherTypes, and interrupt-level delivery requires an {!Spin.Ephemeral}
+    program — the type system enforcing the paper's EPHEMERAL check. *)
+
+type t
+
+type error = [ `Reserved_etype of int ]
+
+val create : Graph.t -> Netsim.Dev.t -> t
+
+val dev : t -> Netsim.Dev.t
+val node : t -> Graph.node
+val mtu : t -> int
+val mac : t -> Proto.Ether.Mac.t
+
+val prio : t -> Sim.Cpu.prio
+(** Execution priority matching the graph's current delivery mode. *)
+
+val touches_data : t -> bool
+(** True on programmed-I/O devices, where the CPU already touches every
+    byte — transports fold their checksums into that pass (integrated
+    layer processing, [CT90]). *)
+
+val install_protocol :
+  t -> child:string -> guard:(Pctx.t -> bool) ->
+  ?dyncost:(Pctx.t -> Sim.Stime.t) -> cost:Sim.Stime.t -> (Pctx.t -> unit) ->
+  unit -> unit
+(** Trusted install for in-kernel protocol layers (IP, ARP). *)
+
+val etype_guard : int -> Pctx.t -> bool
+(** Guard matching frames of one EtherType (the paper's Figure 2). *)
+
+val install_ephemeral :
+  t -> owner:string -> etype:int -> ?budget:Sim.Stime.t ->
+  (Pctx.t -> Spin.Ephemeral.t) -> ((unit -> unit), [> error ]) result
+(** Application install at interrupt level.  Rejects reserved EtherTypes
+    (IP, ARP) — applications cannot snoop kernel protocols. *)
+
+val install_handler :
+  t -> owner:string -> etype:int -> ?cost:Sim.Stime.t -> (Pctx.t -> unit) ->
+  ((unit -> unit), [> error ]) result
+(** Thread-delivered application handler. *)
+
+val send :
+  t -> ?prio:Sim.Cpu.prio -> dst:Proto.Ether.Mac.t -> etype:int ->
+  Mbuf.rw Mbuf.t -> unit
+(** Frame and transmit; the source MAC always comes from the device
+    (anti-spoof by overwrite — the fast policy of section 3.1). *)

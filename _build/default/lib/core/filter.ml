@@ -1,0 +1,128 @@
+(* A declarative packet-filter language for guards.
+
+   Plexus guards are arbitrary typesafe predicates; the systems they
+   replaced used interpreted packet filters (CSPF/BPF, [MRA87], and the
+   Mach user-level networking the paper compares its protection model
+   to).  This module provides that older style as a first-class value: a
+   small expression language over packet fields that managers can accept
+   from applications *as data* — no code installation at all — plus a
+   cost model for interpretation, so the compiled-guard vs. interpreted-
+   filter trade-off is measurable (see the ablations).
+
+   Offsets are relative to the packet context's cursor unless the [Abs]
+   anchor is used. *)
+
+type anchor =
+  | Cur  (** relative to the context cursor (current layer) *)
+  | Abs  (** absolute within the frame *)
+
+type field =
+  | U8 of anchor * int
+  | U16 of anchor * int
+  | U32 of anchor * int
+  | Ip_proto       (** from the parsed IP header, if present *)
+  | Src_port
+  | Dst_port
+  | Payload_len
+
+type t =
+  | True
+  | False
+  | Eq of field * int
+  | Lt of field * int
+  | Gt of field * int
+  | Mask of field * int * int  (** [(field land mask) = value] *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec nodes = function
+  | True | False -> 1
+  | Eq _ | Lt _ | Gt _ | Mask _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + nodes a + nodes b
+  | Not a -> 1 + nodes a
+
+(* Interpretation cost: a handful of 1995 instructions per node. *)
+let interp_cost_per_node = Sim.Stime.ns 150
+
+let eval_cost t = Sim.Stime.mul interp_cost_per_node (nodes t)
+
+exception Unavailable
+
+let read_field ctx = function
+  | U8 (anchor, off) ->
+      let v =
+        match anchor with
+        | Cur -> Pctx.view ctx
+        | Abs -> View.ro (Mbuf.view ctx.Pctx.pkt)
+      in
+      if off + 1 > View.length v then raise Unavailable else View.get_u8 v off
+  | U16 (anchor, off) ->
+      let v =
+        match anchor with
+        | Cur -> Pctx.view ctx
+        | Abs -> View.ro (Mbuf.view ctx.Pctx.pkt)
+      in
+      if off + 2 > View.length v then raise Unavailable else View.get_u16 v off
+  | U32 (anchor, off) ->
+      let v =
+        match anchor with
+        | Cur -> Pctx.view ctx
+        | Abs -> View.ro (Mbuf.view ctx.Pctx.pkt)
+      in
+      if off + 4 > View.length v then raise Unavailable else View.get_u32 v off
+  | Ip_proto -> (
+      match ctx.Pctx.ip with
+      | Some h -> h.Proto.Ipv4.proto
+      | None -> raise Unavailable)
+  | Src_port ->
+      if ctx.Pctx.src_port < 0 then raise Unavailable else ctx.Pctx.src_port
+  | Dst_port ->
+      if ctx.Pctx.dst_port < 0 then raise Unavailable else ctx.Pctx.dst_port
+  | Payload_len -> Pctx.payload_len ctx
+
+let rec eval t ctx =
+  match t with
+  | True -> true
+  | False -> false
+  | Eq (f, v) -> ( try read_field ctx f = v with Unavailable -> false)
+  | Lt (f, v) -> ( try read_field ctx f < v with Unavailable -> false)
+  | Gt (f, v) -> ( try read_field ctx f > v with Unavailable -> false)
+  | Mask (f, m, v) -> (
+      try read_field ctx f land m = v with Unavailable -> false)
+  | And (a, b) -> eval a ctx && eval b ctx
+  | Or (a, b) -> eval a ctx || eval b ctx
+  | Not a -> not (eval a ctx)
+
+(* "Compile" a filter to a native guard closure (what the SPIN approach
+   buys: the predicate becomes ordinary code, no interpreter loop). *)
+let compile t : Pctx.t -> bool = eval t
+
+(* Common building blocks. *)
+let ether_type_is etype = Eq (U16 (Abs, 12), etype)
+let ip_proto_is proto = Eq (Ip_proto, proto)
+let dst_port_is port = Eq (Dst_port, port)
+let src_port_is port = Eq (Src_port, port)
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Eq (f, v) -> Fmt.pf ppf "%a = %d" pp_field f v
+  | Lt (f, v) -> Fmt.pf ppf "%a < %d" pp_field f v
+  | Gt (f, v) -> Fmt.pf ppf "%a > %d" pp_field f v
+  | Mask (f, m, v) -> Fmt.pf ppf "(%a & 0x%x) = %d" pp_field f m v
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "!(%a)" pp a
+
+and pp_field ppf = function
+  | U8 (Cur, o) -> Fmt.pf ppf "u8[%d]" o
+  | U8 (Abs, o) -> Fmt.pf ppf "u8[@%d]" o
+  | U16 (Cur, o) -> Fmt.pf ppf "u16[%d]" o
+  | U16 (Abs, o) -> Fmt.pf ppf "u16[@%d]" o
+  | U32 (Cur, o) -> Fmt.pf ppf "u32[%d]" o
+  | U32 (Abs, o) -> Fmt.pf ppf "u32[@%d]" o
+  | Ip_proto -> Fmt.string ppf "ip.proto"
+  | Src_port -> Fmt.string ppf "src_port"
+  | Dst_port -> Fmt.string ppf "dst_port"
+  | Payload_len -> Fmt.string ppf "payload_len"

@@ -1,0 +1,50 @@
+(** Declarative packet filters — the interpreted alternative to compiled
+    guards ([MRA87]; the Mach comparison in paper section 3.1).
+
+    A filter is plain data: applications can hand one to a manager with
+    no code installation at all, at the price of interpretation cost
+    ({!eval_cost}) on every packet.  Compiling it ({!compile}) yields an
+    ordinary guard closure — the SPIN approach. *)
+
+type anchor = Cur | Abs
+
+type field =
+  | U8 of anchor * int
+  | U16 of anchor * int
+  | U32 of anchor * int
+  | Ip_proto
+  | Src_port
+  | Dst_port
+  | Payload_len
+
+type t =
+  | True
+  | False
+  | Eq of field * int
+  | Lt of field * int
+  | Gt of field * int
+  | Mask of field * int * int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val nodes : t -> int
+(** Expression size (interpretation cost scales with it). *)
+
+val eval_cost : t -> Sim.Stime.t
+(** Modelled per-packet interpretation cost. *)
+
+val eval : t -> Pctx.t -> bool
+(** Interpret the filter against a packet context.  Fields that are not
+    available (short packet, no parsed header, no ports yet) make the
+    enclosing comparison false. *)
+
+val compile : t -> Pctx.t -> bool
+(** The filter as a native guard closure. *)
+
+val ether_type_is : int -> t
+val ip_proto_is : int -> t
+val dst_port_is : int -> t
+val src_port_is : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+(* The Plexus protocol graph (paper section 3, Figure 1).
+
+   Nodes are protocols; each node owns a [PacketRecv] event.  An edge from
+   parent to child exists when the child's manager installs a guarded
+   handler on the parent's event: the guard demultiplexes one layer, the
+   handler pushes the packet up.  The graph object records the structure
+   for introspection (and renders it as DOT), while the dispatcher holds
+   the operational state. *)
+
+type node = {
+  node_name : string;
+  recv : Pctx.t Spin.Dispatcher.event;
+}
+
+type t = {
+  host : Netsim.Host.t;
+  disp : Spin.Dispatcher.t;
+  mutable nodes : node list;
+  mutable edges : (string * string * string) list; (* parent, child, label *)
+}
+
+let create host =
+  {
+    host;
+    disp = Spin.Kernel.dispatcher (Netsim.Host.kernel host);
+    nodes = [];
+    edges = [];
+  }
+
+let host t = t.host
+let dispatcher t = t.disp
+
+let node t name =
+  match List.find_opt (fun n -> n.node_name = name) t.nodes with
+  | Some n -> n
+  | None ->
+      let n =
+        { node_name = name; recv = Spin.Dispatcher.event t.disp (name ^ ".PacketRecv") }
+      in
+      t.nodes <- t.nodes @ [ n ];
+      n
+
+let find_node t name = List.find_opt (fun n -> n.node_name = name) t.nodes
+
+let name (n : node) = n.node_name
+let recv_event (n : node) = n.recv
+
+let add_edge t ~parent ~child ~label =
+  t.edges <- t.edges @ [ (parent.node_name, child, label) ]
+
+let remove_edge t ~parent ~child =
+  t.edges <-
+    List.filter (fun (p, c, _) -> not (p = parent && c = child)) t.edges
+
+let nodes t = List.map (fun n -> n.node_name) t.nodes
+let edges t = t.edges
+
+(* Switch every node's delivery mode at once — the interrupt vs. thread
+   comparison of Figure 5. *)
+let set_delivery t mode =
+  List.iter (fun n -> Spin.Dispatcher.set_mode n.recv mode) t.nodes
+
+let to_dot t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "digraph plexus {\n  rankdir=BT;\n";
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "  %S;\n" n.node_name))
+    t.nodes;
+  List.iter
+    (fun (p, c, l) ->
+      Buffer.add_string b (Printf.sprintf "  %S -> %S [label=%S];\n" p c l))
+    t.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

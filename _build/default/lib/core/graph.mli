@@ -1,0 +1,32 @@
+(** The Plexus protocol graph: nodes (protocols with PacketRecv events)
+    and guarded edges. *)
+
+type t
+type node
+
+val create : Netsim.Host.t -> t
+
+val host : t -> Netsim.Host.t
+val dispatcher : t -> Spin.Dispatcher.t
+
+val node : t -> string -> node
+(** Find-or-create a protocol node (and its PacketRecv event). *)
+
+val find_node : t -> string -> node option
+val name : node -> string
+val recv_event : node -> Pctx.t Spin.Dispatcher.event
+
+val add_edge : t -> parent:node -> child:string -> label:string -> unit
+(** Record a graph edge for introspection (managers call this when they
+    install a guarded handler). *)
+
+val remove_edge : t -> parent:string -> child:string -> unit
+
+val nodes : t -> string list
+val edges : t -> (string * string * string) list
+
+val set_delivery : t -> Spin.Dispatcher.delivery -> unit
+(** Set every node's delivery mode (Figure 5's interrupt vs. thread). *)
+
+val to_dot : t -> string
+(** Render the graph in Graphviz DOT format. *)

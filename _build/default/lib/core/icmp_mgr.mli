@@ -1,0 +1,12 @@
+(** ICMP protocol manager (in-kernel echo responder). *)
+
+type t
+
+val create : Graph.t -> Ip_mgr.t -> t
+val echos_answered : t -> int
+
+val unreachables_received : t -> int
+(** ICMP destination-unreachable notifications seen (e.g. after sending
+    UDP to an unbound port). *)
+
+val rx : t -> int

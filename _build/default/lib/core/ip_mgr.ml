@@ -1,0 +1,202 @@
+(* The IP protocol manager: validates and demultiplexes incoming
+   datagrams (reassembling fragments), and provides the send path used by
+   the transport managers — including fragmentation to the device MTU. *)
+
+type route = {
+  net : Proto.Ipaddr.t;
+  mask_bits : int;
+  ether : Ether_mgr.t;
+  arp : Arp_mgr.t;
+}
+
+type counters = {
+  mutable rx : int;
+  mutable bad_checksum : int;
+  mutable not_ours : int;
+  mutable delivered : int;
+  mutable fragments_out : int;
+  mutable reassembled : int;
+}
+
+type t = {
+  graph : Graph.t;
+  node : Graph.node;
+  host : Netsim.Host.t;
+  costs : Netsim.Costs.t;
+  mutable routes : route list;
+  frag : Proto.Ip_frag.t;
+  mutable next_id : int;
+  counters : counters;
+}
+
+let create graph =
+  let host = Graph.host graph in
+  {
+    graph;
+    node = Graph.node graph "ip";
+    host;
+    costs = Netsim.Host.costs host;
+    routes = [];
+    frag = Proto.Ip_frag.create ();
+    next_id = 1;
+    counters =
+      {
+        rx = 0;
+        bad_checksum = 0;
+        not_ours = 0;
+        delivered = 0;
+        fragments_out = 0;
+        reassembled = 0;
+      };
+  }
+
+let node t = t.node
+let counters t = t.counters
+let host_ip t = Netsim.Host.ip t.host
+
+let engine t = Netsim.Host.engine t.host
+let cpu t = Netsim.Host.cpu t.host
+
+let raise_recv t ctx = Spin.Dispatcher.raise (Graph.recv_event t.node) ctx
+
+(* Receive path: one handler per attached device, installed on the
+   device node's event with an EtherType+address guard. *)
+let rx t ctx =
+  t.counters.rx <- t.counters.rx + 1;
+  let v = View.shift (Pctx.view ctx) Proto.Ether.header_len in
+  match Proto.Ipv4.parse v with
+  | None -> t.counters.bad_checksum <- t.counters.bad_checksum + 1
+  | Some h ->
+      if not (Proto.Ipv4.checksum_valid v) then
+        t.counters.bad_checksum <- t.counters.bad_checksum + 1
+      else if
+        not
+          (Proto.Ipaddr.equal h.Proto.Ipv4.dst (host_ip t)
+          || Proto.Ipaddr.equal h.Proto.Ipv4.dst Proto.Ipaddr.broadcast)
+      then t.counters.not_ours <- t.counters.not_ours + 1
+      else begin
+        let l2 = Proto.Ether.parse (Pctx.view ctx) in
+        let ctx = match l2 with Some h2 -> Pctx.with_l2 ctx h2 | None -> ctx in
+        if h.Proto.Ipv4.more_fragments || h.Proto.Ipv4.frag_offset > 0 then begin
+          let payload =
+            View.get_string v ~off:Proto.Ipv4.header_len
+              ~len:(h.Proto.Ipv4.total_len - Proto.Ipv4.header_len)
+          in
+          match
+            Proto.Ip_frag.input t.frag ~now:(Sim.Engine.now (engine t)) h payload
+          with
+          | None -> ()
+          | Some datagram ->
+              t.counters.reassembled <- t.counters.reassembled + 1;
+              t.counters.delivered <- t.counters.delivered + 1;
+              let pkt = Mbuf.ro (Mbuf.of_string datagram) in
+              let h = { h with Proto.Ipv4.more_fragments = false; frag_offset = 0 } in
+              raise_recv t (Pctx.with_ip (Pctx.with_payload ctx pkt) h)
+        end
+        else begin
+          t.counters.delivered <- t.counters.delivered + 1;
+          let ctx =
+            Pctx.advance ctx (Proto.Ether.header_len + Proto.Ipv4.header_len)
+          in
+          (* strip link-layer padding below the IP total length *)
+          let l4_len = h.Proto.Ipv4.total_len - Proto.Ipv4.header_len in
+          let ctx =
+            if Pctx.payload_len ctx > l4_len then Pctx.with_limit ctx l4_len
+            else ctx
+          in
+          raise_recv t (Pctx.with_ip ctx h)
+        end
+      end
+
+let mac_guard dev ctx =
+  match Proto.Ether.parse (Pctx.view ctx) with
+  | None -> false
+  | Some h ->
+      Proto.Ether.Mac.equal h.Proto.Ether.dst (Netsim.Dev.mac dev)
+      || Proto.Ether.Mac.equal h.Proto.Ether.dst Proto.Ether.Mac.broadcast
+
+let attach t ether arp ~net ~mask_bits =
+  t.routes <- t.routes @ [ { net; mask_bits; ether; arp } ];
+  let guard ctx =
+    Ether_mgr.etype_guard Proto.Ether.etype_ip ctx
+    && mac_guard (Ether_mgr.dev ether) ctx
+  in
+  let (_ : unit -> unit) =
+    Ether_mgr.install_protocol ether ~child:"ip" ~guard
+      ~cost:t.costs.Netsim.Costs.layer.ip_in (rx t)
+  in
+  ()
+
+let route_for t dst =
+  match
+    List.find_opt
+      (fun r -> Proto.Ipaddr.in_subnet dst ~net:r.net ~mask_bits:r.mask_bits)
+      t.routes
+  with
+  | Some r -> Some r
+  | None -> ( match t.routes with r :: _ -> Some r | [] -> None)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- (t.next_id + 1) land 0xffff;
+  id
+
+(* Send one already-formed IP packet out the right device. *)
+let emit _t route ~prio ~dst pkt =
+  Arp_mgr.resolve route.arp dst (fun mac ->
+      Ether_mgr.send route.ether ~prio ~dst:mac ~etype:Proto.Ether.etype_ip pkt)
+
+(* Transport send path: encapsulate [payload] for [proto], fragmenting to
+   the route's MTU when necessary.  The source address is always the
+   host's — transports cannot spoof it. *)
+let send t ?prio:p ~proto ~dst payload =
+  match route_for t dst with
+  | None -> invalid_arg "Ip_mgr.send: no route"
+  | Some route ->
+      let prio = match p with Some p -> p | None -> Ether_mgr.prio route.ether in
+      let mtu = Ether_mgr.mtu route.ether in
+      let len = Mbuf.length payload in
+      let src = host_ip t in
+      if len + Proto.Ipv4.header_len <= mtu then begin
+        Sim.Cpu.run (cpu t) ~prio ~cost:t.costs.Netsim.Costs.layer.ip_out
+          (fun () ->
+            Proto.Ipv4.encapsulate payload
+              (Proto.Ipv4.make ~id:(fresh_id t) ~proto ~src ~dst
+                 ~payload_len:len ());
+            emit t route ~prio ~dst payload)
+      end
+      else begin
+        let id = fresh_id t in
+        let frags = Proto.Ip_frag.fragment ~mtu (Mbuf.to_string payload) in
+        let n = List.length frags in
+        t.counters.fragments_out <- t.counters.fragments_out + n;
+        Sim.Cpu.run (cpu t) ~prio
+          ~cost:(Sim.Stime.mul t.costs.Netsim.Costs.layer.ip_out n)
+          (fun () ->
+            List.iter
+              (fun (off8, more, data) ->
+                let fragment = Mbuf.of_string data in
+                Proto.Ipv4.encapsulate fragment
+                  (Proto.Ipv4.make ~id ~more_fragments:more ~frag_offset:off8
+                     ~proto ~src ~dst ~payload_len:(String.length data) ());
+                emit t route ~prio ~dst fragment)
+              frags)
+      end
+
+(* Whether sending toward [dst] goes out a programmed-I/O device (the
+   send-side integrated-layer-processing query). *)
+let dst_touches_data t dst =
+  match route_for t dst with
+  | Some route -> Ether_mgr.touches_data route.ether
+  | None -> false
+
+(* Privileged: transmit a complete IP datagram (header included) toward
+   [dst] without rewriting its source — granted only to the in-kernel
+   forwarder (paper section 5.2), which redirects other hosts' packets. *)
+let send_prepared t ?prio:p ~dst pkt =
+  match route_for t dst with
+  | None -> invalid_arg "Ip_mgr.send_prepared: no route"
+  | Some route ->
+      let prio = match p with Some p -> p | None -> Ether_mgr.prio route.ether in
+      Sim.Cpu.run (cpu t) ~prio ~cost:t.costs.Netsim.Costs.layer.ip_out
+        (fun () -> emit t route ~prio ~dst pkt)

@@ -1,0 +1,63 @@
+(* The payload of protocol-graph events: a read-only packet plus the
+   demultiplexing state accumulated as it climbs the graph.
+
+   Handlers receive the packet [READONLY] (an [Mbuf.ro] — writes do not
+   type-check, per the paper's Figure 4) along with a cursor [off] marking
+   the start of the current layer's data.  Each protocol layer raises the
+   next event with an advanced cursor and its parsed header attached, so
+   upper guards can discriminate (e.g. on ports) without re-parsing. *)
+
+type t = {
+  dev : Netsim.Dev.t;            (* arrival device *)
+  pkt : Mbuf.ro Mbuf.t;          (* the full received frame, read-only *)
+  off : int;                     (* start of the current layer *)
+  limit : int;                   (* end of valid data (frames are padded) *)
+  l2 : Proto.Ether.header option;
+  ip : Proto.Ipv4.header option;
+  src_port : int;                (* transport ports; -1 until parsed *)
+  dst_port : int;
+}
+
+let make dev pkt =
+  {
+    dev;
+    pkt;
+    off = 0;
+    limit = Mbuf.length pkt;
+    l2 = None;
+    ip = None;
+    src_port = -1;
+    dst_port = -1;
+  }
+
+(* A view of the packet from the cursor to the limit — the VIEW(a,T)
+   idiom of Figure 2. *)
+let view t : View.ro View.t =
+  View.sub (View.ro (Mbuf.view t.pkt)) ~off:t.off ~len:(t.limit - t.off)
+
+let advance t n = { t with off = t.off + n }
+
+let with_l2 t h = { t with l2 = Some h }
+let with_ip t h = { t with ip = Some h }
+let with_ports t ~src_port ~dst_port = { t with src_port; dst_port }
+
+let with_limit t n =
+  if t.off + n > Mbuf.length t.pkt then invalid_arg "Pctx.with_limit";
+  { t with limit = t.off + n }
+
+(* Replace the packet entirely (IP reassembly delivers a fresh datagram
+   that no longer corresponds to one frame). *)
+let with_payload t pkt = { t with pkt; off = 0; limit = Mbuf.length pkt }
+
+let payload_len t = t.limit - t.off
+
+(* True when the arrival device already made the CPU touch every payload
+   byte (programmed I/O): transports then fold checksum verification into
+   that pass instead of charging a separate one. *)
+let data_touched_by_device t =
+  (Netsim.Dev.params t.dev).Netsim.Costs.pio_ns_per_byte > 0.
+
+let ip_exn t =
+  match t.ip with
+  | Some h -> h
+  | None -> invalid_arg "Pctx.ip_exn: no IP header parsed"

@@ -1,0 +1,36 @@
+(** Protocol-graph event payload: read-only packet + demux state. *)
+
+type t = {
+  dev : Netsim.Dev.t;
+  pkt : Mbuf.ro Mbuf.t;
+  off : int;
+  limit : int;
+  l2 : Proto.Ether.header option;
+  ip : Proto.Ipv4.header option;
+  src_port : int;
+  dst_port : int;
+}
+
+val make : Netsim.Dev.t -> Mbuf.ro Mbuf.t -> t
+
+val view : t -> View.ro View.t
+(** The packet from the current layer's start on (zero-copy). *)
+
+val advance : t -> int -> t
+(** Step the cursor past a header. *)
+
+val with_l2 : t -> Proto.Ether.header -> t
+val with_ip : t -> Proto.Ipv4.header -> t
+val with_ports : t -> src_port:int -> dst_port:int -> t
+
+(** [with_limit t n] bounds the valid data to [n] bytes past the cursor
+    (strips Ethernet padding below the IP total length). *)
+val with_limit : t -> int -> t
+
+val with_payload : t -> Mbuf.ro Mbuf.t -> t
+val payload_len : t -> int
+val data_touched_by_device : t -> bool
+(** True on programmed-I/O arrival devices (checksum folds into the PIO
+    pass — integrated layer processing). *)
+
+val ip_exn : t -> Proto.Ipv4.header

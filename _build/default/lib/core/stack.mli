@@ -1,0 +1,36 @@
+(** Full Plexus stack on one host (the Figure 1 graph), with SPIN
+    interface export for dynamically linked application extensions. *)
+
+type t
+
+val build : ?subnets:(Proto.Ipaddr.t * int) list -> Netsim.Host.t -> t
+(** Build over every device attached to the host.  [subnets] supplies
+    (network, mask bits) per device; default is the host's /24 on each. *)
+
+val host : t -> Netsim.Host.t
+val graph : t -> Graph.t
+val ether : t -> Ether_mgr.t
+val ethers : t -> Ether_mgr.t list
+val arp : t -> Arp_mgr.t
+val arps : t -> Arp_mgr.t list
+val ip : t -> Ip_mgr.t
+val icmp : t -> Icmp_mgr.t
+val udp : t -> Udp_mgr.t
+val tcp : t -> Tcp_mgr.t
+
+val app_domain : t -> Spin.Domain.t
+(** The restricted protection domain application extensions link
+    against. *)
+
+val set_delivery : t -> Spin.Dispatcher.delivery -> unit
+(** Interrupt-level vs. thread-per-raise delivery (Figure 5). *)
+
+val link :
+  t -> Spin.Extension.t -> (Spin.Linker.linked, Spin.Extension.failure) result
+(** Dynamically link an application extension against {!app_domain}. *)
+
+val report : t -> string
+(** Multi-line diagnostics: dispatcher, IP/UDP/TCP and device counters. *)
+
+val prime_arp : t -> t -> unit
+(** Pre-populate the ARP caches of two directly connected stacks. *)

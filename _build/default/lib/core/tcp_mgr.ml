@@ -1,0 +1,271 @@
+(* The TCP protocol manager.
+
+   Wires the shared TCP engine (Proto.Tcp — the same engine the DIGITAL
+   UNIX model runs) into the protocol graph: one guarded handler on
+   ip.PacketRecv demultiplexes segments to connections; the engine's
+   environment charges Plexus costs and transmits through the IP manager.
+
+   Multiple implementations of one protocol (paper section 3.1) are
+   supported the way the paper describes: this manager's guard can be
+   told to *exclude* a set of ports, and an alternative implementation
+   installs its own guarded handler claiming exactly those ports. *)
+
+type counters = {
+  mutable rx : int;
+  mutable no_match : int;
+  mutable accepted : int;
+}
+
+type conn = {
+  mgr : t;
+  ep : Endpoint.t;
+  tcp : Proto.Tcp.t;
+  mutable key : (int * int * int) option; (* remote ip, remote port, local port *)
+  mutable user_rx : string -> unit;
+  mutable user_established : unit -> unit;
+  mutable user_peer_close : unit -> unit;
+  mutable user_close : unit -> unit;
+  mutable user_error : string -> unit;
+}
+
+and listener = {
+  l_port : int;
+  l_owner : string;
+  l_cfg : Proto.Tcp.config;
+  on_accept : conn -> unit;
+}
+
+and t = {
+  graph : Graph.t;
+  ip : Ip_mgr.t;
+  node : Graph.node;
+  costs : Netsim.Costs.t;
+  engine : Sim.Engine.t;
+  conns : (int * int * int, conn) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  mutable bound : int list;          (* ports owned by this implementation *)
+  mutable excluded : int list;       (* dst ports ceded to an alternative impl *)
+  mutable excluded_src : int list;   (* src ports ceded (reverse direction) *)
+  mutable next_ephemeral : int;
+  counters : counters;
+}
+
+let cpu t = Netsim.Host.cpu (Graph.host t.graph)
+
+let prio t =
+  match Spin.Dispatcher.mode (Graph.recv_event t.node) with
+  | Spin.Dispatcher.Interrupt -> Sim.Cpu.Interrupt
+  | Spin.Dispatcher.Thread -> Sim.Cpu.Thread
+
+let proto_guard t ctx =
+  match ctx.Pctx.ip with
+  | Some h ->
+      h.Proto.Ipv4.proto = Proto.Ipv4.proto_tcp
+      && ((t.excluded = [] && t.excluded_src = [])
+         ||
+         let v = Pctx.view ctx in
+         View.length v >= 4
+         && (not (List.mem (View.get_u16 v 2) t.excluded))
+         && not (List.mem (View.get_u16 v 0) t.excluded_src))
+  | None -> false
+
+(* Build the environment a connection's engine runs in: costs are charged
+   on the host CPU at the graph's delivery priority, output goes through
+   the IP manager. *)
+let make_env t conn_ref remote_ip_ref =
+  {
+    Proto.Tcp.now = (fun () -> Sim.Engine.now t.engine);
+    set_timer =
+      (fun delay fn ->
+        let h = Sim.Engine.schedule_in t.engine ~delay fn in
+        fun () -> Sim.Engine.cancel h);
+    tx =
+      (fun pkt ->
+        let len = Mbuf.length pkt in
+        let cksum =
+          if Ip_mgr.dst_touches_data t.ip !remote_ip_ref then Sim.Stime.zero
+          else
+            Netsim.Costs.per_byte t.costs.Netsim.Costs.layer.cksum_ns_per_byte
+              len
+        in
+        let cost = Sim.Stime.add t.costs.Netsim.Costs.layer.tcp_out cksum in
+        let prio = prio t in
+        Sim.Cpu.run (cpu t) ~prio ~cost (fun () ->
+            Ip_mgr.send t.ip ~prio ~proto:Proto.Ipv4.proto_tcp ~dst:!remote_ip_ref
+              pkt));
+    on_receive =
+      (fun data ->
+        match !conn_ref with
+        | Some c ->
+            Sim.Cpu.run (cpu t) ~prio:(prio t)
+              ~cost:t.costs.Netsim.Costs.layer.app (fun () -> c.user_rx data)
+        | None -> ());
+    on_established =
+      (fun () -> match !conn_ref with Some c -> c.user_established () | None -> ());
+    on_peer_close =
+      (* routed through the CPU queue so EOF cannot overtake data that is
+         still being delivered *)
+      (fun () ->
+        Sim.Cpu.run (cpu t) ~prio:(prio t) ~cost:Sim.Stime.zero (fun () ->
+            match !conn_ref with Some c -> c.user_peer_close () | None -> ()));
+    on_close =
+      (fun () ->
+        (match !conn_ref with
+        | Some c -> (
+            match c.key with Some k -> Hashtbl.remove t.conns k | None -> ())
+        | None -> ());
+        Sim.Cpu.run (cpu t) ~prio:(prio t) ~cost:Sim.Stime.zero (fun () ->
+            match !conn_ref with Some c -> c.user_close () | None -> ()));
+    on_error =
+      (fun msg -> match !conn_ref with Some c -> c.user_error msg | None -> ());
+  }
+
+let make_conn t ~owner ~cfg ~local_port =
+  let conn_ref = ref None in
+  let remote_ip_ref = ref Proto.Ipaddr.any in
+  let env = make_env t conn_ref remote_ip_ref in
+  let tcp = Proto.Tcp.create env cfg ~local:(Ip_mgr.host_ip t.ip, local_port) in
+  let conn =
+    {
+      mgr = t;
+      ep =
+        Endpoint.make ~proto:Endpoint.Tcp ~ip:(Ip_mgr.host_ip t.ip)
+          ~port:local_port ~owner;
+      tcp;
+      key = None;
+      user_rx = ignore;
+      user_established = ignore;
+      user_peer_close = ignore;
+      user_close = ignore;
+      user_error = ignore;
+    }
+  in
+  conn_ref := Some conn;
+  (conn, remote_ip_ref)
+
+let register t conn ~remote:(rip, rport) remote_ip_ref =
+  remote_ip_ref := rip;
+  let key = (Proto.Ipaddr.to_int rip, rport, Endpoint.port conn.ep) in
+  conn.key <- Some key;
+  Hashtbl.replace t.conns key conn
+
+let fresh_iss t =
+  Proto.Tcp_wire.Seq.of_int (Sim.Rng.int (Sim.Engine.rng t.engine) 0x0fffffff)
+
+let rx t ctx =
+  t.counters.rx <- t.counters.rx + 1;
+  let v = Pctx.view ctx in
+  match Proto.Tcp_wire.parse v with
+  | None -> t.counters.no_match <- t.counters.no_match + 1
+  | Some (h, _) ->
+      let iph = Pctx.ip_exn ctx in
+      let key =
+        ( Proto.Ipaddr.to_int iph.Proto.Ipv4.src,
+          h.Proto.Tcp_wire.src_port,
+          h.Proto.Tcp_wire.dst_port )
+      in
+      (match Hashtbl.find_opt t.conns key with
+      | Some conn -> Proto.Tcp.input conn.tcp v
+      | None -> (
+          match Hashtbl.find_opt t.listeners h.Proto.Tcp_wire.dst_port with
+          | Some l
+            when Proto.Tcp_wire.Flags.test h.Proto.Tcp_wire.flags
+                   Proto.Tcp_wire.Flags.syn ->
+              t.counters.accepted <- t.counters.accepted + 1;
+              let conn, rref = make_conn t ~owner:l.l_owner ~cfg:l.l_cfg ~local_port:l.l_port in
+              let remote = (iph.Proto.Ipv4.src, h.Proto.Tcp_wire.src_port) in
+              register t conn ~remote rref;
+              Proto.Tcp.set_remote conn.tcp ~remote;
+              Proto.Tcp.set_iss conn.tcp (fresh_iss t);
+              Proto.Tcp.listen conn.tcp;
+              l.on_accept conn;
+              Proto.Tcp.input conn.tcp v
+          | _ -> t.counters.no_match <- t.counters.no_match + 1))
+
+let create graph ip =
+  let costs = Netsim.Host.costs (Graph.host graph) in
+  let t =
+    {
+      graph;
+      ip;
+      node = Graph.node graph "tcp";
+      costs;
+      engine = Netsim.Host.engine (Graph.host graph);
+      conns = Hashtbl.create 16;
+      listeners = Hashtbl.create 8;
+      bound = [];
+      excluded = [];
+      excluded_src = [];
+      next_ephemeral = 32768;
+      counters = { rx = 0; no_match = 0; accepted = 0 };
+    }
+  in
+  Graph.add_edge graph ~parent:(Ip_mgr.node ip) ~child:"tcp" ~label:"proto=6";
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install
+      (Graph.recv_event (Ip_mgr.node ip))
+      ~guard:(proto_guard t) ~cost:costs.Netsim.Costs.layer.tcp_in
+      ~dyncost:(fun ctx ->
+        if Pctx.data_touched_by_device ctx then Sim.Stime.zero
+        else
+          Netsim.Costs.per_byte costs.Netsim.Costs.layer.cksum_ns_per_byte
+            (Pctx.payload_len ctx))
+      (rx t)
+  in
+  t
+
+let node t = t.node
+let counters t = t.counters
+
+let exclude_ports t ports = t.excluded <- ports
+let exclude_src_ports t ports = t.excluded_src <- ports
+
+type error = [ `Port_in_use of int ]
+
+let listen t ~owner ~port ?(cfg = Proto.Tcp.default_config ()) ~on_accept () =
+  if Hashtbl.mem t.listeners port || List.mem port t.bound then
+    Error (`Port_in_use port)
+  else begin
+    Hashtbl.replace t.listeners port { l_port = port; l_owner = owner; l_cfg = cfg; on_accept };
+    t.bound <- port :: t.bound;
+    Graph.add_edge t.graph ~parent:t.node ~child:owner
+      ~label:(Printf.sprintf "listen:%d" port);
+    Ok ()
+  end
+
+let unlisten t port =
+  Hashtbl.remove t.listeners port;
+  t.bound <- List.filter (fun p -> p <> port) t.bound
+
+let connect t ~owner ?src_port ~dst ?(cfg = Proto.Tcp.default_config ()) () =
+  let port =
+    match src_port with
+    | Some p -> p
+    | None ->
+        let p = t.next_ephemeral in
+        t.next_ephemeral <- (if p >= 60999 then 32768 else p + 1);
+        p
+  in
+  if List.mem port t.bound then Error (`Port_in_use port)
+  else begin
+    t.bound <- port :: t.bound;
+    let conn, rref = make_conn t ~owner ~cfg ~local_port:port in
+    register t conn ~remote:dst rref;
+    Proto.Tcp.connect conn.tcp ~remote:dst ~iss:(fresh_iss t);
+    Ok conn
+  end
+
+(* Connection operations, charged like any application-initiated kernel
+   work. *)
+let send conn data = Proto.Tcp.send conn.tcp data
+let close conn = Proto.Tcp.close conn.tcp
+let abort conn = Proto.Tcp.abort conn.tcp
+let tcp conn = conn.tcp
+let endpoint conn = conn.ep
+let conn_state conn = Proto.Tcp.state conn.tcp
+
+let on_receive conn fn = conn.user_rx <- fn
+let on_established conn fn = conn.user_established <- fn
+let on_peer_close conn fn = conn.user_peer_close <- fn
+let on_close conn fn = conn.user_close <- fn
+let on_error conn fn = conn.user_error <- fn

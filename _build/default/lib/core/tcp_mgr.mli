@@ -1,0 +1,51 @@
+(** TCP protocol manager: the shared TCP engine as a Plexus graph
+    citizen, with per-connection demultiplexing and support for multiple
+    coexisting TCP implementations (paper section 3.1). *)
+
+type t
+type conn
+
+type error = [ `Port_in_use of int ]
+
+type counters = {
+  mutable rx : int;
+  mutable no_match : int;
+  mutable accepted : int;
+}
+
+val create : Graph.t -> Ip_mgr.t -> t
+
+val node : t -> Graph.node
+val counters : t -> counters
+
+val exclude_ports : t -> int list -> unit
+(** Cede a set of destination ports to an alternative TCP implementation:
+    this manager's guard stops matching them ("TCP-standard processes all
+    TCP packets but those destined for the second"). *)
+
+val exclude_src_ports : t -> int list -> unit
+(** Cede packets by *source* port (the forwarder's reverse direction). *)
+
+val listen :
+  t -> owner:string -> port:int -> ?cfg:Proto.Tcp.config ->
+  on_accept:(conn -> unit) -> unit -> (unit, [> error ]) result
+
+val unlisten : t -> int -> unit
+
+val connect :
+  t -> owner:string -> ?src_port:int -> dst:Proto.Ipaddr.t * int ->
+  ?cfg:Proto.Tcp.config -> unit -> (conn, [> error ]) result
+
+val send : conn -> string -> unit
+val close : conn -> unit
+val abort : conn -> unit
+
+val on_receive : conn -> (string -> unit) -> unit
+val on_established : conn -> (unit -> unit) -> unit
+val on_peer_close : conn -> (unit -> unit) -> unit
+val on_close : conn -> (unit -> unit) -> unit
+val on_error : conn -> (string -> unit) -> unit
+
+val endpoint : conn -> Endpoint.t
+val conn_state : conn -> Proto.Tcp.state
+val tcp : conn -> Proto.Tcp.t

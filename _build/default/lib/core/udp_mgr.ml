@@ -1,0 +1,270 @@
+(* The UDP protocol manager.
+
+   Demultiplexing follows the paper's Figure 1 exactly: the manager
+   installs a guarded handler on ip.PacketRecv (guard: protocol number),
+   validates the datagram, then raises udp.PacketRecv where per-endpoint
+   guards (destination port) route packets to application handlers.
+
+   Protection policy (section 3.1): applications never install handlers
+   directly — they ask the manager, which derives the guard from the
+   endpoint it minted at [bind] time, so a handler can only see packets
+   addressed to its own port (no snooping).  On output the datagram's
+   source fields come from the endpoint (no spoofing); [set_spoof_policy]
+   selects between the overwrite and verify strategies the paper
+   describes, overwrite being the fast default. *)
+
+type spoof_policy = Overwrite | Verify
+
+type error = [ `Port_in_use of int ]
+
+type counters = {
+  mutable rx : int;
+  mutable bad_checksum : int;
+  mutable no_port : int;
+  mutable delivered : int;
+  mutable tx : int;
+  mutable spoof_rejected : int;
+  mutable unreachable_sent : int;
+}
+
+type t = {
+  graph : Graph.t;
+  ip : Ip_mgr.t;
+  node : Graph.node;
+  costs : Netsim.Costs.t;
+  binds : (int, Endpoint.t) Hashtbl.t;
+  counters : counters;
+  mutable spoof_policy : spoof_policy;
+  mutable excluded : int list; (* dst ports ceded to an alternative impl *)
+}
+
+let proto_guard t ctx =
+  match ctx.Pctx.ip with
+  | Some h ->
+      h.Proto.Ipv4.proto = Proto.Ipv4.proto_udp
+      && (t.excluded = []
+         ||
+         let v = Pctx.view ctx in
+         View.length v < 4 || not (List.mem (View.get_u16 v 2) t.excluded))
+  | None -> false
+
+let create graph ip =
+  let costs = Netsim.Host.costs (Graph.host graph) in
+  let t =
+    {
+      graph;
+      ip;
+      node = Graph.node graph "udp";
+      costs;
+      binds = Hashtbl.create 16;
+      counters =
+        {
+          rx = 0;
+          bad_checksum = 0;
+          no_port = 0;
+          delivered = 0;
+          tx = 0;
+          spoof_rejected = 0;
+          unreachable_sent = 0;
+        };
+      spoof_policy = Overwrite;
+      excluded = [];
+    }
+  in
+  Graph.add_edge graph ~parent:(Ip_mgr.node ip) ~child:"udp" ~label:"proto=17";
+  let handle ctx =
+    t.counters.rx <- t.counters.rx + 1;
+    let v = Pctx.view ctx in
+    let iph = Pctx.ip_exn ctx in
+    if not (Proto.Udp.valid ~src:iph.Proto.Ipv4.src ~dst:iph.Proto.Ipv4.dst v)
+    then t.counters.bad_checksum <- t.counters.bad_checksum + 1
+    else begin
+      match Proto.Udp.parse v with
+      | None -> t.counters.bad_checksum <- t.counters.bad_checksum + 1
+      | Some h ->
+          let ctx =
+            Pctx.with_ports
+              (Pctx.advance ctx Proto.Udp.header_len)
+              ~src_port:h.Proto.Udp.src_port ~dst_port:h.Proto.Udp.dst_port
+          in
+          if Hashtbl.mem t.binds h.Proto.Udp.dst_port then begin
+            t.counters.delivered <- t.counters.delivered + 1;
+            Spin.Dispatcher.raise (Graph.recv_event t.node) ctx
+          end
+          else begin
+            t.counters.no_port <- t.counters.no_port + 1;
+            (* BSD behaviour: answer with an ICMP port unreachable *)
+            t.counters.unreachable_sent <- t.counters.unreachable_sent + 1;
+            let original = View.to_string v in
+            let iph = Pctx.ip_exn ctx in
+            Ip_mgr.send t.ip ~proto:Proto.Ipv4.proto_icmp
+              ~dst:iph.Proto.Ipv4.src
+              (Proto.Icmp.to_packet (Proto.Icmp.port_unreachable ~original))
+          end
+    end
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install
+      (Graph.recv_event (Ip_mgr.node ip))
+      ~guard:(fun ctx -> proto_guard t ctx)
+      ~cost:costs.Netsim.Costs.layer.udp_in
+      ~dyncost:(fun ctx ->
+        (* checksum verification touches the payload — unless the PIO
+           device already did (integrated layer processing) *)
+        if Pctx.data_touched_by_device ctx then Sim.Stime.zero
+        else
+          Netsim.Costs.per_byte costs.Netsim.Costs.layer.cksum_ns_per_byte
+            (Pctx.payload_len ctx))
+      handle
+  in
+  t
+
+let node t = t.node
+let counters t = t.counters
+let set_spoof_policy t p = t.spoof_policy <- p
+
+(* Multiple implementations of UDP (paper section 3.1): this manager's
+   guard stops matching the given destination ports, ceding them to an
+   alternative implementation's own guarded handler on ip.PacketRecv. *)
+let exclude_ports t ports = t.excluded <- ports
+
+let bind t ~owner ~port =
+  if Hashtbl.mem t.binds port then Error (`Port_in_use port)
+  else begin
+    let ep =
+      Endpoint.make ~proto:Endpoint.Udp ~ip:(Ip_mgr.host_ip t.ip) ~port ~owner
+    in
+    Hashtbl.replace t.binds port ep;
+    Ok ep
+  end
+
+let unbind t ep = Hashtbl.remove t.binds (Endpoint.port ep)
+
+let port_guard ep ctx = ctx.Pctx.dst_port = Endpoint.port ep
+
+(* Attach an application receive handler for an endpoint.  The guard the
+   manager installs is derived from the endpoint — the application cannot
+   broaden it. *)
+let install_recv t ep ?cost fn =
+  let cost = match cost with Some c -> c | None -> t.costs.Netsim.Costs.layer.app in
+  Graph.add_edge t.graph ~parent:t.node
+    ~child:(Endpoint.owner ep)
+    ~label:(Printf.sprintf "port=%d" (Endpoint.port ep));
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep) ~cost fn
+
+(* Receive handler demultiplexed by an *interpreted* packet filter
+   (see Filter): the manager conjoins the endpoint's port guard — the
+   application cannot broaden its visibility — and charges the filter's
+   interpretation cost on every arriving datagram. *)
+let install_recv_filtered t ep filter ?cost fn =
+  let cost = match cost with Some c -> c | None -> t.costs.Netsim.Costs.layer.app in
+  Graph.add_edge t.graph ~parent:t.node
+    ~child:(Endpoint.owner ep)
+    ~label:(Fmt.str "port=%d filter=%a" (Endpoint.port ep) Filter.pp filter);
+  Spin.Dispatcher.install (Graph.recv_event t.node)
+    ~guard:(fun ctx -> port_guard ep ctx && Filter.eval filter ctx)
+    ~gcost:(Filter.eval_cost filter) ~cost fn
+
+(* Interrupt-level (EPHEMERAL) receive handler with optional budget. *)
+let install_recv_ephemeral t ep ?budget fn =
+  Graph.add_edge t.graph ~parent:t.node
+    ~child:(Endpoint.owner ep)
+    ~label:(Printf.sprintf "port=%d(eph)" (Endpoint.port ep));
+  Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
+    ~guard:(port_guard ep) ?budget fn
+
+let cpu t = Netsim.Host.cpu (Graph.host t.graph)
+
+let do_send ?(extra_cost = Sim.Stime.zero) t ep ~prio ~dst:(dip, dport)
+    ~checksum ~src_port data =
+  t.counters.tx <- t.counters.tx + 1;
+  let payload = Mbuf.of_string data in
+  let cksum_cost =
+    if checksum && not (Ip_mgr.dst_touches_data t.ip dip) then
+      Netsim.Costs.per_byte t.costs.Netsim.Costs.layer.cksum_ns_per_byte
+        (String.length data)
+    else Sim.Stime.zero
+  in
+  let prio =
+    match prio with
+    | Some p -> p
+    | None ->
+        (match Spin.Dispatcher.mode (Graph.recv_event t.node) with
+        | Spin.Dispatcher.Interrupt -> Sim.Cpu.Interrupt
+        | Spin.Dispatcher.Thread -> Sim.Cpu.Thread)
+  in
+  Sim.Cpu.run (cpu t) ~prio
+    ~cost:
+      (Sim.Stime.add extra_cost
+         (Sim.Stime.add t.costs.Netsim.Costs.layer.udp_out cksum_cost))
+    (fun () ->
+      Proto.Udp.encapsulate ~checksum payload ~src:(Endpoint.ip ep) ~dst:dip
+        ~src_port ~dst_port:dport;
+      Ip_mgr.send t.ip ~prio ~proto:Proto.Ipv4.proto_udp ~dst:dip payload)
+
+(* Multicast semantics for UDP (paper section 5.1): the datagram is
+   marshalled and checksummed once, then replicated to every
+   destination — the per-packet data-touching work is not repeated. *)
+let send_multi t ep ?prio ?(checksum = true) ~dsts data =
+  match dsts with
+  | [] -> ()
+  | (first_ip, _) :: _ ->
+      t.counters.tx <- t.counters.tx + List.length dsts;
+      let cksum_cost =
+        if checksum && not (Ip_mgr.dst_touches_data t.ip first_ip) then
+          Netsim.Costs.per_byte t.costs.Netsim.Costs.layer.cksum_ns_per_byte
+            (String.length data)
+        else Sim.Stime.zero
+      in
+      let prio =
+        match prio with
+        | Some p -> p
+        | None -> (
+            match Spin.Dispatcher.mode (Graph.recv_event t.node) with
+            | Spin.Dispatcher.Interrupt -> Sim.Cpu.Interrupt
+            | Spin.Dispatcher.Thread -> Sim.Cpu.Thread)
+      in
+      (* one marshal+checksum pass, then a cheap replicated send per
+         destination *)
+      Sim.Cpu.run (cpu t) ~prio
+        ~cost:(Sim.Stime.add t.costs.Netsim.Costs.layer.udp_out cksum_cost)
+        (fun () ->
+          List.iter
+            (fun (dip, dport) ->
+              let payload = Mbuf.of_string data in
+              Proto.Udp.encapsulate ~checksum payload ~src:(Endpoint.ip ep)
+                ~dst:dip ~src_port:(Endpoint.port ep) ~dst_port:dport;
+              Ip_mgr.send t.ip ~prio ~proto:Proto.Ipv4.proto_udp ~dst:dip
+                payload)
+            dsts)
+
+(* Normal send: source fields are taken from the endpoint (the paper's
+   "overwrite" strategy — nothing to verify because nothing else is
+   representable). *)
+let send t ep ?prio ?(checksum = true) ~dst data =
+  do_send t ep ~prio ~dst ~checksum ~src_port:(Endpoint.port ep) data
+
+(* A send that lets the caller *claim* a source — exists to demonstrate
+   the two anti-spoofing strategies of section 3.1.  Under [Overwrite]
+   the claim is ignored; under [Verify] a mismatched claim is rejected
+   and counted. *)
+let send_claiming t ep ?prio ?(checksum = true) ~claimed_src_port ~dst data =
+  match t.spoof_policy with
+  | Overwrite ->
+      (* The claim is simply ignored — "more simply overwrite the source
+         field ... provides the best performance". *)
+      do_send t ep ~prio ~dst ~checksum ~src_port:(Endpoint.port ep) data;
+      Ok ()
+  | Verify ->
+      if claimed_src_port <> Endpoint.port ep then begin
+        t.counters.spoof_rejected <- t.counters.spoof_rejected + 1;
+        Error `Spoof_rejected
+      end
+      else begin
+        (* verification touches the headers once more, on the send path *)
+        do_send ~extra_cost:(Sim.Stime.us 2) t ep ~prio ~dst ~checksum
+          ~src_port:claimed_src_port data;
+        Ok ()
+      end
+
+let bound_ports t = Hashtbl.fold (fun p _ acc -> p :: acc) t.binds [] |> List.sort compare

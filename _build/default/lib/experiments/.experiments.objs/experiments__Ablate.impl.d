@@ -1,0 +1,1 @@
+lib/experiments/ablate.ml: Apps Common List Netsim Plexus Printf Proto Sim Spin String View

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Netsim Osmodel Plexus Printf Proto Sim Spin String View

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Netsim Osmodel Plexus Proto Sim Spin

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Common List Netsim Printf Sim Spin

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Apps Common List Mbuf Netsim Osmodel Plexus Printf Sim String

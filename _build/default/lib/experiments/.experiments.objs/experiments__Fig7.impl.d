@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Apps Common List Netsim Osmodel Plexus Printf Sim String

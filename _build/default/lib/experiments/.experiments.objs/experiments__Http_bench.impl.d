@@ -1,0 +1,1 @@
+lib/experiments/http_bench.ml: Apps Buffer Common Hashtbl List Netsim Osmodel Printf Proto Sim String

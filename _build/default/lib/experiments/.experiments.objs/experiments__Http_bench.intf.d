@@ -1,0 +1,1 @@
+lib/experiments/http_bench.mli: Netsim

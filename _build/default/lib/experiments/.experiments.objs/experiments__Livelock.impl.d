@@ -1,0 +1,1 @@
+lib/experiments/livelock.ml: Common List Mbuf Netsim Plexus Printf Proto Sim Spin String

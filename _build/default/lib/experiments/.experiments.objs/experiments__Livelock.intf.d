@@ -1,0 +1,1 @@
+lib/experiments/livelock.mli: Sim Spin

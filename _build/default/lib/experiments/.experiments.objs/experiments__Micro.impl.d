@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Apps Common Fmt List Netsim Plexus Printf Sim Spin String

@@ -1,0 +1,1 @@
+lib/experiments/micro.mli: Netsim Sim Spin

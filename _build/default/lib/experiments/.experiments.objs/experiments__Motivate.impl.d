@@ -1,0 +1,1 @@
+lib/experiments/motivate.ml: Apps Char Common List Netsim Plexus Printf Proto Sim String

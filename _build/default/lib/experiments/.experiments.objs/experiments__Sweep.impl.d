@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Common List Netsim Printf Sim

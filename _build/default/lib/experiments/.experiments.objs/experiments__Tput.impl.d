@@ -1,0 +1,1 @@
+lib/experiments/tput.ml: Common List Netsim Osmodel Plexus Printf Sim String

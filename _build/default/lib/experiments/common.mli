@@ -1,0 +1,50 @@
+(** Shared experiment scaffolding: canonical testbeds and echo drivers. *)
+
+val ip_a : Proto.Ipaddr.t
+val ip_b : Proto.Ipaddr.t
+val ip_client : Proto.Ipaddr.t
+val ip_middle : Proto.Ipaddr.t
+val ip_middle2 : Proto.Ipaddr.t
+val ip_server : Proto.Ipaddr.t
+val net1 : Proto.Ipaddr.t
+val net2 : Proto.Ipaddr.t
+
+type plexus_pair = {
+  engine : Sim.Engine.t;
+  a : Plexus.Stack.t;
+  b : Plexus.Stack.t;
+}
+
+val plexus_pair : ?costs:Netsim.Costs.t -> Netsim.Costs.device -> plexus_pair
+(** Two hosts with full Plexus stacks, ARP primed. *)
+
+type du_pair = {
+  du_engine : Sim.Engine.t;
+  dua : Osmodel.Du_stack.t;
+  dub : Osmodel.Du_stack.t;
+}
+
+val du_pair : ?costs:Netsim.Costs.t -> Netsim.Costs.device -> du_pair
+
+val udp_echo_plexus :
+  ?costs:Netsim.Costs.t -> ?mode:Spin.Dispatcher.delivery -> ?payload_len:int ->
+  ?warmup:int -> ?iters:int -> Netsim.Costs.device -> Sim.Stats.Series.t
+(** UDP echo round trips over a Plexus pair; returns RTTs in µs. *)
+
+val udp_echo_du :
+  ?payload_len:int -> ?warmup:int -> ?iters:int -> Netsim.Costs.device ->
+  Sim.Stats.Series.t
+
+val udp_echo_ulib :
+  ?payload_len:int -> ?warmup:int -> ?iters:int -> Netsim.Costs.device ->
+  Sim.Stats.Series.t
+(** The same echo through a user-level protocol library (section 6's
+    related-work model). *)
+
+val raw_device_rtt : Netsim.Costs.device -> len:int -> float
+(** Theoretical driver-to-driver round trip in µs (the paper's "minimal
+    round trip time between the device drivers"). *)
+
+val print_header : string -> unit
+val print_row : ('a, out_channel, unit) format -> 'a
+val mbps : bytes:int -> elapsed_us:float -> float

@@ -1,0 +1,18 @@
+(** Figure 5: UDP round-trip latency across the three devices. *)
+
+type row = {
+  device : string;
+  plexus_interrupt : float;
+  plexus_thread : float;
+  digital_unix : float;
+  user_library : float;
+  raw_driver : float;
+  paper_plexus : float option;
+}
+
+val run : ?iters:int -> unit -> row list
+
+val fast_driver_variants : ?iters:int -> unit -> (string * float * float) list
+(** [(label, measured, paper)] for the §4.1 faster-driver quotes. *)
+
+val print : ?iters:int -> unit -> row list

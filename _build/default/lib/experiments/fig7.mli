@@ -1,0 +1,18 @@
+(** Figure 7: TCP redirection latency — in-kernel forwarder vs. splice. *)
+
+type row = { payload : int; plexus_us : float; du_us : float }
+
+val sizes : int list
+
+val plexus_rtt :
+  ?warmup:int -> ?iters:int -> payload_len:int -> Netsim.Costs.device -> float
+(** Echo RTT through the Plexus forwarder, µs. *)
+
+val du_rtt :
+  ?warmup:int -> ?iters:int -> payload_len:int -> Netsim.Costs.device -> float
+
+val run :
+  ?params:Netsim.Costs.device -> ?warmup:int -> ?iters:int -> unit -> row list
+
+val print :
+  ?params:Netsim.Costs.device -> ?warmup:int -> ?iters:int -> unit -> row list

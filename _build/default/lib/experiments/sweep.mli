@@ -1,0 +1,8 @@
+(** Latency vs. message size sweep (companion to Figure 5). *)
+
+type point = { size : int; plexus_us : float; du_us : float }
+type row = { device : string; points : point list }
+
+val sizes : int list
+val run : ?iters:int -> unit -> row list
+val print : ?iters:int -> unit -> row list

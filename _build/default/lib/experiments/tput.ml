@@ -1,0 +1,119 @@
+(* Section 4.2: TCP throughput.
+
+   Paper values: Ethernet 8.9 Mb/s on both systems (wire-limited); Fore
+   ATM 33 Mb/s under Plexus vs 27.9 Mb/s under DIGITAL UNIX (CPU-limited
+   by programmed I/O, where the extra user/kernel copy hurts); the ATM
+   driver-to-driver ceiling is ~53 Mb/s.  The T3's TCP number is absent
+   from the paper (a DMA-support bug); we measure it anyway. *)
+
+type row = {
+  device : string;
+  plexus_mbps : float;
+  du_mbps : float;
+  paper_plexus : float option;
+  paper_du : float option;
+}
+
+let transfer_bytes = 2_000_000
+
+(* Bulk transfer over Plexus: connect A->B, push [bytes], record the time
+   from connection establishment to full delivery at B. *)
+let plexus_transfer ?(bytes = transfer_bytes) params =
+  let p = Common.plexus_pair params in
+  let engine = p.Common.engine in
+  let received = ref 0 in
+  let start_at = ref Sim.Stime.zero in
+  let done_at = ref None in
+  (match
+     Plexus.Tcp_mgr.listen (Plexus.Stack.tcp p.Common.b) ~owner:"sink"
+       ~port:5001
+       ~on_accept:(fun conn ->
+         Plexus.Tcp_mgr.on_receive conn (fun data ->
+             received := !received + String.length data;
+             if !received >= bytes && !done_at = None then
+               done_at := Some (Sim.Engine.now engine)))
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  (match
+     Plexus.Tcp_mgr.connect (Plexus.Stack.tcp p.Common.a) ~owner:"source"
+       ~dst:(Common.ip_b, 5001) ()
+   with
+  | Error _ -> assert false
+  | Ok conn ->
+      Plexus.Tcp_mgr.on_established conn (fun () ->
+          start_at := Sim.Engine.now engine;
+          Plexus.Tcp_mgr.send conn (String.make bytes 'd')));
+  Sim.Engine.run engine ~until:(Sim.Stime.s 60) ~max_events:50_000_000;
+  match !done_at with
+  | None -> nan
+  | Some t ->
+      Common.mbps ~bytes ~elapsed_us:(Sim.Stime.to_us (Sim.Stime.sub t !start_at))
+
+let du_transfer ?(bytes = transfer_bytes) params =
+  let p = Common.du_pair params in
+  let engine = p.Common.du_engine in
+  let received = ref 0 in
+  let start_at = ref Sim.Stime.zero in
+  let done_at = ref None in
+  (match
+     Osmodel.Du_stack.tcp_listen p.Common.dub ~port:5001
+       ~on_accept:(fun conn ->
+         Osmodel.Du_stack.on_receive conn (fun data ->
+             received := !received + String.length data;
+             if !received >= bytes && !done_at = None then
+               done_at := Some (Sim.Engine.now engine)))
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let conn = Osmodel.Du_stack.tcp_connect p.Common.dua ~dst:(Common.ip_b, 5001) () in
+  Osmodel.Du_stack.on_established conn (fun () ->
+      start_at := Sim.Engine.now engine;
+      Osmodel.Du_stack.tcp_send p.Common.dua conn (String.make bytes 'd'));
+  Sim.Engine.run engine ~until:(Sim.Stime.s 60) ~max_events:50_000_000;
+  match !done_at with
+  | None -> nan
+  | Some t ->
+      Common.mbps ~bytes ~elapsed_us:(Sim.Stime.to_us (Sim.Stime.sub t !start_at))
+
+let run ?bytes () =
+  [
+    {
+      device = "ethernet";
+      plexus_mbps = plexus_transfer ?bytes (Netsim.Costs.ethernet ());
+      du_mbps = du_transfer ?bytes (Netsim.Costs.ethernet ());
+      paper_plexus = Some 8.9;
+      paper_du = Some 8.9;
+    };
+    {
+      device = "atm";
+      plexus_mbps = plexus_transfer ?bytes (Netsim.Costs.atm ());
+      du_mbps = du_transfer ?bytes (Netsim.Costs.atm ());
+      paper_plexus = Some 33.;
+      paper_du = Some 27.9;
+    };
+    {
+      device = "t3";
+      plexus_mbps = plexus_transfer ?bytes (Netsim.Costs.t3 ());
+      du_mbps = du_transfer ?bytes (Netsim.Costs.t3 ());
+      paper_plexus = None;
+      paper_du = None;
+    };
+  ]
+
+let print ?bytes () =
+  Common.print_header "Section 4.2: TCP throughput (Mb/s)";
+  Printf.printf "%-10s %10s %10s %14s %12s\n" "device" "plexus" "du"
+    "paper(plexus)" "paper(du)";
+  let rows = run ?bytes () in
+  List.iter
+    (fun r ->
+      let p = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
+      Printf.printf "%-10s %10.1f %10.1f %14s %12s\n" r.device r.plexus_mbps
+        r.du_mbps (p r.paper_plexus) (p r.paper_du))
+    rows;
+  Printf.printf
+    "(ATM is programmed I/O: CPU-bound; paper's driver-to-driver ceiling ~53 Mb/s)\n";
+  rows

@@ -1,0 +1,17 @@
+(** Section 4.2: TCP throughput table. *)
+
+type row = {
+  device : string;
+  plexus_mbps : float;
+  du_mbps : float;
+  paper_plexus : float option;
+  paper_du : float option;
+}
+
+val plexus_transfer : ?bytes:int -> Netsim.Costs.device -> float
+(** Goodput of a bulk Plexus TCP transfer, Mb/s. *)
+
+val du_transfer : ?bytes:int -> Netsim.Costs.device -> float
+
+val run : ?bytes:int -> unit -> row list
+val print : ?bytes:int -> unit -> row list

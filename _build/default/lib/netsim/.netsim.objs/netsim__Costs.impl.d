@@ -1,0 +1,1 @@
+lib/netsim/costs.ml: Sim Spin

@@ -1,0 +1,1 @@
+lib/netsim/dev.ml: Costs Mbuf Option Pool Printf Proto Sim String

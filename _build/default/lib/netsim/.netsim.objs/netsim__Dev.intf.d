@@ -1,0 +1,1 @@
+lib/netsim/dev.mli: Costs Mbuf Pool Proto Sim

@@ -1,0 +1,1 @@
+lib/netsim/disk.ml: Costs Sim String

@@ -1,0 +1,1 @@
+lib/netsim/disk.mli: Costs Sim

@@ -1,0 +1,1 @@
+lib/netsim/framebuffer.ml: Costs Sim

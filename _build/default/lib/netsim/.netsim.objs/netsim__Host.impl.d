@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Costs Dev List Printf Proto Sim Spin

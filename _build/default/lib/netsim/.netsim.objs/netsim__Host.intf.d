@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Costs Dev Proto Sim Spin

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Dev Host

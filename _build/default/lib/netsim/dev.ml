@@ -1,0 +1,168 @@
+(* Network devices.
+
+   A device charges its host CPU for driver work (plus per-byte PIO where
+   the hardware demands it, like the Fore TCA-100), serializes frames
+   onto the wire at the link's bit rate, and delivers to the peer device
+   after propagation.  Reception costs an interrupt at interrupt priority
+   on the receiving CPU, after which the registered handler — the bottom
+   of the protocol graph — runs. *)
+
+type counters = {
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+  mutable tx_drops : int;
+  mutable rx_drops : int;
+}
+
+type t = {
+  name : string;
+  params : Costs.device;
+  mac : Proto.Ether.Mac.t;
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  mutable peer : t option;
+  mutable wire_busy_until : Sim.Stime.t ref;
+      (* shared with the peer on half-duplex media *)
+  mutable txq : int;
+  mutable rx_handler : (Mbuf.ro Mbuf.t -> unit) option;
+  mutable rx_pool : Pool.t option;
+      (* receive ring: buffers held from wire arrival to interrupt
+         service; exhaustion drops frames like a full NIC ring *)
+  mutable loss_prob : float; (* fault injection: drop on the wire *)
+  counters : counters;
+}
+
+let create engine ~cpu ~name ~mac params =
+  {
+    name;
+    params;
+    mac;
+    engine;
+    cpu;
+    peer = None;
+    wire_busy_until = ref Sim.Stime.zero;
+    txq = 0;
+    rx_handler = None;
+    rx_pool = None;
+    loss_prob = 0.;
+    counters =
+      {
+        tx_packets = 0;
+        rx_packets = 0;
+        tx_bytes = 0;
+        rx_bytes = 0;
+        tx_drops = 0;
+        rx_drops = 0;
+      };
+  }
+
+let name t = t.name
+let mac t = t.mac
+let mtu t = t.params.Costs.mtu
+let params t = t.params
+let counters t = t.counters
+
+let connect a b =
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (* On a shared segment (the paper's private Ethernet), both directions
+     contend for the same wire; switched/point-to-point links are full
+     duplex. *)
+  if a.params.Costs.shared_medium then b.wire_busy_until <- a.wire_busy_until
+
+(* Install the receive path — only the kernel (trusted driver top half)
+   does this; applications go through protocol managers. *)
+let set_rx t h = t.rx_handler <- Some h
+
+let set_rx_pool t pool = t.rx_pool <- Some pool
+let rx_pool t = t.rx_pool
+
+(* Fault injection: drop outgoing frames on the wire with the given
+   probability (deterministic via the engine's random stream). *)
+let set_loss t p =
+  if p < 0. || p >= 1. then invalid_arg "Dev.set_loss";
+  t.loss_prob <- p
+
+let pio_cost t len = Costs.per_byte t.params.Costs.pio_ns_per_byte len
+
+let deliver_to peer (data : string) =
+  let len = String.length data in
+  (* A frame occupies a receive buffer from wire arrival until the
+     interrupt is serviced; with a bounded pool, a burst that outruns the
+     CPU drops frames at the ring. *)
+  let buffer =
+    match peer.rx_pool with
+    | None -> Some (Mbuf.ro (Mbuf.of_string data))
+    | Some pool -> Option.map Mbuf.ro (Pool.alloc_string pool data)
+  in
+  match buffer with
+  | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
+  | Some pkt ->
+      (* Receive interrupt: fixed driver cost plus PIO read for devices
+         that make the CPU pull bytes off the adapter. *)
+      let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer len) in
+      Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
+          (match peer.rx_pool with
+          | Some pool -> Pool.free pool pkt
+          | None -> ());
+          match peer.rx_handler with
+          | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
+          | Some h ->
+              peer.counters.rx_packets <- peer.counters.rx_packets + 1;
+              peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
+              Sim.Trace.emit
+                (Sim.Engine.now peer.engine)
+                "%s: rx %d bytes" peer.name len;
+              h pkt)
+
+let transmit t ?(prio = Sim.Cpu.Thread) pkt =
+  let len = Mbuf.length pkt in
+  if len > t.params.Costs.mtu + Proto.Ether.header_len then
+    invalid_arg
+      (Printf.sprintf "Dev.transmit(%s): frame of %d bytes exceeds MTU" t.name len);
+  let data = Mbuf.to_string pkt in
+  (* Driver send cost (+ PIO write). *)
+  let cost = Sim.Stime.add t.params.Costs.tx_fixed (pio_cost t len) in
+  Sim.Cpu.run t.cpu ~prio ~cost (fun () ->
+      if t.txq >= t.params.Costs.txq_limit then
+        t.counters.tx_drops <- t.counters.tx_drops + 1
+      else begin
+        t.txq <- t.txq + 1;
+        let now = Sim.Engine.now t.engine in
+        let wire_bytes = t.params.Costs.frame_overhead len in
+        let wire_ns =
+          float_of_int wire_bytes *. 8e9 /. float_of_int t.params.Costs.bw_bits_per_s
+        in
+        let start = Sim.Stime.max now !(t.wire_busy_until) in
+        let done_at = Sim.Stime.add start (Sim.Stime.of_us_f (wire_ns /. 1000.)) in
+        t.wire_busy_until := done_at;
+        t.counters.tx_packets <- t.counters.tx_packets + 1;
+        t.counters.tx_bytes <- t.counters.tx_bytes + len;
+        Sim.Trace.emit now "%s: tx %d bytes (wire until %a)" t.name len
+          Sim.Stime.pp done_at;
+        ignore
+          (Sim.Engine.schedule t.engine ~at:done_at (fun () ->
+               t.txq <- t.txq - 1;
+               match t.peer with
+               | None -> ()
+               | Some peer ->
+                   if
+                     t.loss_prob > 0.
+                     && Sim.Rng.float (Sim.Engine.rng t.engine) 1.0
+                        < t.loss_prob
+                   then t.counters.tx_drops <- t.counters.tx_drops + 1
+                   else
+                     ignore
+                       (Sim.Engine.schedule_in t.engine
+                          ~delay:t.params.Costs.prop_delay (fun () ->
+                            deliver_to peer data))))
+      end)
+
+(* Raw wire occupancy for a packet of [len] bytes — used by experiments to
+   report theoretical ceilings. *)
+let wire_time t len =
+  let wire_bytes = t.params.Costs.frame_overhead len in
+  Sim.Stime.of_us_f
+    (float_of_int wire_bytes *. 8e6 /. float_of_int t.params.Costs.bw_bits_per_s)

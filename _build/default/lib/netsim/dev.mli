@@ -1,0 +1,51 @@
+(** Simulated network devices (point-to-point).
+
+    Transmission charges the host CPU for driver work (and per-byte PIO on
+    devices like the Fore TCA-100), serializes frames on the wire at the
+    device bit rate, and delivers to the peer after propagation; reception
+    charges an interrupt on the peer CPU and invokes the installed receive
+    handler — the bottom of the Plexus protocol graph. *)
+
+type t
+
+type counters = {
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+  mutable tx_drops : int;   (** transmit-queue overflows *)
+  mutable rx_drops : int;   (** frames with no receive handler *)
+}
+
+val create :
+  Sim.Engine.t -> cpu:Sim.Cpu.t -> name:string -> mac:Proto.Ether.Mac.t ->
+  Costs.device -> t
+
+val connect : t -> t -> unit
+(** Wire two devices together (both directions). *)
+
+val set_rx : t -> (Mbuf.ro Mbuf.t -> unit) -> unit
+(** Install the driver's receive upcall (trusted kernel code only). *)
+
+val set_rx_pool : t -> Pool.t -> unit
+(** Bound the receive ring: frames hold a pool buffer from wire arrival
+    until their interrupt is serviced; exhaustion drops at the ring. *)
+
+val rx_pool : t -> Pool.t option
+
+val set_loss : t -> float -> unit
+(** Fault injection: drop transmitted frames on the wire with the given
+    probability (counted as tx drops).  @raise Invalid_argument outside
+    [0, 1). *)
+
+val transmit : t -> ?prio:Sim.Cpu.prio -> Mbuf.rw Mbuf.t -> unit
+(** Send a frame.  @raise Invalid_argument if it exceeds the MTU. *)
+
+val name : t -> string
+val mac : t -> Proto.Ether.Mac.t
+val mtu : t -> int
+val params : t -> Costs.device
+val counters : t -> counters
+
+val wire_time : t -> int -> Sim.Stime.t
+(** Wire occupancy of a packet of the given length (framing included). *)

@@ -1,0 +1,11 @@
+(** Framebuffer device: CPU-charged slow writes (~10x RAM). *)
+
+type t
+
+val create : cpu:Sim.Cpu.t -> costs:Costs.t -> t
+
+val write : t -> ?prio:Sim.Cpu.prio -> len:int -> (unit -> unit) -> unit
+(** Display [len] bytes; charges the CPU for device-memory writes. *)
+
+val bytes_written : t -> int
+val frames : t -> int

@@ -1,0 +1,1 @@
+lib/osmodel/du_stack.ml: Hashtbl List Mbuf Netsim Proto Queue Sim String Syscall View

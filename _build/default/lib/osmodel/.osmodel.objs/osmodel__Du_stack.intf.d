@@ -1,0 +1,1 @@
+lib/osmodel/du_stack.mli: Netsim Proto

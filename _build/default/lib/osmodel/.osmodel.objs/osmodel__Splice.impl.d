@@ -1,0 +1,1 @@
+lib/osmodel/splice.ml: Du_stack Netsim Proto Sim String

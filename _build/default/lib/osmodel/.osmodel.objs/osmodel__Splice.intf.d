@@ -1,0 +1,1 @@
+lib/osmodel/splice.mli: Du_stack Proto

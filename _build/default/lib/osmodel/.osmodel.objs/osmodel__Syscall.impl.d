@@ -1,0 +1,1 @@
+lib/osmodel/syscall.ml: Netsim Sim

@@ -1,0 +1,1 @@
+lib/osmodel/syscall.mli: Netsim Sim

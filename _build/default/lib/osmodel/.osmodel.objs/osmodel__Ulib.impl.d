@@ -1,0 +1,1 @@
+lib/osmodel/ulib.ml: Hashtbl List Mbuf Netsim Proto Sim String Syscall View

@@ -1,0 +1,1 @@
+lib/osmodel/ulib.mli: Netsim Proto

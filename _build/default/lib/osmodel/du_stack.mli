@@ -1,0 +1,65 @@
+(** The DIGITAL UNIX baseline: monolithic kernel stack + BSD sockets.
+
+    Runs the same wire formats, device models and TCP engine as Plexus;
+    differs only in OS structure (kernel-resident protocols, user-level
+    applications, traps/copies/context switches at the boundary).  This
+    isolates exactly the architectural comparison of the paper's
+    evaluation. *)
+
+type t
+type udp_sock
+type tconn
+
+type error = [ `Port_in_use of int ]
+
+type counters = {
+  mutable rx : int;
+  mutable bad_checksum : int;
+  mutable not_ours : int;
+  mutable no_port : int;
+  mutable udp_delivered : int;
+  mutable tcp_rx : int;
+  mutable echos_answered : int;
+}
+
+val create : ?subnets:(Proto.Ipaddr.t * int) list -> Netsim.Host.t -> t
+(** Take over every device on the host (one subnet per device; default is
+    the host's /24 everywhere). *)
+
+val counters : t -> counters
+val host : t -> Netsim.Host.t
+val host_ip : t -> Proto.Ipaddr.t
+
+val prime_arp : t -> Proto.Ipaddr.t -> Proto.Ether.Mac.t -> unit
+
+(** {1 UDP sockets} *)
+
+val udp_bind : t -> port:int -> (udp_sock, [> error ]) result
+val udp_set_recv : udp_sock -> (src:Proto.Ipaddr.t * int -> string -> unit) -> unit
+val udp_port : udp_sock -> int
+
+val udp_sendto :
+  t -> udp_sock -> ?checksum:bool -> dst:Proto.Ipaddr.t * int -> string -> unit
+(** sendto(2): trap + copy-in + socket and protocol processing. *)
+
+(** {1 TCP sockets} *)
+
+val tcp_listen :
+  t -> port:int -> ?cfg:Proto.Tcp.config -> on_accept:(tconn -> unit) ->
+  unit -> (unit, [> error ]) result
+
+val tcp_connect :
+  t -> ?src_port:int -> dst:Proto.Ipaddr.t * int -> ?cfg:Proto.Tcp.config ->
+  unit -> tconn
+
+val tcp_send : t -> tconn -> string -> unit
+val tcp_close : t -> tconn -> unit
+
+val tconn_state : tconn -> Proto.Tcp.state
+val tconn_tcp : tconn -> Proto.Tcp.t
+
+val on_receive : tconn -> (string -> unit) -> unit
+val on_established : tconn -> (unit -> unit) -> unit
+val on_peer_close : tconn -> (unit -> unit) -> unit
+val on_close : tconn -> (unit -> unit) -> unit
+val on_error : tconn -> (string -> unit) -> unit

@@ -1,0 +1,11 @@
+(** User-level TCP splice forwarder (the DIGITAL UNIX side of Figure 7). *)
+
+type t
+
+val create :
+  Du_stack.t -> listen_port:int -> backend:Proto.Ipaddr.t * int -> t
+(** Listen on [listen_port]; for each accepted connection, open a second
+    connection to [backend] and relay bytes both ways at user level. *)
+
+val sessions : t -> int
+val forwarded_bytes : t -> int

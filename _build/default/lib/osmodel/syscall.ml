@@ -1,0 +1,26 @@
+(* User/kernel boundary costs for the DIGITAL UNIX model.  "Each packet
+   sent involves a trap and a copy-in as the data moves across the
+   user/kernel boundary.  In the worst case, the receive side must
+   schedule the user process, copy the packet to userspace, and
+   context-switch." *)
+
+let copy_cost (costs : Netsim.Costs.t) len =
+  Sim.Stime.add costs.os.copy_fixed
+    (Netsim.Costs.per_byte costs.layer.copy_ns_per_byte len)
+
+(* Enter the kernel from user space with [len] bytes of argument data,
+   then run [k] in kernel context. *)
+let enter cpu (costs : Netsim.Costs.t) ~len k =
+  Sim.Cpu.run cpu ~prio:Sim.Cpu.Thread
+    ~cost:(Sim.Stime.add costs.os.trap (copy_cost costs len))
+    k
+
+(* Deliver [len] bytes to a blocked user process: wake it, context-switch
+   to it, copy the data out, then run the user-level code [k]. *)
+let deliver_to_user cpu (costs : Netsim.Costs.t) ~len k =
+  Sim.Cpu.run cpu ~prio:Sim.Cpu.Thread
+    ~cost:
+      (Sim.Stime.add
+         (Sim.Stime.add costs.os.wakeup costs.os.ctx_switch)
+         (Sim.Stime.add (copy_cost costs len) costs.layer.app))
+    k

@@ -1,0 +1,1 @@
+lib/packet/mbuf.ml: Buffer Bytes Fmt List String View

@@ -1,0 +1,1 @@
+lib/packet/mbuf.mli: Format View

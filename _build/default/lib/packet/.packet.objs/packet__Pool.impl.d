@@ -1,0 +1,1 @@
+lib/packet/pool.ml: Fmt Mbuf String View

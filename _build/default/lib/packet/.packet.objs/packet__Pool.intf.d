@@ -1,0 +1,1 @@
+lib/packet/pool.mli: Format Mbuf

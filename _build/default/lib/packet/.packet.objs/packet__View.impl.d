@@ -1,0 +1,1 @@
+lib/packet/view.ml: Bytes Char Fmt Stdlib String

@@ -1,0 +1,1 @@
+lib/packet/view.mli: Bytes Format

@@ -1,0 +1,44 @@
+(* The Internet checksum (RFC 1071): one's-complement sum of 16-bit
+   big-endian words.  Used by IP, ICMP, UDP and TCP. *)
+
+let fold_words acc (v : _ View.t) =
+  let data = View.unsafe_data v and off = View.unsafe_off v in
+  let len = View.length v in
+  let sum = ref acc in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum :=
+      !sum
+      + (Char.code (Bytes.get data (off + !i)) lsl 8)
+      + Char.code (Bytes.get data (off + !i + 1));
+    i := !i + 2
+  done;
+  if len land 1 = 1 then
+    sum := !sum + (Char.code (Bytes.get data (off + len - 1)) lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let of_view v = finish (fold_words 0 v)
+
+let of_views vs = finish (List.fold_left fold_words 0 vs)
+
+(* One's-complement addition of two 16-bit partial sums, used for the
+   pseudo-header checksums of UDP and TCP. *)
+let add16 a b =
+  let s = a + b in
+  (s land 0xffff) + (s lsr 16)
+
+let valid v = of_view v = 0
+
+(* RFC 1624 incremental update: recompute a checksum after a 16-bit field
+   changed from [old_w] to [new_w].  Used by the in-kernel forwarder when it
+   rewrites addresses/ports without touching the rest of the packet. *)
+let update ~cksum ~old_w ~new_w =
+  let hc' = add16 (add16 (lnot cksum land 0xffff) (lnot old_w land 0xffff)) new_w in
+  lnot ((hc' land 0xffff) + (hc' lsr 16)) land 0xffff

@@ -1,0 +1,26 @@
+(** Internet checksum (RFC 1071) with incremental update (RFC 1624). *)
+
+val of_view : _ View.t -> int
+(** Checksum of a byte window, as a 16-bit value. *)
+
+val of_views : _ View.t list -> int
+(** Checksum of the concatenation of several windows (e.g. pseudo-header
+    followed by payload) without materializing the concatenation.
+    Note: each window is treated as word-aligned at its start, so interior
+    windows should have even length (true for all protocol uses here). *)
+
+val valid : _ View.t -> bool
+(** True iff the window (which includes its checksum field) sums to zero. *)
+
+val add16 : int -> int -> int
+(** One's-complement 16-bit addition of partial sums. *)
+
+val update : cksum:int -> old_w:int -> new_w:int -> int
+(** Incrementally adjust [cksum] after a 16-bit word changed from [old_w]
+    to [new_w], per RFC 1624. *)
+
+val finish : int -> int
+(** Fold a running sum and complement it into a final 16-bit checksum. *)
+
+val fold_words : int -> _ View.t -> int
+(** Accumulate a window into a running (unfolded) sum. *)

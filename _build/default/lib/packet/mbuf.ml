@@ -1,0 +1,173 @@
+(* Berkeley-style packet buffers (mbufs), the packet representation Plexus
+   uses to move data through the protocol graph (paper section 3.4).
+
+   An mbuf is a chain of segments; each segment is a window onto a byte
+   buffer with headroom in front so that protocol layers can prepend
+   headers without copying.  The ['perm] phantom type parameter mirrors the
+   paper's READONLY discipline: handlers receive [ro] mbufs and the type
+   checker rejects writes through them; a writable copy must be made
+   explicitly with [copy_rw] (Figure 4's explicit copy-on-write). *)
+
+type seg = { buf : Bytes.t; mutable off : int; mutable len : int }
+
+type raw = { mutable segs : seg list; mutable total : int }
+
+type ro = [ `Ro ]
+type rw = [ `Rw ]
+type 'perm t = raw
+
+let default_headroom = 64
+
+(* Allocation accounting, standing in for the kernel mbuf pool that the
+   SPIN "packet buffer" protection domain exposes to most extensions. *)
+let allocated = ref 0
+let live = ref 0
+
+let stats () = (!allocated, !live)
+let reset_stats () = allocated := 0; live := 0
+
+let alloc ?(headroom = default_headroom) len : rw t =
+  if len < 0 || headroom < 0 then invalid_arg "Mbuf.alloc";
+  incr allocated;
+  incr live;
+  let seg = { buf = Bytes.make (headroom + len) '\000'; off = headroom; len } in
+  { segs = [ seg ]; total = len }
+
+let free (_ : _ t) = decr live
+
+let length t = t.total
+let num_segs t = List.length t.segs
+let is_empty t = t.total = 0
+
+let of_string s : rw t =
+  let m = alloc (String.length s) in
+  (match m.segs with
+  | [ seg ] -> Bytes.blit_string s 0 seg.buf seg.off (String.length s)
+  | _ -> assert false);
+  m
+
+let seg_view seg = View.of_bytes ~off:seg.off ~len:seg.len seg.buf
+
+let views (t : 'p t) : 'p View.t list =
+  List.map (fun seg -> View.unsafe_cast (seg_view seg)) t.segs
+
+let ro (t : _ t) : ro t = t
+
+let to_string t =
+  let b = Buffer.create t.total in
+  List.iter (fun seg -> Buffer.add_subbytes b seg.buf seg.off seg.len) t.segs;
+  Buffer.contents b
+
+let copy_rw (t : _ t) : rw t = of_string (to_string t)
+
+(* Make at least [n] bytes contiguous at the head of the chain, copying
+   (like BSD m_pullup) only when the first segment is too short. *)
+let pullup (t : _ t) n =
+  if n > t.total then invalid_arg "Mbuf.pullup: chain too short";
+  match t.segs with
+  | first :: _ when first.len >= n -> ()
+  | _ ->
+      let flat = to_string t in
+      let seg =
+        {
+          buf = Bytes.make (default_headroom + String.length flat) '\000';
+          off = default_headroom;
+          len = String.length flat;
+        }
+      in
+      Bytes.blit_string flat 0 seg.buf seg.off (String.length flat);
+      t.segs <- [ seg ]
+
+let view (t : 'p t) : 'p View.t =
+  match t.segs with
+  | [] -> View.unsafe_cast (View.create 0)
+  | [ seg ] -> View.unsafe_cast (seg_view seg)
+  | _ :: _ ->
+      (* Multi-segment chains are flattened on demand; protocol code calls
+         [pullup] first to control when this copy happens. *)
+      pullup t t.total;
+      (match t.segs with
+      | [ s ] -> View.unsafe_cast (seg_view s)
+      | _ -> assert false)
+
+let prepend (t : rw t) n : View.rw View.t =
+  if n < 0 then invalid_arg "Mbuf.prepend";
+  (match t.segs with
+  | first :: _ when first.off >= n ->
+      first.off <- first.off - n;
+      first.len <- first.len + n
+  | segs ->
+      let seg = { buf = Bytes.make (default_headroom + n) '\000'; off = default_headroom; len = n } in
+      incr allocated;
+      t.segs <- seg :: segs);
+  t.total <- t.total + n;
+  match t.segs with
+  | first :: _ -> View.of_bytes ~off:first.off ~len:n first.buf
+  | [] -> assert false
+
+let extend_back (t : rw t) n : View.rw View.t =
+  if n < 0 then invalid_arg "Mbuf.extend_back";
+  let rec last = function [ x ] -> Some x | _ :: tl -> last tl | [] -> None in
+  (match last t.segs with
+  | Some seg when seg.off + seg.len + n <= Bytes.length seg.buf ->
+      seg.len <- seg.len + n
+  | _ ->
+      let seg = { buf = Bytes.make n '\000'; off = 0; len = n } in
+      incr allocated;
+      t.segs <- t.segs @ [ seg ]);
+  t.total <- t.total + n;
+  match last t.segs with
+  | Some seg -> View.of_bytes ~off:(seg.off + seg.len - n) ~len:n seg.buf
+  | None -> assert false
+
+let trim_front (t : rw t) n =
+  if n < 0 || n > t.total then invalid_arg "Mbuf.trim_front";
+  let rec go n segs =
+    if n = 0 then segs
+    else
+      match segs with
+      | [] -> assert false
+      | seg :: tl ->
+          if seg.len <= n then go (n - seg.len) tl
+          else begin
+            seg.off <- seg.off + n;
+            seg.len <- seg.len - n;
+            segs
+          end
+  in
+  t.segs <- go n t.segs;
+  t.total <- t.total - n
+
+let trim_back (t : rw t) n =
+  if n < 0 || n > t.total then invalid_arg "Mbuf.trim_back";
+  let target = t.total - n in
+  let rec go kept segs =
+    match segs with
+    | [] -> []
+    | seg :: tl ->
+        if kept >= target then []
+        else if kept + seg.len <= target then seg :: go (kept + seg.len) tl
+        else begin
+          seg.len <- target - kept;
+          [ seg ]
+        end
+  in
+  t.segs <- go 0 t.segs;
+  t.total <- target
+
+let concat (a : rw t) (b : rw t) =
+  a.segs <- a.segs @ b.segs;
+  a.total <- a.total + b.total;
+  b.segs <- [];
+  b.total <- 0
+
+let sub_copy (t : _ t) ~off ~len : rw t =
+  if off < 0 || len < 0 || off + len > t.total then invalid_arg "Mbuf.sub_copy";
+  let s = to_string t in
+  of_string (String.sub s off len)
+
+let equal a b = to_string a = to_string b
+
+let pp ppf t =
+  Fmt.pf ppf "mbuf(len=%d segs=%d %a)" t.total (num_segs t)
+    View.pp (View.of_string (to_string t))

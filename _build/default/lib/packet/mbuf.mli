@@ -1,0 +1,79 @@
+(** Packet buffers (mbufs) with read-only views.
+
+    Plexus passes packets through the protocol graph as mbufs (paper,
+    section 3.4, footnote 1) and relies on the language's [READONLY]
+    qualifier to prevent handlers from modifying shared packets.  Here the
+    same guarantee comes from the ['perm] phantom parameter: a handler
+    holding an [ro t] cannot call any mutating operation — the program does
+    not type-check, exactly like [BadPacketRecv] in the paper's Figure 4.
+
+    An mbuf is a chain of segments with headroom, so pushing a header with
+    {!prepend} is O(1) and copy-free on the common path. *)
+
+type ro = [ `Ro ]
+type rw = [ `Rw ]
+
+type 'perm t
+(** A packet buffer with access permission ['perm]. *)
+
+val alloc : ?headroom:int -> int -> rw t
+(** [alloc n] is a zero-filled packet of [n] bytes with header headroom
+    (default 64 bytes). *)
+
+val of_string : string -> rw t
+
+val free : _ t -> unit
+(** Return the buffer to the pool (accounting only). *)
+
+val stats : unit -> int * int
+(** [(total_allocations, live)] since the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+
+val length : _ t -> int
+val num_segs : _ t -> int
+val is_empty : _ t -> bool
+
+val ro : _ t -> ro t
+(** Forget write permission (zero-cost, shares the bytes).  This is what a
+    protocol layer does before raising a [PacketRecv] event. *)
+
+val copy_rw : _ t -> rw t
+(** Deep copy with write permission — the explicit copy-on-write of the
+    paper's [GoodPacketRecv]. *)
+
+val view : 'p t -> 'p View.t
+(** A view of the packet's bytes.  If the chain has several segments they
+    are first made contiguous (copying); call {!pullup} to bound how much
+    must be contiguous instead. *)
+
+val views : 'p t -> 'p View.t list
+(** Per-segment views, zero-copy (for checksumming chains). *)
+
+val pullup : _ t -> int -> unit
+(** [pullup t n] ensures the first segment holds at least [n] contiguous
+    bytes, copying only if needed (BSD [m_pullup]). *)
+
+val prepend : rw t -> int -> View.rw View.t
+(** [prepend t n] grows the packet by [n] bytes at the front — O(1) when
+    headroom suffices — and returns a writable view of the new header
+    region. *)
+
+val extend_back : rw t -> int -> View.rw View.t
+(** Grow the packet at the tail, returning a view of the new region. *)
+
+val trim_front : rw t -> int -> unit
+(** Drop [n] bytes from the front (e.g. stepping past a header on input). *)
+
+val trim_back : rw t -> int -> unit
+
+val concat : rw t -> rw t -> unit
+(** [concat a b] moves all of [b]'s data to the end of [a]; [b] becomes
+    empty. *)
+
+val sub_copy : _ t -> off:int -> len:int -> rw t
+(** Copy of a byte range as a fresh packet. *)
+
+val to_string : _ t -> string
+val equal : _ t -> _ t -> bool
+val pp : Format.formatter -> _ t -> unit

@@ -1,0 +1,56 @@
+(* Bounded packet-buffer pools.
+
+   SPIN exposes "the interface for allocating packet buffers" to most
+   extensions; a real kernel bounds that resource.  A pool enforces a
+   buffer budget: allocation fails (and is counted) when the budget is
+   exhausted, which is how receive paths shed load when a consumer falls
+   behind rather than growing without bound. *)
+
+type t = {
+  name : string;
+  capacity : int;
+  mutable live : int;
+  mutable allocations : int;
+  mutable failures : int;
+  mutable peak : int;
+}
+
+let create ?(name = "pool") ~capacity () =
+  if capacity <= 0 then invalid_arg "Pool.create: capacity must be positive";
+  { name; capacity; live = 0; allocations = 0; failures = 0; peak = 0 }
+
+let name t = t.name
+let capacity t = t.capacity
+let live t = t.live
+let allocations t = t.allocations
+let failures t = t.failures
+let peak t = t.peak
+
+let alloc t ?headroom len =
+  if t.live >= t.capacity then begin
+    t.failures <- t.failures + 1;
+    None
+  end
+  else begin
+    t.live <- t.live + 1;
+    t.allocations <- t.allocations + 1;
+    if t.live > t.peak then t.peak <- t.live;
+    Some (Mbuf.alloc ?headroom len)
+  end
+
+let alloc_string t s =
+  match alloc t (String.length s) with
+  | None -> None
+  | Some m ->
+      View.set_string (Mbuf.view m) ~off:0 s;
+      Some m
+
+(* Buffers are plain mbufs; freeing is an accounting act, as in the
+   simulator's global pool. *)
+let free t (m : _ Mbuf.t) =
+  Mbuf.free m;
+  if t.live > 0 then t.live <- t.live - 1
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d/%d live (peak %d, %d allocs, %d failures)" t.name t.live
+    t.capacity t.peak t.allocations t.failures

@@ -1,0 +1,29 @@
+(** Bounded packet-buffer pools (the kernel's mbuf budget).
+
+    Allocation fails — and is counted — when the pool is exhausted;
+    receive paths use this to shed load instead of growing without
+    bound. *)
+
+type t
+
+val create : ?name:string -> capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val alloc : t -> ?headroom:int -> int -> Mbuf.rw Mbuf.t option
+(** [None] when the pool is exhausted (counted as a failure). *)
+
+val alloc_string : t -> string -> Mbuf.rw Mbuf.t option
+
+val free : t -> _ Mbuf.t -> unit
+(** Return a buffer to the pool (accounting). *)
+
+val name : t -> string
+val capacity : t -> int
+val live : t -> int
+val allocations : t -> int
+val failures : t -> int
+
+val peak : t -> int
+(** High-water mark of live buffers. *)
+
+val pp : Format.formatter -> t -> unit

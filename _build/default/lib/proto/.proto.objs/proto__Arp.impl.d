@@ -1,0 +1,1 @@
+lib/proto/arp.ml: Ether Fmt Hashtbl Ipaddr List Mbuf Option Sim View

@@ -1,0 +1,1 @@
+lib/proto/arp.mli: Ether Format Ipaddr Mbuf Sim View

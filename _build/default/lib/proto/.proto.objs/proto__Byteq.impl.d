@@ -1,0 +1,1 @@
+lib/proto/byteq.ml: Bytes Queue String

@@ -1,0 +1,1 @@
+lib/proto/ether.ml: Fmt Mbuf Printf View

@@ -1,0 +1,1 @@
+lib/proto/ether.mli: Format Mbuf View

@@ -1,0 +1,1 @@
+lib/proto/http.ml: List Printf Str_find String

@@ -1,0 +1,1 @@
+lib/proto/icmp.ml: Cksum Fmt Mbuf String View

@@ -1,0 +1,1 @@
+lib/proto/icmp.mli: Format Mbuf View

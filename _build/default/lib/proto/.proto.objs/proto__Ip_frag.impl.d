@@ -1,0 +1,1 @@
+lib/proto/ip_frag.ml: Bytes Hashtbl Ipaddr Ipv4 List Sim String

@@ -1,0 +1,1 @@
+lib/proto/ip_frag.mli: Ipv4 Sim

@@ -1,0 +1,1 @@
+lib/proto/ipaddr.ml: Fmt Printf String

@@ -1,0 +1,1 @@
+lib/proto/ipaddr.mli: Format

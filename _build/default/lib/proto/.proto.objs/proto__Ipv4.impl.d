@@ -1,0 +1,1 @@
+lib/proto/ipv4.ml: Cksum Fmt Ipaddr Mbuf Printf View

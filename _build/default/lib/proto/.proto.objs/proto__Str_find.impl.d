@@ -1,0 +1,1 @@
+lib/proto/str_find.ml: String

@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Byteq Fmt Hashtbl Ipaddr Mbuf Sim String Tcp_wire View

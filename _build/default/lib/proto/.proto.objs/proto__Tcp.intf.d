@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Format Ipaddr Mbuf Sim Tcp_wire View

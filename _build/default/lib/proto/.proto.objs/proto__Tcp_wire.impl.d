@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.ml: Cksum Fmt Ipv4 List Mbuf String View

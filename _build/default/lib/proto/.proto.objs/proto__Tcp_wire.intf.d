@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.mli: Format Ipaddr Mbuf View

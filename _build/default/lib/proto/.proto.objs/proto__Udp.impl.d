@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Cksum Fmt Ipv4 Mbuf View

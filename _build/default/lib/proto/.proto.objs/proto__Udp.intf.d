@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Format Ipaddr Mbuf View

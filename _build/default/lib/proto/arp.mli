@@ -1,0 +1,37 @@
+(** ARP (IPv4 over Ethernet) codec and resolution cache. *)
+
+val packet_len : int
+val op_request : int
+val op_reply : int
+
+type message = {
+  op : int;
+  sender_mac : Ether.Mac.t;
+  sender_ip : Ipaddr.t;
+  target_mac : Ether.Mac.t;
+  target_ip : Ipaddr.t;
+}
+
+val parse : _ View.t -> message option
+val to_packet : message -> Mbuf.rw Mbuf.t
+
+val request :
+  sender_mac:Ether.Mac.t -> sender_ip:Ipaddr.t -> target_ip:Ipaddr.t -> message
+
+val reply_to : message -> mac:Ether.Mac.t -> message
+(** The reply a host owning [message.target_ip] (with [mac]) sends. *)
+
+module Cache : sig
+  type t
+
+  val create : ?ttl:Sim.Stime.t -> unit -> t
+  val lookup : t -> now:Sim.Stime.t -> Ipaddr.t -> Ether.Mac.t option
+  val insert : t -> now:Sim.Stime.t -> Ipaddr.t -> Ether.Mac.t -> unit
+
+  val wait : t -> Ipaddr.t -> (Ether.Mac.t -> unit) -> unit
+  (** Queue a continuation until the address resolves. *)
+
+  val size : t -> int
+end
+
+val pp_message : Format.formatter -> message -> unit

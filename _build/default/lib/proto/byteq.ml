@@ -1,0 +1,71 @@
+(* A FIFO of bytes supporting random-access reads near the head, used as
+   the TCP send buffer: unacknowledged data is read (for transmission and
+   retransmission) without copying the whole buffer, and acknowledged data
+   is dropped from the front in O(chunks). *)
+
+type t = {
+  chunks : string Queue.t;
+  mutable head_off : int; (* bytes of the first chunk already dropped *)
+  mutable len : int;
+}
+
+let create () = { chunks = Queue.create (); head_off = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t s =
+  if String.length s > 0 then begin
+    Queue.push s t.chunks;
+    t.len <- t.len + String.length s
+  end
+
+(* Read [len] bytes starting [off] bytes after the head, without
+   consuming. *)
+let peek_sub t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Byteq.peek_sub";
+  let buf = Bytes.create len in
+  let copied = ref 0 in
+  let skip = ref (t.head_off + off) in
+  (try
+     Queue.iter
+       (fun chunk ->
+         if !copied < len then begin
+           let clen = String.length chunk in
+           if !skip >= clen then skip := !skip - clen
+           else begin
+             let n = min (clen - !skip) (len - !copied) in
+             Bytes.blit_string chunk !skip buf !copied n;
+             copied := !copied + n;
+             skip := 0
+           end
+         end
+         else raise Exit)
+       t.chunks
+   with Exit -> ());
+  Bytes.to_string buf
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Byteq.drop";
+  let remaining = ref n in
+  while !remaining > 0 do
+    let chunk = Queue.peek t.chunks in
+    let avail = String.length chunk - t.head_off in
+    if avail <= !remaining then begin
+      ignore (Queue.pop t.chunks);
+      t.head_off <- 0;
+      remaining := !remaining - avail
+    end
+    else begin
+      t.head_off <- t.head_off + !remaining;
+      remaining := 0
+    end
+  done;
+  t.len <- t.len - n
+
+let clear t =
+  Queue.clear t.chunks;
+  t.head_off <- 0;
+  t.len <- 0
+
+let to_string t = peek_sub t ~off:0 ~len:t.len

@@ -1,0 +1,19 @@
+(** Byte FIFO with random-access reads (TCP send buffer). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> string -> unit
+(** Append bytes at the tail. *)
+
+val peek_sub : t -> off:int -> len:int -> string
+(** Read without consuming.  @raise Invalid_argument beyond the tail. *)
+
+val drop : t -> int -> unit
+(** Discard bytes from the head. *)
+
+val clear : t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+(* Ethernet framing.  MAC addresses are 48-bit values in a native int. *)
+
+module Mac = struct
+  type t = int
+
+  let broadcast = 0xffffffffffff
+  let of_int i = i land 0xffffffffffff
+  let to_int t = t
+  let equal : t -> t -> bool = ( = )
+
+  let to_string t =
+    Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((t lsr 40) land 0xff)
+      ((t lsr 32) land 0xff) ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+      ((t lsr 8) land 0xff) (t land 0xff)
+
+  let pp ppf t = Fmt.string ppf (to_string t)
+end
+
+(* EtherType values.  [etype_active_message] is the private type used by
+   the paper's active-message extension to demultiplex at the Ethernet
+   layer (Figure 2). *)
+let etype_ip = 0x0800
+let etype_arp = 0x0806
+let etype_active_message = 0x88b5 (* IEEE local experimental *)
+
+let header_len = 14
+let min_frame = 60 (* before the 4-byte FCS *)
+let crc_len = 4
+
+type header = { dst : Mac.t; src : Mac.t; etype : int }
+
+let get_u48 v i = (View.get_u16 v i lsl 32) lor View.get_u32 v (i + 2)
+
+let set_u48 v i x =
+  View.set_u16 v i ((x lsr 32) land 0xffff);
+  View.set_u32 v (i + 2) (x land 0xffffffff)
+
+let parse v =
+  if View.length v < header_len then None
+  else
+    Some { dst = get_u48 v 0; src = get_u48 v 6; etype = View.get_u16 v 12 }
+
+let write v { dst; src; etype } =
+  set_u48 v 0 dst;
+  set_u48 v 6 src;
+  View.set_u16 v 12 etype
+
+(* Push an Ethernet header onto a packet. *)
+let encapsulate pkt hdr =
+  let v = Mbuf.prepend pkt header_len in
+  write v hdr
+
+let pp_header ppf h =
+  Fmt.pf ppf "eth{%a -> %a type=0x%04x}" Mac.pp h.src Mac.pp h.dst h.etype

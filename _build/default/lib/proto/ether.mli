@@ -1,0 +1,44 @@
+(** Ethernet framing. *)
+
+module Mac : sig
+  type t = private int
+
+  val broadcast : t
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+val etype_ip : int
+val etype_arp : int
+
+val etype_active_message : int
+(** The EtherType the active-message extension demultiplexes on, as in the
+    paper's Figure 2 guard. *)
+
+val header_len : int
+
+val min_frame : int
+(** Minimum frame length (60 bytes before the FCS); short frames are
+    padded on the wire. *)
+
+val crc_len : int
+
+type header = { dst : Mac.t; src : Mac.t; etype : int }
+
+val parse : _ View.t -> header option
+(** Decode the header at the start of the view; [None] if too short. *)
+
+val write : View.rw View.t -> header -> unit
+
+val encapsulate : Mbuf.rw Mbuf.t -> header -> unit
+(** Prepend an Ethernet header to a packet. *)
+
+val pp_header : Format.formatter -> header -> unit
+
+val get_u48 : _ View.t -> int -> int
+(** Read a 48-bit big-endian field (MAC addresses, also used by ARP). *)
+
+val set_u48 : View.rw View.t -> int -> int -> unit

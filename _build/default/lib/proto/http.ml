@@ -1,0 +1,88 @@
+(* A minimal HTTP/1.0 codec — enough for the paper's closing demo (an
+   HTTP server running as a Plexus extension). *)
+
+type request = { meth : string; path : string; headers : (string * string) list }
+
+type response = {
+  status : int;
+  reason : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let crlf = "\r\n"
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          let k = String.sub line 0 i in
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          Some (String.lowercase_ascii k, v))
+    lines
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         if String.length l > 0 && l.[String.length l - 1] = '\r' then
+           String.sub l 0 (String.length l - 1)
+         else l)
+
+let parse_request s =
+  match split_lines s with
+  | req :: rest -> (
+      match String.split_on_char ' ' req with
+      | [ meth; path; _version ] ->
+          Some { meth; path; headers = parse_headers rest }
+      | _ -> None)
+  | [] -> None
+
+let request_to_string r =
+  Printf.sprintf "%s %s HTTP/1.0%s%s%s" r.meth r.path crlf
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s%s" k v crlf) r.headers))
+    crlf
+
+let response_to_string r =
+  let headers =
+    ("content-length", string_of_int (String.length r.body)) :: r.headers
+  in
+  Printf.sprintf "HTTP/1.0 %d %s%s%s%s%s" r.status r.reason crlf
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s%s" k v crlf) headers))
+    crlf r.body
+
+let parse_response s =
+  match String.index_opt s '\r' with
+  | None -> None
+  | Some _ -> (
+      match split_lines s with
+      | status_line :: rest -> (
+          match String.split_on_char ' ' status_line with
+          | _version :: code :: reason -> (
+              try
+                let body_start =
+                  match Str_find.find_sub s "\r\n\r\n" with
+                  | Some i -> i + 4
+                  | None -> String.length s
+                in
+                Some
+                  {
+                    status = int_of_string code;
+                    reason = String.concat " " reason;
+                    headers =
+                      parse_headers
+                        (List.filter (fun l -> l <> "") rest
+                        |> List.filter (fun l -> String.contains l ':'));
+                    body = String.sub s body_start (String.length s - body_start);
+                  }
+              with _ -> None)
+          | _ -> None)
+      | [] -> None)
+
+let ok ?(headers = []) body = { status = 200; reason = "OK"; headers; body }
+
+let not_found =
+  { status = 404; reason = "Not Found"; headers = []; body = "not found\n" }

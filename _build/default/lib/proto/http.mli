@@ -1,0 +1,18 @@
+(** Minimal HTTP/1.0 codec (the paper's closing demo is an HTTP server
+    running as a Plexus extension). *)
+
+type request = { meth : string; path : string; headers : (string * string) list }
+
+type response = {
+  status : int;
+  reason : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+val parse_request : string -> request option
+val request_to_string : request -> string
+val parse_response : string -> response option
+val response_to_string : response -> string
+val ok : ?headers:(string * string) list -> string -> response
+val not_found : response

@@ -1,0 +1,75 @@
+(* ICMP, restricted to echo request/reply — what the paper's stack
+   (Figure 1) carries and what ping-style diagnostics need. *)
+
+let header_len = 8
+
+let type_echo_reply = 0
+let type_dest_unreachable = 3
+let type_time_exceeded = 11
+let type_echo_request = 8
+
+let code_port_unreachable = 3
+
+type message = {
+  mtype : int;
+  code : int;
+  ident : int;
+  seq : int;
+  payload : string;
+}
+
+let parse v =
+  if View.length v < header_len then None
+  else
+    Some
+      {
+        mtype = View.get_u8 v 0;
+        code = View.get_u8 v 1;
+        ident = View.get_u16 v 4;
+        seq = View.get_u16 v 6;
+        payload = View.get_string v ~off:header_len ~len:(View.length v - header_len);
+      }
+
+let to_packet m =
+  let pkt = Mbuf.alloc (header_len + String.length m.payload) in
+  let v = Mbuf.view pkt in
+  View.set_u8 v 0 m.mtype;
+  View.set_u8 v 1 m.code;
+  View.set_u16 v 2 0;
+  View.set_u16 v 4 m.ident;
+  View.set_u16 v 6 m.seq;
+  View.set_string v ~off:header_len m.payload;
+  let c = Cksum.of_view (View.ro v) in
+  View.set_u16 v 2 c;
+  pkt
+
+let valid v = View.length v >= header_len && Cksum.valid v
+
+let echo_request ~ident ~seq payload =
+  { mtype = type_echo_request; code = 0; ident; seq; payload }
+
+let echo_reply_of m = { m with mtype = type_echo_reply }
+
+(* RFC 792: a destination-unreachable carries the offending datagram's
+   header + first 8 payload bytes; the ident/seq word is unused. *)
+let time_exceeded ~original =
+  {
+    mtype = type_time_exceeded;
+    code = 0;
+    ident = 0;
+    seq = 0;
+    payload = String.sub original 0 (min (String.length original) 28);
+  }
+
+let port_unreachable ~original =
+  {
+    mtype = type_dest_unreachable;
+    code = code_port_unreachable;
+    ident = 0;
+    seq = 0;
+    payload = String.sub original 0 (min (String.length original) 28);
+  }
+
+let pp_message ppf m =
+  Fmt.pf ppf "icmp{type=%d id=%d seq=%d len=%d}" m.mtype m.ident m.seq
+    (String.length m.payload)

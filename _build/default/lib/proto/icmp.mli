@@ -1,0 +1,33 @@
+(** ICMP echo request/reply. *)
+
+val header_len : int
+val type_echo_reply : int
+val type_dest_unreachable : int
+val type_time_exceeded : int
+val type_echo_request : int
+val code_port_unreachable : int
+
+type message = {
+  mtype : int;
+  code : int;
+  ident : int;
+  seq : int;
+  payload : string;
+}
+
+val parse : _ View.t -> message option
+val to_packet : message -> Mbuf.rw Mbuf.t
+(** Encode with checksum. *)
+
+val valid : _ View.t -> bool
+val echo_request : ident:int -> seq:int -> string -> message
+val echo_reply_of : message -> message
+
+val time_exceeded : original:string -> message
+(** An ICMP time-exceeded quoting (a prefix of) the expired datagram. *)
+
+val port_unreachable : original:string -> message
+(** An ICMP port-unreachable quoting (a prefix of) the offending
+    datagram. *)
+
+val pp_message : Format.formatter -> message -> unit

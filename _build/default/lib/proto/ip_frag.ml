@@ -1,0 +1,98 @@
+(* IP fragmentation and reassembly.  The video experiment (Figure 6)
+   sends 12.5 KB UDP frames, which must be fragmented to the device MTU;
+   the receive side reassembles before the UDP layer sees the datagram. *)
+
+(* Split a datagram payload into (offset-in-8-byte-units, more, bytes)
+   fragments that each fit in [mtu] together with the IP header. *)
+let fragment ~mtu payload =
+  if mtu <= Ipv4.header_len + 8 then invalid_arg "Ip_frag.fragment: mtu too small";
+  let max_data = (mtu - Ipv4.header_len) / 8 * 8 in
+  let len = String.length payload in
+  if len <= max_data then [ (0, false, payload) ]
+  else begin
+    let rec go off acc =
+      if off >= len then List.rev acc
+      else begin
+        let n = min max_data (len - off) in
+        let more = off + n < len in
+        go (off + n) ((off / 8, more, String.sub payload off n) :: acc)
+      end
+    in
+    go 0 []
+  end
+
+(* Reassembly contexts are keyed by (src, dst, proto, id). *)
+type key = { src : Ipaddr.t; dst : Ipaddr.t; proto : int; id : int }
+
+type ctx = {
+  mutable chunks : (int * string) list; (* byte offset, data *)
+  mutable total : int option;           (* known once the last fragment arrives *)
+  mutable received : int;
+  deadline : Sim.Stime.t;
+}
+
+type t = {
+  pending : (key, ctx) Hashtbl.t;
+  timeout : Sim.Stime.t;
+  mutable timeouts : int;
+  mutable reassembled : int;
+}
+
+let create ?(timeout = Sim.Stime.s 30) () =
+  { pending = Hashtbl.create 16; timeout; timeouts = 0; reassembled = 0 }
+
+let pending_count t = Hashtbl.length t.pending
+let reassembled_count t = t.reassembled
+let timeout_count t = t.timeouts
+
+let expire t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun k ctx acc -> if Sim.Stime.compare now ctx.deadline > 0 then k :: acc else acc)
+      t.pending []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.pending k;
+      t.timeouts <- t.timeouts + 1)
+    stale
+
+(* Feed one fragment; returns the reassembled payload when complete. *)
+let input t ~now (h : Ipv4.header) payload =
+  if (not h.more_fragments) && h.frag_offset = 0 then Some payload
+  else begin
+    expire t ~now;
+    let key = { src = h.src; dst = h.dst; proto = h.proto; id = h.id } in
+    let ctx =
+      match Hashtbl.find_opt t.pending key with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              chunks = [];
+              total = None;
+              received = 0;
+              deadline = Sim.Stime.add now t.timeout;
+            }
+          in
+          Hashtbl.replace t.pending key c;
+          c
+    in
+    let off = h.frag_offset * 8 in
+    if not (List.mem_assoc off ctx.chunks) then begin
+      ctx.chunks <- (off, payload) :: ctx.chunks;
+      ctx.received <- ctx.received + String.length payload
+    end;
+    if not h.more_fragments then ctx.total <- Some (off + String.length payload);
+    match ctx.total with
+    | Some total when ctx.received >= total ->
+        Hashtbl.remove t.pending key;
+        let buf = Bytes.make total '\000' in
+        List.iter
+          (fun (o, data) ->
+            Bytes.blit_string data 0 buf o (String.length data))
+          ctx.chunks;
+        t.reassembled <- t.reassembled + 1;
+        Some (Bytes.to_string buf)
+    | _ -> None
+  end

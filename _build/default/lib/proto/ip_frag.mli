@@ -1,0 +1,20 @@
+(** IP fragmentation and reassembly. *)
+
+val fragment : mtu:int -> string -> (int * bool * string) list
+(** [fragment ~mtu payload] is a list of
+    [(frag_offset_in_8B_units, more_fragments, data)] covering [payload],
+    each fitting in [mtu] with an IP header.
+    @raise Invalid_argument if the MTU cannot carry 8 payload bytes. *)
+
+type t
+(** Reassembly state, keyed by (src, dst, proto, id). *)
+
+val create : ?timeout:Sim.Stime.t -> unit -> t
+
+val input : t -> now:Sim.Stime.t -> Ipv4.header -> string -> string option
+(** Feed a fragment (or whole datagram); [Some payload] when a datagram
+    completes.  Stale contexts are expired lazily against [now]. *)
+
+val pending_count : t -> int
+val reassembled_count : t -> int
+val timeout_count : t -> int

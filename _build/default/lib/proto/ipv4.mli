@@ -1,0 +1,43 @@
+(** IPv4 header codec and helpers. *)
+
+val header_len : int
+val default_ttl : int
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+type header = {
+  tos : int;
+  total_len : int;
+  id : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** in 8-byte units *)
+  ttl : int;
+  proto : int;
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+}
+
+val make :
+  ?tos:int -> ?id:int -> ?dont_fragment:bool -> ?more_fragments:bool ->
+  ?frag_offset:int -> ?ttl:int -> proto:int -> src:Ipaddr.t -> dst:Ipaddr.t ->
+  payload_len:int -> unit -> header
+
+val parse : _ View.t -> header option
+(** Decode (and structurally validate) the header at the start of the
+    view.  Does not verify the checksum; see {!checksum_valid}. *)
+
+val write : View.rw View.t -> header -> unit
+(** Encode the header, computing its checksum. *)
+
+val checksum_valid : _ View.t -> bool
+
+val encapsulate : Mbuf.rw Mbuf.t -> header -> unit
+(** Prepend an IP header to a payload packet. *)
+
+val pseudo_header :
+  src:Ipaddr.t -> dst:Ipaddr.t -> proto:int -> len:int -> View.ro View.t
+(** The UDP/TCP checksum pseudo-header. *)
+
+val pp_header : Format.formatter -> header -> unit

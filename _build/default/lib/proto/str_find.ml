@@ -1,0 +1,13 @@
+(* Substring search (naive; inputs are small protocol messages). *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then Some 0
+  else begin
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  end

@@ -1,0 +1,4 @@
+(** Substring search helper. *)
+
+val find_sub : string -> string -> int option
+(** [find_sub s sub] is the index of the first occurrence of [sub]. *)

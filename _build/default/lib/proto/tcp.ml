@@ -1,0 +1,620 @@
+(* A TCP engine: connection establishment, sliding-window data transfer
+   with slow start / congestion avoidance, retransmission (timeout and
+   fast retransmit), and orderly close.
+
+   The engine is deliberately environment-agnostic: it reaches the world
+   only through an [env] record (clock, timers, segment output, delivery
+   callbacks).  The paper stresses that Plexus and DIGITAL UNIX ran "the
+   same TCP/IP implementation" so the measured differences are purely OS
+   structure; we preserve that methodology by running this one engine
+   under both execution models. *)
+
+module Seq = Tcp_wire.Seq
+module Flags = Tcp_wire.Flags
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type config = {
+  mss : int;
+  window : int;            (* receive window we advertise *)
+  rto_initial : Sim.Stime.t;
+  rto_max : Sim.Stime.t;
+  msl : Sim.Stime.t;
+  max_retransmits : int;
+  delack : Sim.Stime.t;    (* delayed-ACK timer *)
+  delack_segments : int;   (* ack at least every N in-order segments *)
+  rto_min : Sim.Stime.t;   (* floor for the adaptive RTO *)
+  nagle : bool;            (* coalesce sub-MSS sends while data is in flight *)
+  initial_window_segments : int; (* initial congestion window, in MSS *)
+}
+
+let default_config ?(mss = 1460) ?(window = 65535) ?(nagle = false)
+    ?(initial_window_segments = 2) () =
+  {
+    mss;
+    window;
+    rto_initial = Sim.Stime.ms 200;
+    rto_max = Sim.Stime.s 60;
+    msl = Sim.Stime.s 30;
+    max_retransmits = 12;
+    delack = Sim.Stime.ms 50;
+    delack_segments = 2;
+    rto_min = Sim.Stime.ms 50;
+    nagle;
+    initial_window_segments;
+  }
+
+type env = {
+  now : unit -> Sim.Stime.t;
+  set_timer : Sim.Stime.t -> (unit -> unit) -> unit -> unit;
+      (* [set_timer delay fn] schedules [fn]; result cancels. *)
+  tx : Mbuf.rw Mbuf.t -> unit;
+      (* transmit a TCP segment (header+payload) toward the remote *)
+  on_receive : string -> unit;      (* in-order application data *)
+  on_established : unit -> unit;
+  on_peer_close : unit -> unit;     (* FIN received (EOF) *)
+  on_close : unit -> unit;          (* connection fully gone *)
+  on_error : string -> unit;
+}
+
+type counters = {
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable retransmits : int;
+  mutable fast_retransmits : int;
+  mutable dup_acks : int;
+  mutable bad_segments : int;
+}
+
+type t = {
+  env : env;
+  cfg : config;
+  local_ip : Ipaddr.t;
+  local_port : int;
+  mutable remote_ip : Ipaddr.t;
+  mutable remote_port : int;
+  mutable state : state;
+  (* send side *)
+  mutable iss : Seq.t;
+  mutable snd_una : Seq.t;
+  mutable snd_nxt : Seq.t;
+  mutable snd_wnd : int;          (* peer's advertised window *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  sndq : Byteq.t;
+  mutable qseq : Seq.t;           (* sequence number of sndq's head byte *)
+  mutable fin_pending : bool;
+  mutable fin_seq : Seq.t option; (* sequence our FIN occupies, once sent *)
+  (* receive side *)
+  mutable irs : Seq.t;
+  mutable rcv_nxt : Seq.t;
+  ooo : (int, string) Hashtbl.t;  (* out-of-order segments by seq *)
+  (* timers *)
+  mutable rto : Sim.Stime.t;
+  mutable rto_backoff : int;
+  mutable retx_count : int;
+  mutable retx_timer : (unit -> unit) option;
+  mutable msl_timer : (unit -> unit) option;
+  mutable delack_count : int;
+  mutable delack_timer : (unit -> unit) option;
+  (* Jacobson RTT estimation with Karn's algorithm: one timed segment at
+     a time, samples discarded across retransmissions. *)
+  mutable srtt_ns : float;            (* smoothed RTT; 0 until first sample *)
+  mutable rttvar_ns : float;
+  mutable timed_seg : (Seq.t * Sim.Stime.t) option;
+  mutable rtt_samples : int;
+  counters : counters;
+}
+
+let create env cfg ~local:(local_ip, local_port) =
+  {
+    env;
+    cfg;
+    local_ip;
+    local_port;
+    remote_ip = Ipaddr.any;
+    remote_port = 0;
+    state = Closed;
+    iss = Seq.of_int 0;
+    snd_una = Seq.of_int 0;
+    snd_nxt = Seq.of_int 0;
+    snd_wnd = cfg.window;
+    cwnd = max 1 cfg.initial_window_segments * cfg.mss;
+    ssthresh = 65535;
+    sndq = Byteq.create ();
+    qseq = Seq.of_int 0;
+    fin_pending = false;
+    fin_seq = None;
+    irs = Seq.of_int 0;
+    rcv_nxt = Seq.of_int 0;
+    ooo = Hashtbl.create 8;
+    rto = cfg.rto_initial;
+    rto_backoff = 1;
+    retx_count = 0;
+    retx_timer = None;
+    msl_timer = None;
+    delack_count = 0;
+    delack_timer = None;
+    srtt_ns = 0.;
+    rttvar_ns = 0.;
+    timed_seg = None;
+    rtt_samples = 0;
+    counters =
+      {
+        segs_out = 0;
+        segs_in = 0;
+        bytes_out = 0;
+        bytes_in = 0;
+        retransmits = 0;
+        fast_retransmits = 0;
+        dup_acks = 0;
+        bad_segments = 0;
+      };
+  }
+
+let state t = t.state
+let counters t = t.counters
+let local_endpoint t = (t.local_ip, t.local_port)
+let remote_endpoint t = (t.remote_ip, t.remote_port)
+let unsent_bytes t = Byteq.length t.sndq
+let in_flight t = Seq.diff t.snd_nxt t.snd_una
+let srtt t = Sim.Stime.ns (int_of_float t.srtt_ns)
+let rtt_samples t = t.rtt_samples
+
+(* Fold an RTT sample into the smoothed estimators and derive the RTO
+   (RFC 6298 constants). *)
+let record_rtt_sample t sample =
+  let s = float_of_int (Sim.Stime.to_ns sample) in
+  if t.rtt_samples = 0 then begin
+    t.srtt_ns <- s;
+    t.rttvar_ns <- s /. 2.
+  end
+  else begin
+    t.rttvar_ns <- (0.75 *. t.rttvar_ns) +. (0.25 *. abs_float (t.srtt_ns -. s));
+    t.srtt_ns <- (0.875 *. t.srtt_ns) +. (0.125 *. s)
+  end;
+  t.rtt_samples <- t.rtt_samples + 1;
+  let rto = t.srtt_ns +. (4. *. t.rttvar_ns) in
+  t.rto <-
+    Sim.Stime.max t.cfg.rto_min
+      (Sim.Stime.min t.cfg.rto_max (Sim.Stime.ns (int_of_float rto)))
+
+(* --- timers ------------------------------------------------------- *)
+
+let stop_retx_timer t =
+  match t.retx_timer with
+  | Some cancel ->
+      cancel ();
+      t.retx_timer <- None
+  | None -> ()
+
+let rec arm_retx_timer t =
+  stop_retx_timer t;
+  let delay = Sim.Stime.min t.cfg.rto_max (Sim.Stime.mul t.rto t.rto_backoff) in
+  t.retx_timer <- Some (t.env.set_timer delay (fun () -> on_retx_timeout t))
+
+(* --- segment emission ---------------------------------------------- *)
+
+and emit t ?(payload = "") ~seq ~flags () =
+  (* Any segment carrying ACK satisfies a pending delayed ACK. *)
+  if Flags.test flags Flags.ack then begin
+    t.delack_count <- 0;
+    match t.delack_timer with
+    | Some cancel ->
+        cancel ();
+        t.delack_timer <- None
+    | None -> ()
+  end;
+  let hdr =
+    {
+      Tcp_wire.src_port = t.local_port;
+      dst_port = t.remote_port;
+      seq;
+      ack = t.rcv_nxt;
+      flags;
+      window = t.cfg.window land 0xffff;
+    }
+  in
+  let pkt = Tcp_wire.to_packet ~src:t.local_ip ~dst:t.remote_ip hdr payload in
+  t.counters.segs_out <- t.counters.segs_out + 1;
+  t.counters.bytes_out <- t.counters.bytes_out + String.length payload;
+  t.env.tx pkt
+
+and send_ack t = emit t ~seq:t.snd_nxt ~flags:Flags.ack ()
+
+(* BSD-style delayed acknowledgement: ack every [delack_segments]
+   in-order segments, or when the timer fires, whichever is first. *)
+and schedule_delack t =
+  t.delack_count <- t.delack_count + 1;
+  if t.delack_count >= t.cfg.delack_segments then send_ack t
+  else if t.delack_timer = None then
+    t.delack_timer <-
+      Some
+        (t.env.set_timer t.cfg.delack (fun () ->
+             t.delack_timer <- None;
+             if t.delack_count > 0 then send_ack t))
+
+(* --- closing helpers ------------------------------------------------ *)
+
+and enter_time_wait t =
+  set_state t Time_wait;
+  stop_retx_timer t;
+  (match t.delack_timer with Some c -> c () | None -> ());
+  t.delack_timer <- None;
+  (match t.msl_timer with Some c -> c () | None -> ());
+  t.msl_timer <-
+    Some
+      (t.env.set_timer (Sim.Stime.mul t.cfg.msl 2) (fun () ->
+           set_state t Closed;
+           t.env.on_close ()))
+
+and set_state t s =
+  if t.state <> s then t.state <- s
+
+and teardown t reason =
+  stop_retx_timer t;
+  (match t.msl_timer with Some c -> c () | None -> ());
+  t.msl_timer <- None;
+  (match t.delack_timer with Some c -> c () | None -> ());
+  t.delack_timer <- None;
+  t.delack_count <- 0;
+  set_state t Closed;
+  if reason <> "" then t.env.on_error reason;
+  t.env.on_close ()
+
+(* --- transmission -------------------------------------------------- *)
+
+and try_output t =
+  match t.state with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let sent_off = Seq.diff t.snd_nxt t.qseq in
+        let avail = Byteq.length t.sndq - sent_off in
+        let flight = in_flight t in
+        let wnd = min t.snd_wnd t.cwnd in
+        let room = wnd - flight in
+        let n = min (min avail t.cfg.mss) room in
+        let nagle_holds =
+          t.cfg.nagle && n > 0 && n < t.cfg.mss && n = avail && flight > 0
+          && not t.fin_pending
+        in
+        if n > 0 && not nagle_holds then begin
+          let payload = Byteq.peek_sub t.sndq ~off:sent_off ~len:n in
+          let flags =
+            if avail = n then Flags.(ack + psh) else Flags.ack
+          in
+          if t.timed_seg = None then
+            t.timed_seg <- Some (t.snd_nxt, t.env.now ());
+          emit t ~payload ~seq:t.snd_nxt ~flags ();
+          t.snd_nxt <- Seq.add t.snd_nxt n;
+          if t.retx_timer = None then arm_retx_timer t;
+          progress := true
+        end
+        else if
+          t.fin_pending && t.fin_seq = None && avail = 0
+          && (t.state = Established || t.state = Close_wait)
+        then begin
+          (* all data is out: send FIN *)
+          emit t ~seq:t.snd_nxt ~flags:Flags.(ack + fin) ();
+          t.fin_seq <- Some t.snd_nxt;
+          t.snd_nxt <- Seq.add t.snd_nxt 1;
+          set_state t (if t.state = Established then Fin_wait_1 else Last_ack);
+          if t.retx_timer = None then arm_retx_timer t
+        end
+      done
+  | _ -> ()
+
+(* --- retransmission ------------------------------------------------- *)
+
+and retransmit_head t =
+  t.counters.retransmits <- t.counters.retransmits + 1;
+  t.timed_seg <- None;
+  if Seq.lt t.snd_una t.snd_nxt then begin
+    if t.snd_una = t.iss then
+      (* SYN outstanding *)
+      emit t ~seq:t.iss
+        ~flags:(if t.state = Syn_rcvd then Flags.(syn + ack) else Flags.syn)
+        ()
+    else
+      match t.fin_seq with
+      | Some fs when t.snd_una = fs -> emit t ~seq:fs ~flags:Flags.(ack + fin) ()
+      | _ ->
+          let off = Seq.diff t.snd_una t.qseq in
+          ignore off;
+          let avail = Byteq.length t.sndq in
+          let n = min avail t.cfg.mss in
+          let n =
+            (* do not retransmit past snd_nxt (or FIN) *)
+            min n (Seq.diff t.snd_nxt t.snd_una)
+          in
+          if n > 0 then begin
+            let payload = Byteq.peek_sub t.sndq ~off:0 ~len:n in
+            emit t ~payload ~seq:t.snd_una ~flags:Flags.ack ()
+          end
+  end
+
+and on_retx_timeout t =
+  t.retx_timer <- None;
+  if Seq.lt t.snd_una t.snd_nxt then begin
+    t.retx_count <- t.retx_count + 1;
+    if t.retx_count > t.cfg.max_retransmits then
+      teardown t "too many retransmissions"
+    else begin
+      (* multiplicative backoff; collapse the congestion window *)
+      t.ssthresh <- max (in_flight t / 2) (2 * t.cfg.mss);
+      t.cwnd <- t.cfg.mss;
+      t.rto_backoff <- min (t.rto_backoff * 2) 64;
+      retransmit_head t;
+      arm_retx_timer t
+    end
+  end
+
+(* --- API ------------------------------------------------------------ *)
+
+let listen t =
+  if t.state <> Closed then invalid_arg "Tcp.listen: not CLOSED";
+  set_state t Listen
+
+let connect t ~remote:(rip, rport) ~iss =
+  if t.state <> Closed then invalid_arg "Tcp.connect: not CLOSED";
+  t.remote_ip <- rip;
+  t.remote_port <- rport;
+  t.iss <- iss;
+  t.snd_una <- iss;
+  t.snd_nxt <- Seq.add iss 1;
+  t.qseq <- Seq.add iss 1;
+  set_state t Syn_sent;
+  emit t ~seq:iss ~flags:Flags.syn ();
+  arm_retx_timer t
+
+let send t data =
+  match t.state with
+  | Established | Close_wait | Syn_sent | Syn_rcvd ->
+      if t.fin_pending then invalid_arg "Tcp.send: closing";
+      Byteq.push t.sndq data;
+      try_output t
+  | s -> invalid_arg ("Tcp.send: bad state " ^ state_to_string s)
+
+let close t =
+  match t.state with
+  | Closed | Listen ->
+      set_state t Closed;
+      t.env.on_close ()
+  | Syn_sent -> teardown t ""
+  | Established | Close_wait | Syn_rcvd ->
+      t.fin_pending <- true;
+      try_output t
+  | _ -> ()
+
+let abort t =
+  if t.state <> Closed && t.remote_port <> 0 then
+    emit t ~seq:t.snd_nxt ~flags:Flags.rst ();
+  teardown t "connection aborted"
+
+(* --- acknowledgement processing -------------------------------------- *)
+
+let dupack_threshold = 3
+
+let process_ack t (h : Tcp_wire.header) =
+  let ack = h.ack in
+  if Seq.gt ack t.snd_nxt then (* acks data we never sent *) ()
+  else if Seq.le ack t.snd_una then begin
+    (* duplicate *)
+    if in_flight t > 0 && ack = t.snd_una then begin
+      t.counters.dup_acks <- t.counters.dup_acks + 1;
+      if t.counters.dup_acks mod dupack_threshold = 0 then begin
+        t.counters.fast_retransmits <- t.counters.fast_retransmits + 1;
+        t.ssthresh <- max (in_flight t / 2) (2 * t.cfg.mss);
+        t.cwnd <- t.ssthresh;
+        retransmit_head t
+      end
+    end
+  end
+  else begin
+    (* new data acknowledged *)
+    let syn_acked = t.snd_una = t.iss in
+    (* payload bytes covered by this ack *)
+    let fin_acked = match t.fin_seq with Some fs -> Seq.gt ack fs | None -> false in
+    let payload_hi =
+      match t.fin_seq with Some fs when Seq.gt ack fs -> fs | _ -> ack
+    in
+    let payload_acked =
+      if Seq.gt payload_hi t.qseq then Seq.diff payload_hi t.qseq else 0
+    in
+    let payload_acked = min payload_acked (Byteq.length t.sndq) in
+    if payload_acked > 0 then begin
+      Byteq.drop t.sndq payload_acked;
+      t.qseq <- Seq.add t.qseq payload_acked
+    end;
+    (match t.timed_seg with
+    | Some (seq, sent_at) when Seq.gt ack seq ->
+        t.timed_seg <- None;
+        record_rtt_sample t (Sim.Stime.sub (t.env.now ()) sent_at)
+    | _ -> ());
+    t.snd_una <- ack;
+    t.retx_count <- 0;
+    t.rto_backoff <- 1;
+    (* congestion control: slow start then congestion avoidance *)
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.cfg.mss
+    else t.cwnd <- t.cwnd + max 1 (t.cfg.mss * t.cfg.mss / t.cwnd);
+    if in_flight t = 0 then stop_retx_timer t else arm_retx_timer t;
+    ignore syn_acked;
+    if fin_acked then begin
+      match t.state with
+      | Fin_wait_1 -> set_state t Fin_wait_2
+      | Closing -> enter_time_wait t
+      | Last_ack -> teardown t ""
+      | _ -> ()
+    end
+  end;
+  t.snd_wnd <- max h.window 1
+
+(* --- in-order delivery ----------------------------------------------- *)
+
+let rec drain_ooo t =
+  match Hashtbl.find_opt t.ooo (Seq.to_int t.rcv_nxt) with
+  | None -> ()
+  | Some data ->
+      Hashtbl.remove t.ooo (Seq.to_int t.rcv_nxt);
+      t.rcv_nxt <- Seq.add t.rcv_nxt (String.length data);
+      t.counters.bytes_in <- t.counters.bytes_in + String.length data;
+      t.env.on_receive data;
+      drain_ooo t
+
+let process_payload t seq payload =
+  let len = String.length payload in
+  if len = 0 then `No_payload
+  else if Seq.le (Seq.add seq len) t.rcv_nxt then `Duplicate
+  else begin
+    (* trim anything before rcv_nxt *)
+    let seq, payload =
+      if Seq.lt seq t.rcv_nxt then begin
+        let skip = Seq.diff t.rcv_nxt seq in
+        (t.rcv_nxt, String.sub payload skip (len - skip))
+      end
+      else (seq, payload)
+    in
+    if seq = t.rcv_nxt then begin
+      t.rcv_nxt <- Seq.add t.rcv_nxt (String.length payload);
+      t.counters.bytes_in <- t.counters.bytes_in + String.length payload;
+      t.env.on_receive payload;
+      drain_ooo t;
+      `Delivered
+    end
+    else begin
+      if Hashtbl.length t.ooo < 256 then
+        Hashtbl.replace t.ooo (Seq.to_int seq) payload;
+      `Out_of_order
+    end
+  end
+
+(* --- segment input ---------------------------------------------------- *)
+
+let input t (v : View.ro View.t) =
+  t.counters.segs_in <- t.counters.segs_in + 1;
+  match Tcp_wire.parse v with
+  | None -> t.counters.bad_segments <- t.counters.bad_segments + 1
+  | Some (h, data_off) ->
+      let checksum_ok =
+        t.state = Listen || Tcp_wire.valid ~src:t.remote_ip ~dst:t.local_ip v
+      in
+      if not checksum_ok then
+        t.counters.bad_segments <- t.counters.bad_segments + 1
+      else begin
+        let payload =
+          View.get_string v ~off:data_off ~len:(View.length v - data_off)
+        in
+        let has f = Flags.test h.flags f in
+        match t.state with
+        | Closed -> ()
+        | Listen ->
+            if has Flags.syn && not (has Flags.ack) then begin
+              (* passive open; validate checksum against the new peer *)
+              t.remote_port <- h.src_port;
+              t.irs <- h.seq;
+              t.rcv_nxt <- Seq.add h.seq 1;
+              let iss = t.iss in
+              t.snd_una <- iss;
+              t.snd_nxt <- Seq.add iss 1;
+              t.qseq <- Seq.add iss 1;
+              set_state t Syn_rcvd;
+              emit t ~seq:iss ~flags:Flags.(syn + ack) ();
+              arm_retx_timer t
+            end
+        | Syn_sent ->
+            if has Flags.rst then teardown t "connection refused"
+            else if has Flags.syn && has Flags.ack && h.ack = t.snd_nxt then begin
+              t.irs <- h.seq;
+              t.rcv_nxt <- Seq.add h.seq 1;
+              t.snd_una <- h.ack;
+              t.snd_wnd <- max h.window 1;
+              t.retx_count <- 0;
+              t.rto_backoff <- 1;
+              stop_retx_timer t;
+              set_state t Established;
+              send_ack t;
+              t.env.on_established ();
+              try_output t
+            end
+        | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+        | Closing | Last_ack | Time_wait ->
+            if has Flags.rst then teardown t "connection reset by peer"
+            else begin
+              (* SYN retransmission in SYN_RCVD: re-ack *)
+              if has Flags.syn && t.state = Syn_rcvd then
+                emit t ~seq:t.iss ~flags:Flags.(syn + ack) ()
+              else begin
+                if has Flags.ack then begin
+                  if t.state = Syn_rcvd && Seq.gt h.ack t.snd_una then begin
+                    set_state t Established;
+                    t.env.on_established ()
+                  end;
+                  process_ack t h
+                end;
+                let ack_class = process_payload t h.seq payload in
+                (* FIN processing: in sequence only *)
+                let fin_seq = Seq.add h.seq (String.length payload) in
+                let got_fin = has Flags.fin && fin_seq = t.rcv_nxt in
+                if got_fin then begin
+                  t.rcv_nxt <- Seq.add t.rcv_nxt 1;
+                  t.env.on_peer_close ();
+                  (match t.state with
+                  | Established -> set_state t Close_wait
+                  | Fin_wait_1 ->
+                      (* if our FIN was acked we'd be in FIN_WAIT_2 already *)
+                      set_state t Closing
+                  | Fin_wait_2 -> enter_time_wait t
+                  | _ -> ())
+                end;
+                (if got_fin then send_ack t
+                 else
+                   match ack_class with
+                   | `No_payload -> if t.state = Time_wait then send_ack t
+                   | `Duplicate | `Out_of_order ->
+                       (* immediate ack so the sender sees dup-acks *)
+                       send_ack t
+                   | `Delivered ->
+                       if has Flags.psh then send_ack t
+                       else schedule_delack t);
+                try_output t
+              end
+            end
+      end
+
+(* Assign connection identity for passive sockets (checksum validation and
+   replies need the remote address even before the first segment). *)
+let set_remote t ~remote:(rip, rport) =
+  t.remote_ip <- rip;
+  t.remote_port <- rport
+
+let set_iss t iss = t.iss <- iss
+
+let pp_state ppf s = Fmt.string ppf (state_to_string s)

@@ -1,0 +1,109 @@
+(** TCP connection engine.
+
+    One engine, two execution models: the environment record abstracts the
+    clock, timers and segment output, so the same implementation runs as a
+    Plexus kernel extension and inside the DIGITAL UNIX model — preserving
+    the paper's "same TCP/IP implementation on both systems" methodology.
+
+    Implements: three-way handshake, sliding-window transfer bounded by
+    the peer window and a congestion window (slow start / congestion
+    avoidance), retransmission on timeout with exponential backoff, fast
+    retransmit on triple duplicate ACKs, out-of-order reassembly, and the
+    full close/TIME_WAIT state machine. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+type config = {
+  mss : int;
+  window : int;
+  rto_initial : Sim.Stime.t;
+  rto_max : Sim.Stime.t;
+  msl : Sim.Stime.t;
+  max_retransmits : int;
+  delack : Sim.Stime.t;
+  delack_segments : int;
+  rto_min : Sim.Stime.t;
+  nagle : bool;
+  initial_window_segments : int;
+}
+
+val default_config :
+  ?mss:int -> ?window:int -> ?nagle:bool -> ?initial_window_segments:int ->
+  unit -> config
+
+type env = {
+  now : unit -> Sim.Stime.t;
+  set_timer : Sim.Stime.t -> (unit -> unit) -> unit -> unit;
+  tx : Mbuf.rw Mbuf.t -> unit;
+  on_receive : string -> unit;
+  on_established : unit -> unit;
+  on_peer_close : unit -> unit;
+  on_close : unit -> unit;
+  on_error : string -> unit;
+}
+
+type counters = {
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable retransmits : int;
+  mutable fast_retransmits : int;
+  mutable dup_acks : int;
+  mutable bad_segments : int;
+}
+
+type t
+
+val create : env -> config -> local:Ipaddr.t * int -> t
+
+val listen : t -> unit
+(** Passive open. *)
+
+val connect : t -> remote:Ipaddr.t * int -> iss:Tcp_wire.Seq.t -> unit
+(** Active open: send SYN. *)
+
+val set_remote : t -> remote:Ipaddr.t * int -> unit
+(** Bind a passive connection's peer (needed for checksums/replies). *)
+
+val set_iss : t -> Tcp_wire.Seq.t -> unit
+
+val send : t -> string -> unit
+(** Queue application data for transmission. *)
+
+val close : t -> unit
+(** Orderly close (FIN after queued data drains). *)
+
+val abort : t -> unit
+(** RST and drop everything. *)
+
+val input : t -> View.ro View.t -> unit
+(** Process one incoming segment (TCP header + payload). *)
+
+val state : t -> state
+val counters : t -> counters
+val local_endpoint : t -> Ipaddr.t * int
+val remote_endpoint : t -> Ipaddr.t * int
+val unsent_bytes : t -> int
+val in_flight : t -> int
+
+val srtt : t -> Sim.Stime.t
+(** Smoothed round-trip estimate (zero before the first sample). *)
+
+val rtt_samples : t -> int
+(** RTT samples folded in so far (Karn's algorithm: none across
+    retransmissions). *)
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit

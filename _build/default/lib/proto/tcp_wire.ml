@@ -1,0 +1,108 @@
+(* TCP segment wire format (20-byte header, no options) and 32-bit
+   sequence-number arithmetic. *)
+
+let header_len = 20
+
+module Flags = struct
+  type t = int
+
+  let fin = 0x01
+  let syn = 0x02
+  let rst = 0x04
+  let psh = 0x08
+  let ack = 0x10
+
+  let test t f = t land f <> 0
+  let ( + ) = ( lor )
+
+  let pp ppf t =
+    let names =
+      List.filter_map
+        (fun (f, n) -> if test t f then Some n else None)
+        [ (syn, "SYN"); (fin, "FIN"); (rst, "RST"); (psh, "PSH"); (ack, "ACK") ]
+    in
+    Fmt.pf ppf "%s" (String.concat "|" (if names = [] then [ "-" ] else names))
+end
+
+module Seq = struct
+  (* Sequence numbers are 32-bit and compared modulo 2^32. *)
+  type t = int
+
+  let mask = 0xffffffff
+  let of_int i = i land mask
+  let to_int t = t
+  let add t n = (t + n) land mask
+  let diff a b = (a - b) land mask
+  (* Signed distance interpretations: [lt a b] when a precedes b. *)
+  let lt a b = diff a b > 0x7fffffff && a <> b
+  let le a b = a = b || lt a b
+  let gt a b = lt b a
+  let ge a b = le b a
+  let max a b = if ge a b then a else b
+end
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : Seq.t;
+  ack : Seq.t;
+  flags : Flags.t;
+  window : int;
+}
+
+let parse v =
+  if View.length v < header_len then None
+  else begin
+    let data_off = View.get_u8 v 12 lsr 4 in
+    if data_off < 5 || data_off * 4 > View.length v then None
+    else
+      Some
+        ( {
+            src_port = View.get_u16 v 0;
+            dst_port = View.get_u16 v 2;
+            seq = Seq.of_int (View.get_u32 v 4);
+            ack = Seq.of_int (View.get_u32 v 8);
+            flags = View.get_u8 v 13 land 0x3f;
+            window = View.get_u16 v 14;
+          },
+          data_off * 4 )
+  end
+
+let write v h =
+  View.set_u16 v 0 h.src_port;
+  View.set_u16 v 2 h.dst_port;
+  View.set_u32 v 4 (Seq.to_int h.seq);
+  View.set_u32 v 8 (Seq.to_int h.ack);
+  View.set_u8 v 12 (5 lsl 4);
+  View.set_u8 v 13 h.flags;
+  View.set_u16 v 14 h.window;
+  View.set_u16 v 16 0;
+  View.set_u16 v 18 0
+
+let compute_cksum ~src ~dst v =
+  let pseudo =
+    Ipv4.pseudo_header ~src ~dst ~proto:Ipv4.proto_tcp ~len:(View.length v)
+  in
+  Cksum.of_views [ pseudo; View.ro v ]
+
+(* Build a full segment packet: header + payload, checksummed. *)
+let to_packet ~src ~dst h payload =
+  let pkt = Mbuf.alloc (header_len + String.length payload) in
+  let v = Mbuf.view pkt in
+  write v h;
+  View.set_string v ~off:header_len payload;
+  let c = compute_cksum ~src ~dst (View.ro v) in
+  View.set_u16 v 16 c;
+  pkt
+
+let valid ~src ~dst v =
+  View.length v >= header_len
+  &&
+  let pseudo =
+    Ipv4.pseudo_header ~src ~dst ~proto:Ipv4.proto_tcp ~len:(View.length v)
+  in
+  Cksum.of_views [ pseudo; View.ro v ] = 0
+
+let pp_header ppf h =
+  Fmt.pf ppf "tcp{%d -> %d seq=%d ack=%d %a win=%d}" h.src_port h.dst_port
+    (Seq.to_int h.seq) (Seq.to_int h.ack) Flags.pp h.flags h.window

@@ -1,0 +1,1 @@
+lib/sim/stime.ml: Fmt Stdlib

@@ -1,0 +1,126 @@
+(* A single processor with two service priorities.
+
+   Work items are (cost, continuation) pairs.  The CPU serves one item at a
+   time; interrupt-priority work is always dequeued before thread-priority
+   work, modelling SPIN's distinction between interrupt-level handlers and
+   kernel threads, and DIGITAL UNIX's interrupt vs. process split.  Service
+   is non-preemptive, which matches per-packet protocol work whose units are
+   tens of microseconds.
+
+   The continuation runs at the moment its work *completes*, so a chain of
+   [run] calls naturally yields end-to-end latency including queueing. *)
+
+type prio = Interrupt | Thread
+
+type work = { cost : Stime.t; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  intr_q : work Queue.t;
+  thread_q : work Queue.t;
+  mutable resumed : work option;  (* preempted thread work, served first *)
+  mutable busy : bool;
+  mutable preemptive : bool;
+  mutable current : (work * prio * Stime.t * Engine.handle) option;
+      (* item in service: work, priority, start time, completion event *)
+  mutable busy_ns : Stime.t;         (* accumulated service time *)
+  mutable window_start : Stime.t;    (* start of the accounting window *)
+  mutable window_busy : Stime.t;     (* busy time within the window *)
+  mutable served : int;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name;
+    intr_q = Queue.create ();
+    thread_q = Queue.create ();
+    resumed = None;
+    busy = false;
+    preemptive = false;
+    current = None;
+    busy_ns = Stime.zero;
+    window_start = Stime.zero;
+    window_busy = Stime.zero;
+    served = 0;
+  }
+
+let name t = t.name
+let busy_time t = t.busy_ns
+let served t = t.served
+
+(* Opt-in preemption: interrupt-priority arrivals suspend in-service
+   thread-priority work (its remainder resumes once interrupts drain).
+   Off by default — the calibrated experiments use non-preemptive
+   two-level service. *)
+let set_preemptive t flag = t.preemptive <- flag
+let preemptive t = t.preemptive
+
+let rec service t =
+  let next =
+    if not (Queue.is_empty t.intr_q) then Some (Queue.pop t.intr_q, Interrupt)
+    else
+      match t.resumed with
+      | Some w ->
+          t.resumed <- None;
+          Some (w, Thread)
+      | None ->
+          if not (Queue.is_empty t.thread_q) then
+            Some (Queue.pop t.thread_q, Thread)
+          else None
+  in
+  match next with
+  | None ->
+      t.busy <- false;
+      t.current <- None
+  | Some (w, prio) ->
+      t.busy <- true;
+      let started = Engine.now t.engine in
+      let handle =
+        Engine.schedule_in t.engine ~delay:w.cost (fun () ->
+            t.current <- None;
+            t.busy_ns <- Stime.add t.busy_ns w.cost;
+            t.window_busy <- Stime.add t.window_busy w.cost;
+            t.served <- t.served + 1;
+            w.k ();
+            service t)
+      in
+      t.current <- Some (w, prio, started, handle)
+
+(* Suspend in-service thread work so that a just-arrived interrupt runs
+   immediately; the consumed slice is charged now and the remainder goes
+   back to the head of the line. *)
+let preempt t =
+  match t.current with
+  | Some (w, Thread, started, handle) ->
+      Engine.cancel handle;
+      let consumed = Stime.sub (Engine.now t.engine) started in
+      t.busy_ns <- Stime.add t.busy_ns consumed;
+      t.window_busy <- Stime.add t.window_busy consumed;
+      t.resumed <- Some { w with cost = Stime.sub w.cost consumed };
+      t.current <- None;
+      service t
+  | _ -> ()
+
+let run t ?(prio = Thread) ~cost k =
+  let q = match prio with Interrupt -> t.intr_q | Thread -> t.thread_q in
+  Queue.push { cost; k } q;
+  if not t.busy then service t
+  else if t.preemptive && prio = Interrupt then preempt t
+
+let reset_window t =
+  t.window_start <- Engine.now t.engine;
+  t.window_busy <- Stime.zero
+
+let utilization t =
+  let elapsed = Stime.sub (Engine.now t.engine) t.window_start in
+  let e = Stime.to_ns elapsed in
+  if e <= 0 then 0.0
+  else
+    let u = Stime.to_ns t.window_busy in
+    float_of_int u /. float_of_int e
+
+let queue_depth t =
+  Queue.length t.intr_q + Queue.length t.thread_q
+  + match t.resumed with Some _ -> 1 | None -> 0

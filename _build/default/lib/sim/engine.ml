@@ -1,0 +1,64 @@
+(* The discrete-event loop.  Events are thunks keyed by their firing time;
+   the loop repeatedly pops the earliest event, advances the clock to it and
+   runs it.  Cancellation is lazy: a cancelled handle's thunk is skipped
+   when popped. *)
+
+type handle = { mutable cancelled : bool }
+
+type event = { h : handle; thunk : unit -> unit }
+
+type t = {
+  mutable clock : Stime.t;
+  queue : event Pheap.t;
+  rng : Rng.t;
+  mutable events_run : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Stime.zero; queue = Pheap.create (); rng = Rng.create seed; events_run = 0 }
+
+let now t = t.clock
+let rng t = t.rng
+let events_run t = t.events_run
+let pending t = Pheap.size t.queue
+
+let schedule t ~at thunk =
+  if Stime.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule: cannot schedule in the past";
+  let h = { cancelled = false } in
+  Pheap.add t.queue ~key:(Stime.to_ns at) { h; thunk };
+  h
+
+let schedule_in t ~delay thunk = schedule t ~at:(Stime.add t.clock delay) thunk
+
+let cancel h = h.cancelled <- true
+
+let step t =
+  match Pheap.pop_min t.queue with
+  | None -> false
+  | Some (key, ev) ->
+      t.clock <- Stime.ns key;
+      if not ev.h.cancelled then begin
+        t.events_run <- t.events_run + 1;
+        ev.thunk ()
+      end;
+      true
+
+let run ?until ?(max_events = max_int) t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Pheap.peek_min t.queue with
+        | None -> false
+        | Some (key, _) -> key <= Stime.to_ns limit)
+  in
+  let rec loop n =
+    if n < max_events && continue () && step t then loop (n + 1)
+  in
+  loop 0;
+  (* If we stopped because of the horizon, advance the clock to it so that
+     utilization windows are well-defined. *)
+  match until with
+  | Some limit when Stime.compare t.clock limit < 0 -> t.clock <- limit
+  | _ -> ()

@@ -1,0 +1,35 @@
+(* SplitMix64: a small, fast, deterministic PRNG.  We avoid Stdlib.Random
+   so that simulation runs are reproducible independent of global state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 random bits -> [0, 1) *)
+  x /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t = { state = next_int64 t }
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)

@@ -1,0 +1,25 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic element of a simulation draws from an explicit [t] so
+    that runs are exactly reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val uniform : t -> lo:float -> hi:float -> float

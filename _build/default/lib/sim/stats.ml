@@ -1,0 +1,57 @@
+(* Measurement helpers: counters and sample series with summary statistics.
+   Series keep all samples (experiments are small) so percentiles are
+   exact. *)
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let reset t = t.n <- 0
+end
+
+module Series = struct
+  type t = { mutable samples : float list; mutable n : int }
+
+  let create () = { samples = []; n = 0 }
+  let add t x = t.samples <- x :: t.samples; t.n <- t.n + 1
+  let add_time t d = add t (Stime.to_us d)
+  let count t = t.n
+  let is_empty t = t.n = 0
+
+  let sorted t = List.sort compare t.samples |> Array.of_list
+
+  let mean t =
+    if t.n = 0 then nan
+    else List.fold_left ( +. ) 0. t.samples /. float_of_int t.n
+
+  let minimum t = match sorted t with [||] -> nan | a -> a.(0)
+  let maximum t = match sorted t with [||] -> nan | a -> a.(Array.length a - 1)
+
+  let stddev t =
+    if t.n < 2 then 0.
+    else begin
+      let m = mean t in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. t.samples in
+      sqrt (ss /. float_of_int (t.n - 1))
+    end
+
+  let percentile t p =
+    match sorted t with
+    | [||] -> nan
+    | a ->
+        let n = Array.length a in
+        let rank = p /. 100. *. float_of_int (n - 1) in
+        let lo = int_of_float (floor rank) in
+        let hi = Stdlib.min (lo + 1) (n - 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+  let median t = percentile t 50.
+
+  let summary t =
+    Fmt.str "n=%d mean=%.2f p50=%.2f p95=%.2f min=%.2f max=%.2f" t.n (mean t)
+      (median t) (percentile t 95.) (minimum t) (maximum t)
+end

@@ -1,0 +1,40 @@
+(** Counters and sample series for experiment measurement. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Series : sig
+  type t
+  (** A collection of float samples; retains everything, percentiles are
+      exact. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+
+  val add_time : t -> Stime.t -> unit
+  (** Record a duration, converted to microseconds. *)
+
+  val count : t -> int
+  val is_empty : t -> bool
+  val mean : t -> float
+  val minimum : t -> float
+  val maximum : t -> float
+
+  val stddev : t -> float
+  (** Sample standard deviation (Bessel-corrected). *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0..100], linear interpolation. *)
+
+  val median : t -> float
+
+  val summary : t -> string
+  (** One-line human-readable summary. *)
+end

@@ -1,0 +1,8 @@
+(* Lightweight conditional tracing for debugging simulations.  Off by
+   default; tests and examples can switch it on to watch packets move. *)
+
+let enabled = ref false
+
+let emit now fmt =
+  if !enabled then Fmt.epr ("[%a] " ^^ fmt ^^ "@.") Stime.pp now
+  else Format.ifprintf Format.err_formatter fmt

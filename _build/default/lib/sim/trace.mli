@@ -1,0 +1,7 @@
+(** Conditional simulation tracing. *)
+
+val enabled : bool ref
+(** When true, {!emit} prints to stderr; default false. *)
+
+val emit : Stime.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [emit now fmt ...] prints a timestamped trace line when enabled. *)

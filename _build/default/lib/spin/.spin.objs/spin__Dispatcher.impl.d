@@ -1,0 +1,1 @@
+lib/spin/dispatcher.ml: Ephemeral List Sim

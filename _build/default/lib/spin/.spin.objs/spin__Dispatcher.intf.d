@@ -1,0 +1,1 @@
+lib/spin/dispatcher.mli: Ephemeral Sim

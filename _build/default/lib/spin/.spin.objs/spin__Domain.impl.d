@@ -1,0 +1,1 @@
+lib/spin/domain.ml: Interface List

@@ -1,0 +1,1 @@
+lib/spin/ephemeral.ml: List Queue Sim

@@ -1,0 +1,1 @@
+lib/spin/ephemeral.mli: Queue Sim

@@ -1,0 +1,1 @@
+lib/spin/extension.ml: Fmt List Univ

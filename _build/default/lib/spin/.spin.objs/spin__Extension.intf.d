@@ -1,0 +1,1 @@
+lib/spin/extension.mli: Format Univ

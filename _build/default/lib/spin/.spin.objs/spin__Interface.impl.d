@@ -1,0 +1,1 @@
+lib/spin/interface.ml: Hashtbl List Univ

@@ -1,0 +1,1 @@
+lib/spin/interface.mli: Univ

@@ -1,0 +1,1 @@
+lib/spin/kernel.ml: Dispatcher Domain Hashtbl Interface Linker List Sim

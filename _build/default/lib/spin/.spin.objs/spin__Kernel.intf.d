@@ -1,0 +1,1 @@
+lib/spin/kernel.mli: Dispatcher Domain Extension Interface Linker Sim

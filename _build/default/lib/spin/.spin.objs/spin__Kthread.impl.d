@@ -1,0 +1,1 @@
+lib/spin/kthread.ml: Sim

@@ -1,0 +1,1 @@
+lib/spin/linker.ml: Domain Extension List Printexc Univ

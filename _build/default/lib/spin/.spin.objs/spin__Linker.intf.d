@@ -1,0 +1,1 @@
+lib/spin/linker.mli: Domain Extension

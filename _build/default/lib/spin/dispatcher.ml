@@ -1,0 +1,184 @@
+(* The SPIN event dispatcher (paper section 2) with Plexus's delivery modes
+   (section 4.1).
+
+   Events are typed: an ['a event] carries payloads of type ['a] (protocol
+   events carry packets).  Handlers are installed with an optional guard —
+   an arbitrary predicate evaluated before the handler fires; guards are
+   Plexus's packet filters.  More than one handler may be installed on an
+   event; "the overhead of invoking each handler is roughly one procedure
+   call", which the cost model reflects via [costs.dispatch].
+
+   Delivery modes correspond to the two Plexus bars in Figure 5:
+   - [Interrupt]: handlers run at interrupt priority in the raiser's
+     context.  Ephemeral handlers additionally run under a time budget
+     with transactional termination.
+   - [Thread]: "each event raise creating a new thread" — every handler
+     invocation pays a thread-spawn cost and runs at thread priority. *)
+
+type delivery = Interrupt | Thread
+
+type costs = {
+  dispatch : Sim.Stime.t;      (* per-raise bookkeeping, ~ a procedure call *)
+  guard : Sim.Stime.t;         (* per guard predicate evaluation *)
+  thread_spawn : Sim.Stime.t;  (* thread-mode per-invocation cost *)
+}
+
+let default_costs =
+  {
+    dispatch = Sim.Stime.ns 400;
+    guard = Sim.Stime.ns 300;
+    thread_spawn = Sim.Stime.us 12;
+  }
+
+type t = {
+  cpu : Sim.Cpu.t;
+  costs : costs;
+  raises : Sim.Stats.Counter.t;
+  guard_evals : Sim.Stats.Counter.t;
+  invocations : Sim.Stats.Counter.t;
+  terminations : Sim.Stats.Counter.t;
+  faults : Sim.Stats.Counter.t;
+}
+
+let create ~cpu ~costs =
+  {
+    cpu;
+    costs;
+    raises = Sim.Stats.Counter.create ();
+    guard_evals = Sim.Stats.Counter.create ();
+    invocations = Sim.Stats.Counter.create ();
+    terminations = Sim.Stats.Counter.create ();
+    faults = Sim.Stats.Counter.create ();
+  }
+
+let cpu t = t.cpu
+let costs t = t.costs
+let raises t = Sim.Stats.Counter.get t.raises
+let guard_evals t = Sim.Stats.Counter.get t.guard_evals
+let invocations t = Sim.Stats.Counter.get t.invocations
+let terminations t = Sim.Stats.Counter.get t.terminations
+let faults t = Sim.Stats.Counter.get t.faults
+
+type 'a kind =
+  | Plain of {
+      cost : Sim.Stime.t;
+      dyncost : ('a -> Sim.Stime.t) option;
+          (* data-touching work that scales with the payload *)
+      fn : 'a -> unit;
+    }
+  | Eph of { budget : Sim.Stime.t option; fn : 'a -> Ephemeral.t }
+
+type 'a handler = {
+  hid : int;
+  guard : 'a -> bool;
+  gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
+  kind : 'a kind;
+}
+
+type 'a event = {
+  disp : t;
+  ename : string;
+  mutable mode : delivery;
+  mutable handlers : 'a handler list; (* install order *)
+  mutable next_hid : int;
+}
+
+let event disp ?(mode = Interrupt) ename =
+  { disp; ename; mode; handlers = []; next_hid = 0 }
+
+let name ev = ev.ename
+let mode ev = ev.mode
+let set_mode ev m = ev.mode <- m
+let handler_count ev = List.length ev.handlers
+
+let add_handler ev guard gcost kind =
+  let hid = ev.next_hid in
+  ev.next_hid <- hid + 1;
+  ev.handlers <- ev.handlers @ [ { hid; guard; gcost; kind } ];
+  fun () ->
+    ev.handlers <- List.filter (fun h -> h.hid <> hid) ev.handlers
+
+let no_guard _ = true
+
+let install ev ?(guard = no_guard) ?(gcost = Sim.Stime.zero) ?dyncost ~cost fn =
+  add_handler ev guard gcost (Plain { cost; dyncost; fn })
+
+let install_ephemeral ev ?(guard = no_guard) ?(gcost = Sim.Stime.zero) ?budget
+    fn =
+  add_handler ev guard gcost (Eph { budget; fn })
+
+(* Fault containment: extension code that raises must not take the
+   kernel down.  The typesafe language already rules out wild memory
+   access; runtime exceptions are caught here, counted, and the faulting
+   handler is uninstalled — the extension model's equivalent of killing
+   the offending extension rather than the system. *)
+let fault ev h =
+  Sim.Stats.Counter.incr ev.disp.faults;
+  ev.handlers <- List.filter (fun h' -> h'.hid <> h.hid) ev.handlers
+
+let contain ev h f = try f () with _exn -> fault ev h
+
+let still_installed ev h = List.exists (fun h' -> h'.hid = h.hid) ev.handlers
+
+let deliver ev v h =
+  let d = ev.disp in
+  Sim.Stats.Counter.incr d.invocations;
+  let prio =
+    match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
+  in
+  let spawn =
+    match ev.mode with
+    | Interrupt -> Sim.Stime.zero
+    | Thread -> d.costs.thread_spawn
+  in
+  match h.kind with
+  | Plain { cost; dyncost; fn } ->
+      let cost =
+        match dyncost with
+        | None -> cost
+        | Some f -> Sim.Stime.add cost (f v)
+      in
+      Sim.Cpu.run d.cpu ~prio ~cost:(Sim.Stime.add spawn cost) (fun () ->
+          (* skip if uninstalled while this invocation was queued *)
+          if still_installed ev h then contain ev h (fun () -> fn v))
+  | Eph { budget; fn } -> (
+      match (try Some (Ephemeral.plan ?budget (fn v)) with _ -> None) with
+      | None -> fault ev h
+      | Some plan ->
+          let r = Ephemeral.planned plan in
+          Sim.Cpu.run d.cpu ~prio
+            ~cost:(Sim.Stime.add spawn r.Ephemeral.consumed)
+            (fun () ->
+              if still_installed ev h then
+                contain ev h (fun () ->
+                    let r = Ephemeral.commit plan in
+                    if r.Ephemeral.terminated then
+                      Sim.Stats.Counter.incr d.terminations)))
+
+let raise ev v =
+  let d = ev.disp in
+  Sim.Stats.Counter.incr d.raises;
+  let handlers = ev.handlers in
+  let n_guards = List.length handlers in
+  Sim.Stats.Counter.add d.guard_evals n_guards;
+  let extra_gcost =
+    List.fold_left
+      (fun acc h -> Sim.Stime.add acc h.gcost)
+      Sim.Stime.zero handlers
+  in
+  let demux_cost =
+    Sim.Stime.add extra_gcost
+      (Sim.Stime.add d.costs.dispatch (Sim.Stime.mul d.costs.guard n_guards))
+  in
+  let prio =
+    match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
+  in
+  Sim.Cpu.run d.cpu ~prio ~cost:demux_cost (fun () ->
+      (* Demultiplex against the *current* handler list: a handler
+         uninstalled while this raise was queued no longer fires. *)
+      List.iter
+        (fun h ->
+          (* a faulting guard is contained the same way *)
+          let accepted = try h.guard v with _ -> fault ev h; false in
+          if accepted then deliver ev v h)
+        ev.handlers)

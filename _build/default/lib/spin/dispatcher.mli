@@ -1,0 +1,73 @@
+(** The SPIN event dispatcher: typed events, guards and handlers.
+
+    "An event is raised by a kernel service or extension code to announce
+    a change in system state or to request a service" (paper, section 2).
+    Handlers are installed with guards — arbitrary predicates that act as
+    packet filters — and may be delivered at interrupt level (possibly as
+    budget-limited {!Ephemeral} programs) or each on a fresh thread. *)
+
+type t
+(** One dispatcher per kernel; owns the delivery cost model and counters. *)
+
+type delivery =
+  | Interrupt  (** run handlers in the raiser's interrupt context *)
+  | Thread     (** spawn a thread per handler invocation *)
+
+type costs = {
+  dispatch : Sim.Stime.t;
+  guard : Sim.Stime.t;
+  thread_spawn : Sim.Stime.t;
+}
+
+val default_costs : costs
+
+val create : cpu:Sim.Cpu.t -> costs:costs -> t
+
+val cpu : t -> Sim.Cpu.t
+val costs : t -> costs
+
+(** {1 Events} *)
+
+type 'a event
+(** An event whose payload has type ['a]. *)
+
+val event : t -> ?mode:delivery -> string -> 'a event
+(** Declare a named event (default delivery: [Interrupt]). *)
+
+val name : _ event -> string
+val mode : _ event -> delivery
+val set_mode : _ event -> delivery -> unit
+val handler_count : _ event -> int
+
+val install :
+  'a event -> ?guard:('a -> bool) -> ?gcost:Sim.Stime.t ->
+  ?dyncost:('a -> Sim.Stime.t) -> cost:Sim.Stime.t -> ('a -> unit) ->
+  unit -> unit
+(** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
+    raise whose [guard] accepts the payload, charging [cost] (plus
+    [dyncost payload] for data-touching work) of CPU.  [gcost] adds
+    per-evaluation guard cost on top of the dispatcher's base guard
+    charge (interpreted packet filters).  Returns the uninstaller. *)
+
+val install_ephemeral :
+  'a event -> ?guard:('a -> bool) -> ?gcost:Sim.Stime.t ->
+  ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) -> unit -> unit
+(** Attach an interrupt-level handler as an ephemeral program, optionally
+    limited to [budget] of CPU per invocation (overruns are terminated
+    between actions).  Returns the uninstaller. *)
+
+val raise : 'a event -> 'a -> unit
+(** Raise the event: evaluate every installed guard (charging demux cost)
+    and deliver to each accepting handler according to the event's mode. *)
+
+(** {1 Counters} *)
+
+val raises : t -> int
+val guard_evals : t -> int
+val invocations : t -> int
+val terminations : t -> int
+
+val faults : t -> int
+(** Handlers (or guards) that raised an exception.  The fault is
+    contained: counted, and the offending handler uninstalled — never
+    propagated into the kernel. *)

@@ -1,0 +1,43 @@
+(* Logical protection domains (paper section 2): first-class sets of
+   visible interfaces, referenced by capability.  "If an extension
+   references a symbol that is not contained within the logical protection
+   domain against which it is being linked, the link will fail."
+
+   A Domain.t value *is* the capability: possession is the only way to
+   link against it, and domains can be created, copied (extended) and
+   passed around, exactly as the paper describes. *)
+
+type t = { name : string; mutable interfaces : Interface.t list }
+
+let create name = { name; interfaces = [] }
+
+let name t = t.name
+
+let add t iface =
+  if not (List.memq iface t.interfaces) then
+    t.interfaces <- iface :: t.interfaces
+
+let of_interfaces name ifaces =
+  let t = create name in
+  List.iter (add t) ifaces;
+  t
+
+(* A new domain combining the visibility of both arguments; neither
+   argument is modified (domains are copied, not aliased). *)
+let union name a b =
+  let t = create name in
+  List.iter (add t) a.interfaces;
+  List.iter (add t) b.interfaces;
+  t
+
+let interfaces t = t.interfaces
+
+let find_interface t iface_name =
+  List.find_opt (fun i -> Interface.name i = iface_name) t.interfaces
+
+let resolve t ~iface ~sym =
+  match find_interface t iface with
+  | None -> None
+  | Some i -> Interface.find i ~sym
+
+let can_resolve t ~iface ~sym = resolve t ~iface ~sym <> None

@@ -1,0 +1,29 @@
+(** Logical protection domains.
+
+    A domain defines the set of interfaces an extension may link against.
+    Domains are capabilities: code that does not hold a [t] cannot link
+    anything against it.  Different extensions can be handed different
+    domains, giving them access to different services (paper, section 2). *)
+
+type t
+
+val create : string -> t
+(** An empty domain. *)
+
+val name : t -> string
+
+val add : t -> Interface.t -> unit
+(** Make an interface visible in the domain. *)
+
+val of_interfaces : string -> Interface.t list -> t
+
+val union : string -> t -> t -> t
+(** A fresh domain with the combined visibility of both arguments. *)
+
+val interfaces : t -> Interface.t list
+val find_interface : t -> string -> Interface.t option
+
+val resolve : t -> iface:string -> sym:string -> Univ.t option
+(** Look up a symbol by interface and name, if visible. *)
+
+val can_resolve : t -> iface:string -> sym:string -> bool

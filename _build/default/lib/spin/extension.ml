@@ -1,0 +1,76 @@
+(* Extensions: partially resolved object files signed by the compiler
+   (paper section 2).  The [cert] field models the compiler's signature;
+   only {!Compiler.compile} can produce a valid one, and the linker
+   rejects anything else.  [forge] exists so tests can demonstrate the
+   rejection of unsigned code. *)
+
+type cert = Signed of int | Forged
+
+let compiler_magic = 0x5350494e (* "SPIN" *)
+
+type linkage = {
+  get : 'a. 'a Univ.witness -> iface:string -> sym:string -> 'a;
+      (** Resolve a declared import.  Raises {!Link_failure} (caught by the
+          linker) on missing symbols, undeclared imports or type clashes. *)
+  on_unlink : (unit -> unit) -> unit;
+      (** Register an action to undo this extension's installations when it
+          is unlinked. *)
+}
+
+type failure =
+  | Unsigned
+  | Unresolved of (string * string) list
+  | Undeclared_import of string * string
+  | Type_clash of string * string
+  | Init_raised of string
+
+exception Link_failure of failure
+
+type t = {
+  name : string;
+  imports : (string * string) list;
+  init : linkage -> unit;
+  cert : cert;
+}
+
+let name t = t.name
+let imports t = t.imports
+
+let make ~name ~imports ~init ~cert = { name; imports; init; cert }
+
+let cert_valid t = match t.cert with Signed m -> m = compiler_magic | Forged -> false
+
+let init t linkage = t.init linkage
+
+let pp_failure ppf = function
+  | Unsigned -> Fmt.pf ppf "extension is not signed by the compiler"
+  | Unresolved missing ->
+      Fmt.pf ppf "unresolved symbols: %a"
+        Fmt.(list ~sep:comma (fun ppf (i, s) -> Fmt.pf ppf "%s.%s" i s))
+        missing
+  | Undeclared_import (i, s) ->
+      Fmt.pf ppf "import %s.%s was not declared" i s
+  | Type_clash (i, s) -> Fmt.pf ppf "type clash resolving %s.%s" i s
+  | Init_raised msg -> Fmt.pf ppf "initialization failed: %s" msg
+
+module Compiler = struct
+  (* "Our Modula-3 compiler signs partially resolved object files."  The
+     compile step here checks the extension's static well-formedness (no
+     duplicate imports) and attaches the signature. *)
+
+  exception Compile_error of string
+
+  let compile ~name ~imports init =
+    let sorted = List.sort compare imports in
+    let rec dup = function
+      | a :: (b :: _ as tl) -> if a = b then Some a else dup tl
+      | _ -> None
+    in
+    (match dup sorted with
+    | Some (i, s) ->
+        raise (Compile_error (Fmt.str "duplicate import %s.%s" i s))
+    | None -> ());
+    make ~name ~imports ~init ~cert:(Signed compiler_magic)
+
+  let forge ~name ~imports init = make ~name ~imports ~init ~cert:Forged
+end

@@ -1,0 +1,46 @@
+(** Kernel extensions and the compiler that signs them.
+
+    An extension is the unit of dynamically loaded code: a name, a list of
+    declared imports (interface, symbol) and an initialization function
+    that runs at link time.  Only {!Compiler.compile} produces extensions
+    whose certificate the linker accepts — the analogue of object files
+    "signed by our Modula-3 compiler" (paper, section 2). *)
+
+type t
+
+type linkage = {
+  get : 'a. 'a Univ.witness -> iface:string -> sym:string -> 'a;
+  on_unlink : (unit -> unit) -> unit;
+}
+(** What a linking extension sees: typed access to its declared imports and
+    registration of unlink-time cleanup. *)
+
+type failure =
+  | Unsigned                                   (** bad or missing signature *)
+  | Unresolved of (string * string) list       (** symbols absent from the domain *)
+  | Undeclared_import of string * string       (** [get] outside the declared list *)
+  | Type_clash of string * string              (** witness mismatch *)
+  | Init_raised of string                      (** initialization threw *)
+
+exception Link_failure of failure
+
+val name : t -> string
+val imports : t -> (string * string) list
+val cert_valid : t -> bool
+
+val init : t -> linkage -> unit
+(** Run the extension's initializer (used by the linker only). *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+module Compiler : sig
+  exception Compile_error of string
+
+  val compile :
+    name:string -> imports:(string * string) list -> (linkage -> unit) -> t
+  (** Type-check (statically validate) and sign an extension. *)
+
+  val forge :
+    name:string -> imports:(string * string) list -> (linkage -> unit) -> t
+  (** An unsigned extension, for demonstrating linker rejection. *)
+end

@@ -1,0 +1,24 @@
+(* A named set of typed symbols — the unit of visibility in SPIN's logical
+   protection domains (paper section 2).  The Ethernet interface of
+   Figure 2, for instance, would export the symbols "PacketRecv" (an
+   event) and "InstallHandler" (a manager operation). *)
+
+type t = { name : string; symbols : (string, Univ.t) Hashtbl.t }
+
+let create name = { name; symbols = Hashtbl.create 8 }
+
+let name t = t.name
+
+exception Duplicate_symbol of string
+
+let export t ~sym w v =
+  if Hashtbl.mem t.symbols sym then
+    raise (Duplicate_symbol (t.name ^ "." ^ sym));
+  Hashtbl.replace t.symbols sym (Univ.inj w v)
+
+let find t ~sym = Hashtbl.find_opt t.symbols sym
+
+let mem t ~sym = Hashtbl.mem t.symbols sym
+
+let symbols t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.symbols [] |> List.sort compare

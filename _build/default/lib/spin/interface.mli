@@ -1,0 +1,23 @@
+(** Named interfaces of typed symbols.
+
+    An interface provides "access to procedures and variables" (paper,
+    section 2); extensions can only name symbols contained in interfaces
+    visible from the protection domain they are linked against. *)
+
+type t
+
+val create : string -> t
+(** [create name] is an empty interface. *)
+
+val name : t -> string
+
+exception Duplicate_symbol of string
+
+val export : t -> sym:string -> 'a Univ.witness -> 'a -> unit
+(** Publish a typed symbol.  @raise Duplicate_symbol on redefinition. *)
+
+val find : t -> sym:string -> Univ.t option
+val mem : t -> sym:string -> bool
+
+val symbols : t -> string list
+(** Sorted symbol names, for diagnostics. *)

@@ -1,0 +1,61 @@
+(* A SPIN kernel instance: one per simulated host.  Ties together the
+   engine, the host CPU, the event dispatcher and the interface/domain
+   namespace, and fronts the dynamic linker. *)
+
+type t = {
+  name : string;
+  engine : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  dispatcher : Dispatcher.t;
+  interfaces : (string, Interface.t) Hashtbl.t;
+  root_domain : Domain.t;
+      (* every interface in the kernel; "few extensions have access to
+         this domain" *)
+}
+
+let create ?(costs = Dispatcher.default_costs) engine ~name =
+  let cpu = Sim.Cpu.create engine ~name:(name ^ ".cpu") in
+  {
+    name;
+    engine;
+    cpu;
+    dispatcher = Dispatcher.create ~cpu ~costs;
+    interfaces = Hashtbl.create 16;
+    root_domain = Domain.create (name ^ ".root");
+  }
+
+let name t = t.name
+let engine t = t.engine
+let cpu t = t.cpu
+let dispatcher t = t.dispatcher
+let root_domain t = t.root_domain
+
+let declare_interface t iname =
+  match Hashtbl.find_opt t.interfaces iname with
+  | Some i -> i
+  | None ->
+      let i = Interface.create iname in
+      Hashtbl.replace t.interfaces iname i;
+      Domain.add t.root_domain i;
+      i
+
+let find_interface t iname = Hashtbl.find_opt t.interfaces iname
+
+(* A restricted domain exposing only the named interfaces — how protocol
+   managers hand applications access to exactly the services they should
+   see. *)
+let restricted_domain t dname inames =
+  let d = Domain.create (t.name ^ "." ^ dname) in
+  List.iter
+    (fun iname ->
+      match find_interface t iname with
+      | Some i -> Domain.add d i
+      | None -> invalid_arg ("Kernel.restricted_domain: no interface " ^ iname))
+    inames;
+  d
+
+let link t ~domain ext =
+  ignore t;
+  Linker.link ~domain ext
+
+let now t = Sim.Engine.now t.engine

@@ -1,0 +1,29 @@
+(** A SPIN kernel instance (one per simulated host).
+
+    Owns the host CPU, the event dispatcher, the interface namespace and
+    the root protection domain; fronts the dynamic linker. *)
+
+type t
+
+val create : ?costs:Dispatcher.costs -> Sim.Engine.t -> name:string -> t
+
+val name : t -> string
+val engine : t -> Sim.Engine.t
+val cpu : t -> Sim.Cpu.t
+val dispatcher : t -> Dispatcher.t
+val now : t -> Sim.Stime.t
+
+val root_domain : t -> Domain.t
+(** The domain containing every kernel interface; handed out sparingly. *)
+
+val declare_interface : t -> string -> Interface.t
+(** Find-or-create a named interface, visible in the root domain. *)
+
+val find_interface : t -> string -> Interface.t option
+
+val restricted_domain : t -> string -> string list -> Domain.t
+(** A fresh domain exposing only the named (existing) interfaces.
+    @raise Invalid_argument if an interface does not exist. *)
+
+val link :
+  t -> domain:Domain.t -> Extension.t -> (Linker.linked, Extension.failure) result

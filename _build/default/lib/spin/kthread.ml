@@ -1,0 +1,9 @@
+(* Kernel threads, as a thin veneer over the CPU model.  SPIN processes
+   non-interrupt protocol work in kernel threads; DIGITAL UNIX user
+   processes reuse the same mechanism with an added context-switch cost
+   (see Osmodel). *)
+
+let spawn cpu ?(create_cost = Sim.Stime.us 12) body =
+  Sim.Cpu.run cpu ~prio:Sim.Cpu.Thread ~cost:create_cost body
+
+let run cpu ~cost body = Sim.Cpu.run cpu ~prio:Sim.Cpu.Thread ~cost body

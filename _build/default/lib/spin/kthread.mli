@@ -1,0 +1,9 @@
+(** Kernel threads over the simulated CPU. *)
+
+val spawn :
+  Sim.Cpu.t -> ?create_cost:Sim.Stime.t -> (unit -> unit) -> unit
+(** Create a thread; the body runs after the creation cost is charged at
+    thread priority. *)
+
+val run : Sim.Cpu.t -> cost:Sim.Stime.t -> (unit -> unit) -> unit
+(** Charge [cost] at thread priority, then run the continuation. *)

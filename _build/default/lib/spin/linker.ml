@@ -1,0 +1,72 @@
+(* SPIN's dynamic linker (paper section 2, [SFPB96]).
+
+   [link] verifies the compiler signature, resolves every declared import
+   against the target protection domain, and only then runs the
+   extension's initializer.  The initializer receives a [linkage] whose
+   [get] enforces two further properties: it refuses symbols the extension
+   did not declare (an extension cannot "discover" symbols at runtime) and
+   it type-checks each resolution through the caller's witness.  If
+   initialization fails, every cleanup registered so far is run, so a
+   failed link leaves no residue.
+
+   [unlink] runs the cleanups in reverse registration order, detaching the
+   extension's handlers so that protocols "come and go with their
+   corresponding applications". *)
+
+type linked = {
+  extension : Extension.t;
+  domain : Domain.t;
+  mutable undo : (unit -> unit) list;
+  mutable live : bool;
+}
+
+let run_undo l =
+  let undo = l.undo in
+  l.undo <- [];
+  List.iter (fun f -> f ()) undo
+
+let link ~domain ext =
+  if not (Extension.cert_valid ext) then Error Extension.Unsigned
+  else begin
+    let imports = Extension.imports ext in
+    let missing =
+      List.filter (fun (iface, sym) -> not (Domain.can_resolve domain ~iface ~sym)) imports
+    in
+    if missing <> [] then Error (Extension.Unresolved missing)
+    else begin
+      let l = { extension = ext; domain; undo = []; live = true } in
+      let get (type a) (w : a Univ.witness) ~iface ~sym : a =
+        if not (List.mem (iface, sym) imports) then
+          raise (Extension.Link_failure (Extension.Undeclared_import (iface, sym)));
+        match Domain.resolve domain ~iface ~sym with
+        | None ->
+            raise (Extension.Link_failure (Extension.Unresolved [ (iface, sym) ]))
+        | Some u -> (
+            match Univ.proj w u with
+            | Some v -> v
+            | None ->
+                raise (Extension.Link_failure (Extension.Type_clash (iface, sym))))
+      in
+      let linkage =
+        { Extension.get; on_unlink = (fun f -> l.undo <- f :: l.undo) }
+      in
+      match Extension.init ext linkage with
+      | () -> Ok l
+      | exception Extension.Link_failure f ->
+          run_undo l;
+          Error f
+      | exception e ->
+          run_undo l;
+          Error (Extension.Init_raised (Printexc.to_string e))
+    end
+  end
+
+let unlink l =
+  if l.live then begin
+    l.live <- false;
+    run_undo l
+  end
+
+let is_linked l = l.live
+let extension l = l.extension
+let domain l = l.domain

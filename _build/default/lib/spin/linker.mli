@@ -1,0 +1,21 @@
+(** Dynamic linking and unlinking of extensions into protection domains.
+
+    Solves the paper's "install" problem: code enters the kernel only if
+    it is compiler-signed and all of its imports resolve inside the domain
+    it is linked against.  Unlinking reverses every installation the
+    extension made. *)
+
+type linked
+(** A successfully linked extension instance. *)
+
+val link :
+  domain:Domain.t -> Extension.t -> (linked, Extension.failure) result
+(** Verify, resolve and initialize.  On failure the kernel is left exactly
+    as it was. *)
+
+val unlink : linked -> unit
+(** Run the extension's cleanups (handler uninstalls etc.).  Idempotent. *)
+
+val is_linked : linked -> bool
+val extension : linked -> Extension.t
+val domain : linked -> Domain.t

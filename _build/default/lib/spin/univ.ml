@@ -1,0 +1,36 @@
+(* A universal type with typed injection/projection witnesses.
+
+   SPIN interfaces export procedures and variables whose types are checked
+   by the Modula-3 compiler when an extension is linked.  We model the
+   same property: interface symbols are stored as universal values, and an
+   extension can only recover a symbol's value through a witness of the
+   right type — a mismatched projection is detected at link time. *)
+
+type t = ..
+
+module type Witness = sig
+  type a
+
+  val inj : a -> t
+  val proj : t -> a option
+end
+
+type 'a witness = (module Witness with type a = 'a)
+
+let witness (type s) () : s witness =
+  let module M = struct
+    type a = s
+    type t += U of s
+
+    let inj x = U x
+    let proj = function U x -> Some x | _ -> None
+  end in
+  (module M : Witness with type a = s)
+
+let inj (type s) (w : s witness) (x : s) =
+  let module W = (val w) in
+  W.inj x
+
+let proj (type s) (w : s witness) (u : t) : s option =
+  let module W = (val w) in
+  W.proj u

@@ -1,0 +1,16 @@
+(** Universal values with typed witnesses.
+
+    The substrate for typed symbols in {!Interface}: a value of any type
+    can be injected into {!t}, and recovered only through the same
+    {!witness} that injected it.  Projection through the wrong witness
+    yields [None] — the model of Modula-3's link-time type checking. *)
+
+type t
+
+type 'a witness
+
+val witness : unit -> 'a witness
+(** A fresh witness.  Two witnesses never project each other's values. *)
+
+val inj : 'a witness -> 'a -> t
+val proj : 'a witness -> t -> 'a option

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Char Experiments List Netsim Plexus Printf Proto Sim Spin String View

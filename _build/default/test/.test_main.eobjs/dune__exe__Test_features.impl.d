@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Apps Array Experiments Float Fmt List Mbuf Netsim Osmodel Plexus Printf Proto Sim Spin String View

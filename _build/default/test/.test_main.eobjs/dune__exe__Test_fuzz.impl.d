@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Apps Experiments Gen Hashtbl List Netsim Plexus Printf Proto QCheck QCheck_alcotest Sim Spin String View

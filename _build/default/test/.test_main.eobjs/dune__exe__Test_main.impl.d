@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_experiments Test_features Test_fuzz Test_more Test_netsim Test_osmodel Test_packet Test_plexus Test_proto Test_sim Test_spin

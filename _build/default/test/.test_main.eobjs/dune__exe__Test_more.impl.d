@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Experiments Fmt List Mbuf Netsim Option Plexus Pool Printf Proto QCheck QCheck_alcotest Sim Spin View

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Experiments List Mbuf Netsim Printf Proto Sim String View

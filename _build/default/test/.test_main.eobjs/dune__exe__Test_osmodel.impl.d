@@ -1,0 +1,1 @@
+test/test_osmodel.ml: Alcotest Buffer Experiments List Mbuf Netsim Osmodel Printf Proto Sim String

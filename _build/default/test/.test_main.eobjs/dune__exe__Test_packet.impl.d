@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Cksum Gen List Mbuf QCheck QCheck_alcotest String View

@@ -1,0 +1,1 @@
+test/test_plexus.ml: Alcotest Apps Buffer Char Experiments List Mbuf Netsim Plexus Proto Sim Spin String View

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Buffer Char Gen List Mbuf Option Printf Proto QCheck QCheck_alcotest Sim String View

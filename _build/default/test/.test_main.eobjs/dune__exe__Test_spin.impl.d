@@ -1,0 +1,1 @@
+test/test_spin.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Queue Sim Spin

@@ -1,0 +1,175 @@
+(* Regression tests for the paper's qualitative claims: the *shapes* of
+   every figure and table must hold whenever the cost model changes. *)
+
+let stc name f = Alcotest.test_case name `Slow f
+
+(* Figure 5: for every device, interrupt < thread < DIGITAL UNIX, and the
+   raw driver-to-driver minimum is below everything. *)
+let fig5_orderings () =
+  List.iter
+    (fun (r : Experiments.Fig5.row) ->
+      let d = r.Experiments.Fig5.device in
+      Alcotest.(check bool)
+        (d ^ ": interrupt faster than thread")
+        true
+        (r.Experiments.Fig5.plexus_interrupt < r.Experiments.Fig5.plexus_thread);
+      Alcotest.(check bool)
+        (d ^ ": plexus faster than DIGITAL UNIX")
+        true
+        (r.Experiments.Fig5.plexus_thread < r.Experiments.Fig5.digital_unix);
+      Alcotest.(check bool)
+        (d ^ ": raw driver below plexus")
+        true
+        (r.Experiments.Fig5.raw_driver < r.Experiments.Fig5.plexus_interrupt);
+      match r.Experiments.Fig5.paper_plexus with
+      | Some paper ->
+          let ratio = r.Experiments.Fig5.plexus_interrupt /. paper in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: within 20%% of the paper (%.2f)" d ratio)
+            true
+            (ratio > 0.8 && ratio < 1.2)
+      | None -> ())
+    (Experiments.Fig5.run ~iters:30 ())
+
+let fig5_device_ordering () =
+  let rows = Experiments.Fig5.run ~iters:30 () in
+  let get d =
+    (List.find (fun r -> r.Experiments.Fig5.device = d) rows)
+      .Experiments.Fig5.plexus_interrupt
+  in
+  Alcotest.(check bool) "t3 < atm < ethernet" true
+    (get "t3" < get "atm" && get "atm" < get "ethernet")
+
+(* Section 4.2: Ethernet wire-limited and equal; ATM CPU-limited with
+   Plexus ahead of DIGITAL UNIX. *)
+let tput_shape () =
+  let rows = Experiments.Tput.run ~bytes:500_000 () in
+  let get d = List.find (fun r -> r.Experiments.Tput.device = d) rows in
+  let eth = get "ethernet" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ethernet within 10%% of 8.9 (%.1f)" eth.Experiments.Tput.plexus_mbps)
+    true
+    (abs_float (eth.Experiments.Tput.plexus_mbps -. 8.9) < 0.9);
+  Alcotest.(check bool) "ethernet roughly equal on both systems" true
+    (abs_float (eth.Experiments.Tput.plexus_mbps -. eth.Experiments.Tput.du_mbps)
+     /. eth.Experiments.Tput.plexus_mbps
+    < 0.1);
+  let atm = get "atm" in
+  Alcotest.(check bool)
+    (Printf.sprintf "plexus beats DU on ATM (%.1f vs %.1f)"
+       atm.Experiments.Tput.plexus_mbps atm.Experiments.Tput.du_mbps)
+    true
+    (atm.Experiments.Tput.plexus_mbps > atm.Experiments.Tput.du_mbps *. 1.1);
+  Alcotest.(check bool) "ATM below the PIO ceiling" true
+    (atm.Experiments.Tput.plexus_mbps < 53.)
+
+(* Figure 6: SPIN uses about half the CPU; the network saturates at 15
+   streams for both. *)
+let fig6_shape () =
+  let rows = Experiments.Fig6.run ~stream_counts:[ 5; 15; 20 ] () in
+  let get n = List.find (fun s -> s.Experiments.Fig6.streams = n) rows in
+  let s15 = get 15 in
+  let ratio = s15.Experiments.Fig6.du_util /. s15.Experiments.Fig6.spin_util in
+  Alcotest.(check bool)
+    (Printf.sprintf "DU uses ~2x the CPU at 15 streams (%.2fx)" ratio)
+    true
+    (ratio > 1.6 && ratio < 3.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "network saturated at 15 streams (%.1f Mb/s)"
+       s15.Experiments.Fig6.net_mbps)
+    true
+    (s15.Experiments.Fig6.net_mbps > 40.);
+  let s20 = get 20 in
+  Alcotest.(check bool) "no more throughput past saturation" true
+    (s20.Experiments.Fig6.net_mbps <= s15.Experiments.Fig6.net_mbps +. 1.);
+  let s5 = get 5 in
+  Alcotest.(check bool) "utilization grows with load" true
+    (s5.Experiments.Fig6.spin_util < s15.Experiments.Fig6.spin_util)
+
+(* Figure 7: the in-kernel forwarder beats the user-level splice at every
+   payload size. *)
+let fig7_shape () =
+  let rows = Experiments.Fig7.run ~warmup:3 ~iters:15 () in
+  List.iter
+    (fun (r : Experiments.Fig7.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "plexus wins at %d bytes (%.0f vs %.0f)"
+           r.Experiments.Fig7.payload r.Experiments.Fig7.plexus_us
+           r.Experiments.Fig7.du_us)
+        true
+        (r.Experiments.Fig7.plexus_us < r.Experiments.Fig7.du_us))
+    rows;
+  (* latency grows with payload on both systems *)
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "plexus grows with size" true
+    (first.Experiments.Fig7.plexus_us < last.Experiments.Fig7.plexus_us);
+  Alcotest.(check bool) "du grows with size" true
+    (first.Experiments.Fig7.du_us < last.Experiments.Fig7.du_us)
+
+(* Section 3.3: active messages at interrupt level beat both thread-mode
+   AM and the full UDP stack. *)
+let micro_shape () =
+  let r = Experiments.Micro.run ~iters:50 () in
+  Alcotest.(check bool) "interrupt AM < thread AM" true
+    (r.Experiments.Micro.interrupt_rtt < r.Experiments.Micro.thread_rtt);
+  Alcotest.(check bool) "AM < full UDP stack" true
+    (r.Experiments.Micro.interrupt_rtt < r.Experiments.Micro.udp_rtt)
+
+(* Ablations: guard cost grows slowly; overwrite is the fast spoof
+   policy; disabling the checksum saves time on big frames. *)
+let ablate_shape () =
+  let gs = Experiments.Ablate.guard_scaling ~counts:[ 0; 64 ] ~iters:30 () in
+  (match gs with
+  | [ g0; g64 ] ->
+      let slope =
+        (g64.Experiments.Ablate.rtt_us -. g0.Experiments.Ablate.rtt_us) /. 64.
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "guard slope small but nonzero (%.2fus/guard)" slope)
+        true
+        (slope > 0.05 && slope < 2.0)
+  | _ -> Alcotest.fail "wrong shape");
+  let s = Experiments.Ablate.spoof_policy ~iters:30 () in
+  Alcotest.(check bool) "overwrite is at least as fast" true
+    (s.Experiments.Ablate.overwrite_rtt <= s.Experiments.Ablate.verify_rtt);
+  Alcotest.(check int) "forged send rejected under verify" 1
+    s.Experiments.Ablate.spoofs_rejected;
+  let c = Experiments.Ablate.cksum_variant ~iters:30 () in
+  Alcotest.(check bool) "checksum off is faster" true
+    (c.Experiments.Ablate.without_cksum < c.Experiments.Ablate.with_cksum)
+
+let suite =
+  [
+    ( "experiments.shapes",
+      [
+        stc "fig5 orderings and calibration" fig5_orderings;
+        stc "fig5 device ordering" fig5_device_ordering;
+        stc "tput shape" tput_shape;
+        stc "fig6 shape" fig6_shape;
+        stc "fig7 shape" fig7_shape;
+        stc "micro shape" micro_shape;
+        stc "ablation shape" ablate_shape;
+      ] );
+  ]
+
+(* §5.1 client side: similar utilization on both systems, dominated by
+   framebuffer writes. *)
+let fig6_client_shape () =
+  let c = Experiments.Fig6.client ~streams:3 () in
+  let ratio = c.Experiments.Fig6.du_util /. c.Experiments.Fig6.plexus_util in
+  Alcotest.(check bool)
+    (Printf.sprintf "similar utilization (%.2fx)" ratio)
+    true
+    (ratio > 0.85 && ratio < 1.25);
+  Alcotest.(check bool)
+    (Printf.sprintf "framebuffer dominates (%.0f%%)"
+       (100. *. c.Experiments.Fig6.plexus_fb_share))
+    true
+    (c.Experiments.Fig6.plexus_fb_share > 0.6)
+
+let suite =
+  suite
+  @ [
+      ( "experiments.client_side",
+        [ stc "fig6 client similarity" fig6_client_shape ] );
+    ]

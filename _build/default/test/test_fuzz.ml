@@ -1,0 +1,222 @@
+(* Model-based fuzzing of the protocol graph: random interleavings of
+   binds, handler installs/uninstalls, sends (including to dead ports,
+   oversized datagrams, and forged claims) and extension link/unlink
+   must never crash the kernel, and the counters must stay consistent
+   with a simple model. *)
+
+let prop t = QCheck_alcotest.to_alcotest t
+
+type op =
+  | Bind of int            (* port offset *)
+  | Unbind of int
+  | Send of int * int      (* port offset, payload size *)
+  | Send_forged of int
+  | Link_am
+  | Unlink_am
+  | Blast_unknown_port
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun p -> Bind p) (int_bound 4));
+        (1, map (fun p -> Unbind p) (int_bound 4));
+        (6, map2 (fun p s -> Send (p, s)) (int_bound 4) (int_bound 3000));
+        (1, map (fun p -> Send_forged p) (int_bound 4));
+        (1, return Link_am);
+        (1, return Unlink_am);
+        (1, return Blast_unknown_port);
+      ])
+
+let pp_op = function
+  | Bind p -> Printf.sprintf "Bind %d" p
+  | Unbind p -> Printf.sprintf "Unbind %d" p
+  | Send (p, s) -> Printf.sprintf "Send (%d, %d)" p s
+  | Send_forged p -> Printf.sprintf "Send_forged %d" p
+  | Link_am -> "Link_am"
+  | Unlink_am -> "Unlink_am"
+  | Blast_unknown_port -> "Blast_unknown_port"
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (1 -- 40) op_gen)
+
+let run_ops ops =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  let client =
+    match Plexus.Udp_mgr.bind udp_a ~owner:"fuzz" ~port:5000 with
+    | Ok ep -> ep
+    | Error _ -> assert false
+  in
+  let bound : (int, Plexus.Endpoint.t * (unit -> unit)) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let received = ref 0 in
+  let model_sent_to_bound = ref 0 in
+  let am_linked = ref None in
+  (* Each operation runs to quiescence, so the model is exact: a datagram
+     is delivered iff its port was bound when it was sent. *)
+  let step op =
+      match op with
+      | Bind poff -> (
+          let port = 7000 + poff in
+          match Plexus.Udp_mgr.bind udp_b ~owner:"fuzz" ~port with
+          | Ok ep ->
+              let un =
+                Plexus.Udp_mgr.install_recv udp_b ep (fun _ -> incr received)
+              in
+              Hashtbl.replace bound port (ep, un)
+          | Error (`Port_in_use _) -> ())
+      | Unbind poff -> (
+          let port = 7000 + poff in
+          match Hashtbl.find_opt bound port with
+          | Some (ep, un) ->
+              un ();
+              Plexus.Udp_mgr.unbind udp_b ep;
+              Hashtbl.remove bound port
+          | None -> ())
+      | Send (poff, size) ->
+          let port = 7000 + poff in
+          if Hashtbl.mem bound port then incr model_sent_to_bound;
+          Plexus.Udp_mgr.send udp_a client ~dst:(Experiments.Common.ip_b, port)
+            (String.make (max 1 size) 'f')
+      | Send_forged poff ->
+          let port = 7000 + poff in
+          if Hashtbl.mem bound port then incr model_sent_to_bound;
+          (match
+             Plexus.Udp_mgr.send_claiming udp_a client ~claimed_src_port:666
+               ~dst:(Experiments.Common.ip_b, port)
+               "forged"
+           with
+          | Ok () -> ()
+          | Error `Spoof_rejected ->
+              (* only possible under Verify policy, which we never set *)
+              assert false)
+      | Link_am ->
+          if !am_linked = None then begin
+            let _ctx, ext =
+              Apps.Active_messages.extension ~name:"fuzz-am"
+                ~handlers:(fun _ _ ~src:_ _ -> Spin.Ephemeral.nothing)
+                ()
+            in
+            match Plexus.Stack.link p.Experiments.Common.b ext with
+            | Ok l -> am_linked := Some l
+            | Error _ -> ()
+          end
+      | Unlink_am -> (
+          match !am_linked with
+          | Some l ->
+              Spin.Linker.unlink l;
+              am_linked := None
+          | None -> ())
+      | Blast_unknown_port ->
+          Plexus.Udp_mgr.send udp_a client
+            ~dst:(Experiments.Common.ip_b, 4444)
+            "nobody"
+  in
+  List.iter
+    (fun op ->
+      step op;
+      Sim.Engine.run p.Experiments.Common.engine ~max_events:1_000_000)
+    ops;
+  let cb = Plexus.Udp_mgr.counters udp_b in
+  let disp_b =
+    Spin.Kernel.dispatcher
+      (Netsim.Host.kernel (Plexus.Stack.host p.Experiments.Common.b))
+  in
+  (* Invariants:
+     - the kernel never faulted;
+     - handlers fired exactly once per datagram sent to a bound port;
+     - the UDP layer's accounting agrees with the model;
+     - sends to unbound ports were counted and answered with ICMP. *)
+  Spin.Dispatcher.faults disp_b = 0
+  && !received = !model_sent_to_bound
+  && cb.Plexus.Udp_mgr.delivered = !model_sent_to_bound
+  && cb.Plexus.Udp_mgr.no_port = cb.Plexus.Udp_mgr.unreachable_sent
+
+let fuzz_graph =
+  QCheck.Test.make ~count:60 ~name:"random graph workloads keep invariants"
+    arb_ops run_ops
+
+let suite = [ ("fuzz.graph", [ prop fuzz_graph ]) ]
+
+(* ---- parser robustness: random bytes never crash a codec ---------------- *)
+
+let random_bytes = QCheck.(string_of_size Gen.(0 -- 200))
+
+let never_raises name f =
+  QCheck.Test.make ~count:300 ~name random_bytes (fun s ->
+      match f (View.of_string s) with _ -> true | exception _ -> false)
+
+let parser_fuzz =
+  [
+    never_raises "Ether.parse total" (fun v -> ignore (Proto.Ether.parse v));
+    never_raises "Ipv4.parse total" (fun v ->
+        ignore (Proto.Ipv4.parse v);
+        ignore (Proto.Ipv4.checksum_valid v));
+    never_raises "Udp.parse/valid total" (fun v ->
+        ignore (Proto.Udp.parse v);
+        ignore
+          (Proto.Udp.valid ~src:(Proto.Ipaddr.v 1 2 3 4)
+             ~dst:(Proto.Ipaddr.v 5 6 7 8) v));
+    never_raises "Tcp_wire.parse total" (fun v ->
+        match Proto.Tcp_wire.parse v with
+        | Some (_, off) ->
+            (* the advertised data offset is always within the segment *)
+            assert (off <= View.length v)
+        | None -> ());
+    never_raises "Icmp.parse/valid total" (fun v ->
+        ignore (Proto.Icmp.parse v);
+        ignore (Proto.Icmp.valid v));
+    never_raises "Arp.parse total" (fun v -> ignore (Proto.Arp.parse v));
+  ]
+
+let http_fuzz =
+  QCheck.Test.make ~count:300 ~name:"Http parsers total" random_bytes (fun s ->
+      match
+        ( Proto.Http.parse_request s,
+          Proto.Http.parse_response s )
+      with
+      | _ -> true
+      | exception _ -> false)
+
+(* a random segment fed to an established TCP connection never crashes *)
+let tcp_input_fuzz =
+  QCheck.Test.make ~count:100 ~name:"Tcp.input total on random segments"
+    QCheck.(pair small_int (string_of_size Gen.(0 -- 120)))
+    (fun (seed, junk) ->
+      let engine = Sim.Engine.create ~seed () in
+      let env =
+        {
+          Proto.Tcp.now = (fun () -> Sim.Engine.now engine);
+          set_timer =
+            (fun delay fn ->
+              let h = Sim.Engine.schedule_in engine ~delay fn in
+              fun () -> Sim.Engine.cancel h);
+          tx = (fun _ -> ());
+          on_receive = ignore;
+          on_established = ignore;
+          on_peer_close = ignore;
+          on_close = ignore;
+          on_error = ignore;
+        }
+      in
+      let tcp =
+        Proto.Tcp.create env (Proto.Tcp.default_config ())
+          ~local:(Proto.Ipaddr.v 10 0 0 1, 80)
+      in
+      Proto.Tcp.set_remote tcp ~remote:(Proto.Ipaddr.v 10 0 0 2, 1000);
+      Proto.Tcp.listen tcp;
+      match Proto.Tcp.input tcp (View.of_string junk) with
+      | () -> true
+      | exception _ -> false)
+
+let suite =
+  suite
+  @ [
+      ("fuzz.parsers", List.map prop parser_fuzz @ [ prop http_fuzz ]);
+      ("fuzz.tcp", [ prop tcp_input_fuzz ]);
+    ]
