@@ -17,16 +17,20 @@ open Toolkit
 (* ---- Part 1: microbenchmark subjects --------------------------------- *)
 
 (* A dispatcher wired to a live engine; each raise is drained so state
-   does not accumulate across benchmark iterations. *)
-let dispatcher_env n_handlers =
+   does not accumulate across benchmark iterations.  [indexed] installs
+   every handler under its own dispatch key, so a raise consults one
+   hash bucket instead of scanning all [n_handlers] guards. *)
+let dispatcher_env ~indexed n_handlers =
   let engine = Sim.Engine.create () in
   let cpu = Sim.Cpu.create engine ~name:"bench" in
   let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
   let ev = Spin.Dispatcher.event d "bench" in
+  if indexed then Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
   for i = 0 to n_handlers - 1 do
     let (_ : unit -> unit) =
       Spin.Dispatcher.install ev
-        ~guard:(fun x -> x mod n_handlers = i)
+        ~guard:(fun x -> x = i)
+        ?key:(if indexed then Some i else None)
         ~cost:Sim.Stime.zero
         (fun _ -> ())
     in
@@ -38,19 +42,27 @@ let test_direct_call =
   let f = Sys.opaque_identity (fun x -> x + 1) in
   Test.make ~name:"direct procedure call" (Staged.stage (fun () -> ignore (f 1)))
 
-let test_dispatch_1 =
-  let engine, ev = dispatcher_env 1 in
-  Test.make ~name:"dispatcher raise (1 handler)"
+(* Linear vs. indexed dispatch across handler counts: the raise always
+   matches exactly one handler (the middle one), so any cost growth is
+   pure demultiplexing overhead. *)
+let test_dispatch ~indexed n =
+  let engine, ev = dispatcher_env ~indexed n in
+  let target = n / 2 in
+  Test.make
+    ~name:
+      (Printf.sprintf "dispatch %s (%d handlers)"
+         (if indexed then "indexed" else "linear")
+         n)
     (Staged.stage (fun () ->
-         Spin.Dispatcher.raise ev 0;
+         Spin.Dispatcher.raise ev target;
          Sim.Engine.run engine))
 
-let test_dispatch_8 =
-  let engine, ev = dispatcher_env 8 in
-  Test.make ~name:"dispatcher raise (8 guards, 1 match)"
-    (Staged.stage (fun () ->
-         Spin.Dispatcher.raise ev 3;
-         Sim.Engine.run engine))
+let dispatch_counts = [ 1; 8; 64; 256 ]
+
+let dispatch_tests =
+  List.concat_map
+    (fun n -> [ test_dispatch ~indexed:false n; test_dispatch ~indexed:true n ])
+    dispatch_counts
 
 let sample_frame =
   let pkt = Mbuf.of_string (String.make 64 '\000') in
@@ -123,22 +135,54 @@ let test_tcp_encode =
               (Proto.Tcp_wire.to_packet ~src:(Proto.Ipaddr.v 10 0 0 1)
                  ~dst:(Proto.Ipaddr.v 10 0 0 2) hdr payload))))
 
-let test_filter_eval =
-  let ctx =
-    let engine = Sim.Engine.create () in
-    let host =
-      Netsim.Host.create engine ~name:"h" ~ip:(Proto.Ipaddr.v 10 0 0 1)
-    in
-    let dev = Netsim.Host.add_device host (Netsim.Costs.loopback ()) in
-    Plexus.Pctx.make dev (Mbuf.ro (Mbuf.of_string (String.make 64 'p')))
-  in
-  let filter =
-    Plexus.Filter.(
-      And (Gt (Payload_len, 0), Or (Eq (U8 (Cur, 0), Char.code 'p'), True)))
-  in
-  Test.make ~name:"interpreted packet filter (5 nodes)"
+let bench_ctx =
+  lazy
+    (let engine = Sim.Engine.create () in
+     let host =
+       Netsim.Host.create engine ~name:"h" ~ip:(Proto.Ipaddr.v 10 0 0 1)
+     in
+     let dev = Netsim.Host.add_device host (Netsim.Costs.loopback ()) in
+     Plexus.Pctx.make dev (Mbuf.ro (Mbuf.of_string (String.make 64 'p'))))
+
+(* The 5-node filter of the original microbenchmark and a richer 15-node
+   demultiplexing predicate (the ablation's), each interpreted and
+   compiled.  (Compilation folds the 5-node filter's [Or (_, True)] to a
+   single instruction; the 15-node filter keeps real work on both
+   sides.) *)
+let bench_filter_5 =
+  Plexus.Filter.(
+    And (Gt (Payload_len, 0), Or (Eq (U8 (Cur, 0), Char.code 'p'), True)))
+
+let bench_filter_15 =
+  Plexus.Filter.(
+    And
+      ( And (Eq (U8 (Cur, 0), Char.code 'p'), Gt (Payload_len, 0)),
+        And
+          ( Or (Eq (U8 (Cur, 1), Char.code 'p'), Or (Eq (U8 (Cur, 2), 0), Eq (U8 (Cur, 3), 1))),
+            Not (Or (Eq (Payload_len, 0), Gt (Payload_len, 65536))) ) ))
+
+let test_filter_interp name filter =
+  let ctx = Lazy.force bench_ctx in
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore (Sys.opaque_identity (Plexus.Filter.eval filter ctx))))
+
+let test_filter_compiled name filter =
+  let ctx = Lazy.force bench_ctx in
+  let prog = Plexus.Filter.compile filter in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Plexus.Filter.run prog ctx))))
+
+let test_filter_eval = test_filter_interp "interpreted packet filter (5 nodes)" bench_filter_5
+
+let filter_tests =
+  [
+    test_filter_eval;
+    test_filter_compiled "compiled packet filter (5 nodes)" bench_filter_5;
+    test_filter_interp "interpreted packet filter (15 nodes)" bench_filter_15;
+    test_filter_compiled "compiled packet filter (15 nodes)" bench_filter_15;
+  ]
 
 let test_link_unlink =
   let iface = Spin.Interface.create "Svc" in
@@ -167,23 +211,23 @@ let test_ephemeral_plan =
               (Spin.Ephemeral.execute ~budget:(Sim.Stime.us 12) prog))))
 
 let micro_tests =
-  [
-    test_direct_call;
-    test_dispatch_1;
-    test_dispatch_8;
-    test_guard;
-    test_view_read;
-    test_ipv4_parse;
-    test_mbuf_alloc;
-    test_mbuf_prepend;
-    test_cksum_1500;
-    test_tcp_encode;
-    test_filter_eval;
-    test_link_unlink;
-    test_ephemeral_plan;
-  ]
+  [ test_direct_call ]
+  @ dispatch_tests
+  @ [
+      test_guard;
+      test_view_read;
+      test_ipv4_parse;
+      test_mbuf_alloc;
+      test_mbuf_prepend;
+      test_cksum_1500;
+      test_tcp_encode;
+    ]
+  @ filter_tests
+  @ [ test_link_unlink; test_ephemeral_plan ]
 
-let run_bechamel () =
+(* Runs the subjects, prints the human-readable table, and returns
+   [(name, ns_per_op)] for the machine-readable record. *)
+let run_bechamel tests =
   Experiments.Common.print_header
     "Bechamel microbenchmarks (host-machine ns per operation)";
   let ols =
@@ -193,33 +237,84 @@ let run_bechamel () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results =
         Benchmark.all cfg instances
           (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
       in
       let analyzed = Analyze.all ols (List.hd instances) results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-44s %12.1f ns\n%!" name est
-          | _ -> Printf.printf "  %-44s (no estimate)\n%!" name)
-        analyzed)
-    micro_tests
+          | Some [ est ] ->
+              Printf.printf "  %-44s %12.1f ns\n%!" name est;
+              (name, est) :: acc
+          | _ ->
+              Printf.printf "  %-44s (no estimate)\n%!" name;
+              acc)
+        analyzed [])
+    tests
+
+(* The demux subjects, recorded as JSON so the perf trajectory is
+   comparable across revisions. *)
+let write_dispatch_json path results =
+  let dispatch_subject name = (name, List.assoc_opt name results) in
+  let subjects =
+    List.concat_map
+      (fun n ->
+        [
+          dispatch_subject (Printf.sprintf "g dispatch linear (%d handlers)" n);
+          dispatch_subject (Printf.sprintf "g dispatch indexed (%d handlers)" n);
+        ])
+      dispatch_counts
+    @ List.map dispatch_subject
+        [
+          "g interpreted packet filter (5 nodes)";
+          "g compiled packet filter (5 nodes)";
+          "g interpreted packet filter (15 nodes)";
+          "g compiled packet filter (15 nodes)";
+        ]
+  in
+  let oc = open_out path in
+  output_string oc "{\n  \"unit\": \"ns_per_op\",\n  \"subjects\": {\n";
+  let entries =
+    List.filter_map
+      (fun (name, v) ->
+        (* strip the bechamel group prefix *)
+        let name =
+          if String.length name > 2 && String.sub name 0 2 = "g " then
+            String.sub name 2 (String.length name - 2)
+          else name
+        in
+        Option.map (fun v -> Printf.sprintf "    %S: %.1f" name v) v)
+      subjects
+  in
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n  }\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s (%d subjects)\n%!" path (List.length entries)
 
 (* ---- Part 2: paper reproduction --------------------------------------- *)
 
 let () =
-  run_bechamel ();
-  ignore (Experiments.Fig5.print ~iters:200 ());
-  ignore (Experiments.Tput.print ~bytes:2_000_000 ());
-  ignore (Experiments.Fig6.print ());
-  ignore (Experiments.Fig7.print ~iters:50 ());
-  ignore (Experiments.Micro.print ~iters:100 ());
-  ignore (Experiments.Sweep.print ~iters:100 ());
-  ignore (Experiments.Livelock.print ());
-  Experiments.Motivate.print ();
-  ignore (Experiments.Http_bench.print ());
-  Experiments.Ablate.print ();
-  print_newline ()
+  let dispatch_only = Array.mem "--dispatch-only" Sys.argv in
+  if dispatch_only then begin
+    let results = run_bechamel (dispatch_tests @ filter_tests) in
+    write_dispatch_json "BENCH_dispatch.json" results
+  end
+  else begin
+    let results = run_bechamel micro_tests in
+    write_dispatch_json "BENCH_dispatch.json" results;
+    ignore (Experiments.Fig5.print ~iters:200 ());
+    ignore (Experiments.Tput.print ~bytes:2_000_000 ());
+    ignore (Experiments.Fig6.print ());
+    ignore (Experiments.Fig7.print ~iters:50 ());
+    ignore (Experiments.Micro.print ~iters:100 ());
+    ignore (Experiments.Sweep.print ~iters:100 ());
+    ignore (Experiments.Livelock.print ());
+    Experiments.Motivate.print ();
+    ignore (Experiments.Http_bench.print ());
+    Experiments.Ablate.print ();
+    print_newline ()
+  end

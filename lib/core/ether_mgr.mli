@@ -25,10 +25,12 @@ val touches_data : t -> bool
     layer processing, [CT90]). *)
 
 val install_protocol :
-  t -> child:string -> guard:(Pctx.t -> bool) ->
+  t -> child:string -> guard:(Pctx.t -> bool) -> ?key:int ->
   ?dyncost:(Pctx.t -> Sim.Stime.t) -> cost:Sim.Stime.t -> (Pctx.t -> unit) ->
   unit -> unit
-(** Trusted install for in-kernel protocol layers (IP, ARP). *)
+(** Trusted install for in-kernel protocol layers (IP, ARP).  [key] is
+    the handler's dispatch key (e.g. [Filter.ether_type_key]) when the
+    guard implies one. *)
 
 val etype_guard : int -> Pctx.t -> bool
 (** Guard matching frames of one EtherType (the paper's Figure 2). *)

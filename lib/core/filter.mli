@@ -3,8 +3,11 @@
 
     A filter is plain data: applications can hand one to a manager with
     no code installation at all, at the price of interpretation cost
-    ({!eval_cost}) on every packet.  Compiling it ({!compile}) yields an
-    ordinary guard closure — the SPIN approach. *)
+    ({!eval_cost}) on every packet.  Compiling it ({!compile}) lowers the
+    tree to a flat array of closure-free instructions run by a tight
+    loop (DPF-style), and {!dispatch_key} exposes the literal
+    demultiplexing test the filter implies so the dispatcher's index can
+    skip it entirely (PathFinder-style). *)
 
 type anchor = Cur | Abs
 
@@ -35,12 +38,68 @@ val eval_cost : t -> Sim.Stime.t
 (** Modelled per-packet interpretation cost. *)
 
 val eval : t -> Pctx.t -> bool
-(** Interpret the filter against a packet context.  Fields that are not
-    available (short packet, no parsed header, no ports yet) make the
-    enclosing comparison false. *)
+(** Reference semantics: interpret the filter against a packet context.
+    Fields that are not available (short packet, no parsed header, no
+    ports yet) make the enclosing comparison false. *)
 
-val compile : t -> Pctx.t -> bool
-(** The filter as a native guard closure. *)
+(** {1 Compilation} *)
+
+val normalize : t -> t
+(** Constant folding, [And]/[Or] flattening, and short-circuit ordering
+    of conjuncts/disjuncts by estimated field cost.  Semantics-preserving
+    for well-formed (non-negative-offset) filters: tests are pure, so
+    reordering cannot change the result. *)
+
+type program
+(** A filter compiled to a flat array of closure-free instructions. *)
+
+val compile : t -> program
+(** Normalize and lower to straight-line instruction form. *)
+
+val run : program -> Pctx.t -> bool
+(** Execute a compiled filter: a tight loop over the instruction array
+    with the packet views hoisted out of the per-field reads.  Agrees
+    with {!eval} on every context. *)
+
+val compile_guard : t -> Pctx.t -> bool
+(** [compile t] partially applied — the filter as an ordinary guard
+    closure for installs that take one. *)
+
+val program_length : program -> int
+(** Instructions in the compiled form (≤ the comparison count of the
+    normalized filter). *)
+
+val compiled_cost : program -> Sim.Stime.t
+(** Modelled per-packet cost of {!run}: a fixed entry overhead plus a
+    few ns per instruction — the gcost managers charge for compiled
+    filters in place of {!eval_cost}. *)
+
+(** {1 Dispatch keys}
+
+    A dispatch key is a literal equality on a demultiplexing field —
+    EtherType, IP protocol, source/destination port — encoded as an int
+    for the dispatcher's hash index. *)
+
+val dispatch_key : t -> int option
+(** The key implied by the filter, if any: a top-level conjunct that is
+    [Eq]/full-width [Mask] on a keyable field.  Soundness: if
+    [dispatch_key t = Some k], then [eval t ctx = false] for every [ctx]
+    whose {!context_keys} does not include [k]. *)
+
+val context_keys : Pctx.t -> int list
+(** The keys a packet context presents, one per demux dimension
+    available at the current layer (EtherType from the frame, protocol
+    from the parsed IP header, ports once parsed).  Events over [Pctx.t]
+    use this as their key extractor. *)
+
+val ether_type_key : int -> int
+val ip_proto_key : int -> int
+val src_port_key : int -> int
+val dst_port_key : int -> int
+(** Key encodings for managers that install closure guards with a known
+    literal (endpoint port, protocol number) rather than a filter. *)
+
+(** {1 Builders} *)
 
 val ether_type_is : int -> t
 val ip_proto_is : int -> t

@@ -34,9 +34,13 @@ let node t name =
   match List.find_opt (fun n -> n.node_name = name) t.nodes with
   | Some n -> n
   | None ->
-      let n =
-        { node_name = name; recv = Spin.Dispatcher.event t.disp (name ^ ".PacketRecv") }
-      in
+      let recv = Spin.Dispatcher.event t.disp (name ^ ".PacketRecv") in
+      (* Every protocol event demultiplexes packet contexts, so they all
+         share one key extractor: the demux dimensions the packet
+         presents at its current layer (EtherType, IP protocol, ports).
+         Managers that know their guard's literal install with ~key. *)
+      Spin.Dispatcher.set_keyfn recv Filter.context_keys;
+      let n = { node_name = name; recv } in
       t.nodes <- t.nodes @ [ n ];
       n
 

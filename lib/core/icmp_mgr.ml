@@ -37,7 +37,9 @@ let create graph ip =
   let (_ : unit -> unit) =
     Spin.Dispatcher.install
       (Graph.recv_event (Ip_mgr.node ip))
-      ~guard:proto_guard ~cost:costs.Netsim.Costs.layer.udp_in
+      ~guard:proto_guard
+      ~key:(Filter.ip_proto_key Proto.Ipv4.proto_icmp)
+      ~cost:costs.Netsim.Costs.layer.udp_in
       ~dyncost:(fun ctx ->
         if Pctx.data_touched_by_device ctx then Sim.Stime.zero
         else

@@ -123,6 +123,7 @@ let attach t ether arp ~net ~mask_bits =
   in
   let (_ : unit -> unit) =
     Ether_mgr.install_protocol ether ~child:"ip" ~guard
+      ~key:(Filter.ether_type_key Proto.Ether.etype_ip)
       ~cost:t.costs.Netsim.Costs.layer.ip_in (rx t)
   in
   ()

@@ -107,6 +107,7 @@ let create graph ip =
     Spin.Dispatcher.install
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:(fun ctx -> proto_guard t ctx)
+      ~key:(Filter.ip_proto_key Proto.Ipv4.proto_udp)
       ~cost:costs.Netsim.Costs.layer.udp_in
       ~dyncost:(fun ctx ->
         (* checksum verification touches the payload — unless the PIO
@@ -144,13 +145,28 @@ let port_guard ep ctx = ctx.Pctx.dst_port = Endpoint.port ep
 
 (* Attach an application receive handler for an endpoint.  The guard the
    manager installs is derived from the endpoint — the application cannot
-   broaden it. *)
+   broaden it.  The endpoint's port doubles as the handler's dispatch
+   key, so a raise only evaluates the guards bound to the datagram's own
+   destination port. *)
 let install_recv t ep ?cost fn =
   let cost = match cost with Some c -> c | None -> t.costs.Netsim.Costs.layer.app in
   Graph.add_edge t.graph ~parent:t.node
     ~child:(Endpoint.owner ep)
     ~label:(Printf.sprintf "port=%d" (Endpoint.port ep));
-  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep) ~cost fn
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
+    ~key:(Filter.dst_port_key (Endpoint.port ep))
+    ~cost fn
+
+(* The same handler without a dispatch key: every raise scans its guard
+   linearly.  Exists for the guard-scaling ablation — this is what every
+   install was before the demux index. *)
+let install_recv_linear t ep ?cost fn =
+  let cost = match cost with Some c -> c | None -> t.costs.Netsim.Costs.layer.app in
+  Graph.add_edge t.graph ~parent:t.node
+    ~child:(Endpoint.owner ep)
+    ~label:(Printf.sprintf "port=%d(linear)" (Endpoint.port ep));
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep) ~cost
+    fn
 
 (* Receive handler demultiplexed by an *interpreted* packet filter
    (see Filter): the manager conjoins the endpoint's port guard — the
@@ -163,7 +179,24 @@ let install_recv_filtered t ep filter ?cost fn =
     ~label:(Fmt.str "port=%d filter=%a" (Endpoint.port ep) Filter.pp filter);
   Spin.Dispatcher.install (Graph.recv_event t.node)
     ~guard:(fun ctx -> port_guard ep ctx && Filter.eval filter ctx)
+    ~key:(Filter.dst_port_key (Endpoint.port ep))
     ~gcost:(Filter.eval_cost filter) ~cost fn
+
+(* The filtered install with the filter *compiled* instead of
+   interpreted: same delivery semantics (run ≡ eval), but the per-packet
+   gcost drops from [eval_cost] to [compiled_cost]. *)
+let install_recv_compiled t ep filter ?cost fn =
+  let cost = match cost with Some c -> c | None -> t.costs.Netsim.Costs.layer.app in
+  let prog = Filter.compile filter in
+  Graph.add_edge t.graph ~parent:t.node
+    ~child:(Endpoint.owner ep)
+    ~label:
+      (Fmt.str "port=%d compiled[%d]" (Endpoint.port ep)
+         (Filter.program_length prog));
+  Spin.Dispatcher.install (Graph.recv_event t.node)
+    ~guard:(fun ctx -> port_guard ep ctx && Filter.run prog ctx)
+    ~key:(Filter.dst_port_key (Endpoint.port ep))
+    ~gcost:(Filter.compiled_cost prog) ~cost fn
 
 (* Interrupt-level (EPHEMERAL) receive handler with optional budget. *)
 let install_recv_ephemeral t ep ?budget fn =
@@ -171,7 +204,9 @@ let install_recv_ephemeral t ep ?budget fn =
     ~child:(Endpoint.owner ep)
     ~label:(Printf.sprintf "port=%d(eph)" (Endpoint.port ep));
   Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
-    ~guard:(port_guard ep) ?budget fn
+    ~guard:(port_guard ep)
+    ~key:(Filter.dst_port_key (Endpoint.port ep))
+    ?budget fn
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 

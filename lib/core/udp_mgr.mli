@@ -37,8 +37,15 @@ val unbind : t -> Endpoint.t -> unit
 val install_recv :
   t -> Endpoint.t -> ?cost:Sim.Stime.t -> (Pctx.t -> unit) -> unit -> unit
 (** Attach a receive handler; the guard is derived from the endpoint (the
-    handler sees only its own port's datagrams).  Returns the
-    uninstaller. *)
+    handler sees only its own port's datagrams) and the endpoint's port
+    is its dispatch key, so raises on other ports never evaluate it.
+    Returns the uninstaller. *)
+
+val install_recv_linear :
+  t -> Endpoint.t -> ?cost:Sim.Stime.t -> (Pctx.t -> unit) -> unit -> unit
+(** {!install_recv} without the dispatch key: the guard is scanned on
+    every raise.  The pre-index behaviour, kept for the guard-scaling
+    ablation. *)
 
 val install_recv_filtered :
   t -> Endpoint.t -> Filter.t -> ?cost:Sim.Stime.t -> (Pctx.t -> unit) ->
@@ -46,6 +53,13 @@ val install_recv_filtered :
 (** Like {!install_recv}, but additionally demultiplexed by an
     interpreted packet filter whose evaluation cost is charged per
     datagram. *)
+
+val install_recv_compiled :
+  t -> Endpoint.t -> Filter.t -> ?cost:Sim.Stime.t -> (Pctx.t -> unit) ->
+  unit -> unit
+(** {!install_recv_filtered} with the filter compiled
+    ({!Filter.compile}): identical delivery, charged
+    {!Filter.compiled_cost} instead of {!Filter.eval_cost}. *)
 
 val install_recv_ephemeral :
   t -> Endpoint.t -> ?budget:Sim.Stime.t -> (Pctx.t -> Spin.Ephemeral.t) ->

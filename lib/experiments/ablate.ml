@@ -11,21 +11,27 @@
 
 (* --- 1: guard scaling -------------------------------------------------- *)
 
-type guard_point = { extra_endpoints : int; rtt_us : float }
+(* [rtt_us] installs the bystanders unkeyed (the pre-index linear scan:
+   every raise evaluates every guard); [indexed_rtt_us] installs them
+   with their port as dispatch key, so the raise hashes the datagram's
+   port once and never sees them. *)
+type guard_point = { extra_endpoints : int; rtt_us : float; indexed_rtt_us : float }
 
 let guard_scaling ?(counts = [ 0; 8; 32; 128 ]) ?(iters = 100) () =
-  List.map
-    (fun extra ->
+  let run ~indexed extra =
       let p = Common.plexus_pair (Netsim.Costs.ethernet ()) in
       let udp_b = Plexus.Stack.udp p.Common.b in
       (* Install [extra] unrelated endpoints whose guards will be
-         evaluated (and rejected) for every incoming datagram. *)
+         evaluated (and rejected) for every incoming datagram — unless
+         the dispatch index skips them. *)
       for i = 1 to extra do
         match Plexus.Udp_mgr.bind udp_b ~owner:"bystander" ~port:(20000 + i) with
         | Ok ep ->
-            let (_ : unit -> unit) =
-              Plexus.Udp_mgr.install_recv udp_b ep (fun _ -> ())
+            let install =
+              if indexed then Plexus.Udp_mgr.install_recv
+              else Plexus.Udp_mgr.install_recv_linear
             in
+            let (_ : unit -> unit) = install udp_b ep (fun _ -> ()) in
             ()
         | Error _ -> assert false
       done;
@@ -67,7 +73,15 @@ let guard_scaling ?(counts = [ 0; 8; 32; 128 ]) ?(iters = 100) () =
       in
       send_next ();
       Sim.Engine.run p.Common.engine ~max_events:10_000_000;
-      { extra_endpoints = extra; rtt_us = Sim.Stats.Series.mean series })
+      Sim.Stats.Series.mean series
+  in
+  List.map
+    (fun extra ->
+      {
+        extra_endpoints = extra;
+        rtt_us = run ~indexed:false extra;
+        indexed_rtt_us = run ~indexed:true extra;
+      })
     counts
 
 (* --- 2: spoof policy --------------------------------------------------- *)
@@ -216,6 +230,9 @@ let dispatch_sensitivity ?(factors = [ 1; 10; 100 ]) ?(iters = 50) () =
               guard =
                 Sim.Stime.mul base.Netsim.Costs.dispatch.Spin.Dispatcher.guard
                   factor;
+              index =
+                Sim.Stime.mul base.Netsim.Costs.dispatch.Spin.Dispatcher.index
+                  factor;
               thread_spawn =
                 base.Netsim.Costs.dispatch.Spin.Dispatcher.thread_spawn;
             };
@@ -235,7 +252,12 @@ let dispatch_sensitivity ?(factors = [ 1; 10; 100 ]) ?(iters = 50) () =
    networking, [MRA87]) demultiplex with *interpreted* packet filters.
    Install the echo endpoint behind a deliberately rich interpreted
    filter and compare with the native guard. *)
-type filter_result = { native_rtt : float; interpreted_rtt : float; nodes : int }
+type filter_result = {
+  native_rtt : float;
+  interpreted_rtt : float;
+  compiled_rtt : float;
+  nodes : int;
+}
 
 let filter_vs_guard ?(iters = 100) () =
   let rich_filter =
@@ -292,6 +314,9 @@ let filter_vs_guard ?(iters = 100) () =
     interpreted_rtt =
       run (fun udp ep fn ->
           Plexus.Udp_mgr.install_recv_filtered udp ep rich_filter fn);
+    compiled_rtt =
+      run (fun udp ep fn ->
+          Plexus.Udp_mgr.install_recv_compiled udp ep rich_filter fn);
     nodes = Plexus.Filter.nodes rich_filter;
   }
 
@@ -359,9 +384,11 @@ let video_multicast_util ?(streams = 15) () =
 
 let print () =
   Common.print_header "Ablation: guard (packet filter) scaling";
-  Printf.printf "%18s %10s\n" "extra endpoints" "rtt(us)";
+  Printf.printf "%18s %12s %12s\n" "extra endpoints" "linear(us)" "indexed(us)";
   List.iter
-    (fun g -> Printf.printf "%18d %10.1f\n" g.extra_endpoints g.rtt_us)
+    (fun g ->
+      Printf.printf "%18d %12.1f %12.1f\n" g.extra_endpoints g.rtt_us
+        g.indexed_rtt_us)
     (guard_scaling ());
   Common.print_header "Ablation: anti-spoofing policy (section 3.1)";
   let s = spoof_policy () in
@@ -382,8 +409,11 @@ let print () =
     "Ablation: interpreted packet filter vs. compiled guard (Ethernet UDP RTT)";
   let f = filter_vs_guard () in
   Printf.printf
-    "  native guard: %.1f us    interpreted %d-node filter: %.1f us (+%.1f)\n"
-    f.native_rtt f.nodes f.interpreted_rtt (f.interpreted_rtt -. f.native_rtt);
+    "  native guard: %.1f us    interpreted %d-node filter: %.1f us (+%.1f)    compiled: %.1f us (+%.1f)\n"
+    f.native_rtt f.nodes f.interpreted_rtt
+    (f.interpreted_rtt -. f.native_rtt)
+    f.compiled_rtt
+    (f.compiled_rtt -. f.native_rtt);
   Common.print_header
     "Ablation: multicast semantics for the video server (15 identical streams, T3)";
   let uni, multi = video_multicast_util () in

@@ -2,10 +2,12 @@
     anti-spoofing policy, the checksum-disabled UDP variant, dispatcher
     cost sensitivity, and multicast semantics for the video server. *)
 
-type guard_point = { extra_endpoints : int; rtt_us : float }
+type guard_point = { extra_endpoints : int; rtt_us : float; indexed_rtt_us : float }
 
 val guard_scaling : ?counts:int list -> ?iters:int -> unit -> guard_point list
-(** UDP echo RTT with N extra (non-matching) endpoint guards installed. *)
+(** UDP echo RTT with N extra (non-matching) endpoint guards installed:
+    [rtt_us] with the bystanders unkeyed (linear scan), [indexed_rtt_us]
+    with them in the dispatch index (skipped by the port hash). *)
 
 type spoof_result = {
   overwrite_rtt : float;
@@ -19,11 +21,16 @@ type cksum_result = { with_cksum : float; without_cksum : float }
 
 val cksum_variant : ?payload_len:int -> ?iters:int -> unit -> cksum_result
 
-type filter_result = { native_rtt : float; interpreted_rtt : float; nodes : int }
+type filter_result = {
+  native_rtt : float;
+  interpreted_rtt : float;
+  compiled_rtt : float;
+  nodes : int;
+}
 
 val filter_vs_guard : ?iters:int -> unit -> filter_result
-(** Echo RTT with the endpoint demultiplexed by a compiled guard vs. a
-    rich interpreted packet filter. *)
+(** Echo RTT with the endpoint demultiplexed by a native guard vs. a
+    rich interpreted packet filter vs. the same filter compiled. *)
 
 type dispatch_point = { factor : int; rtt_us : float }
 

@@ -8,6 +8,28 @@
    event; "the overhead of invoking each handler is roughly one procedure
    call", which the cost model reflects via [costs.dispatch].
 
+   Demultiplexing scales the way DPF and PathFinder showed it must: an
+   event may carry a *dispatch index*.  Handlers whose guard is known to
+   imply a literal equality on a demux field (protocol number, port,
+   EtherType) are installed with that equality as a [key]; at raise time
+   the event's key extractor hashes the payload's demux fields once and
+   only the handlers in the matching buckets — plus the unkeyed linear
+   fallback bucket — have their guards evaluated.  Raise cost therefore
+   scales with the number of *matching* handlers, not the number of
+   *installed* handlers; the cost model charges one [costs.index] hash
+   lookup instead of [guard * n].
+
+   The registry behind this is an hid-indexed hash table (O(1) install,
+   uninstall and liveness check) plus per-key bucket lists; bucket lists
+   are pruned lazily of uninstalled ids at the next raise that touches
+   them.
+
+   Soundness contract for keys: installing a handler with [~key:k] asserts
+   that its guard can only accept payloads for which the event's key
+   extractor includes [k].  Managers derive both from the same endpoint or
+   filter, so the index can never change which handlers fire — it only
+   skips guards that were going to say no.
+
    Delivery modes correspond to the two Plexus bars in Figure 5:
    - [Interrupt]: handlers run at interrupt priority in the raiser's
      context.  Ephemeral handlers additionally run under a time budget
@@ -20,6 +42,7 @@ type delivery = Interrupt | Thread
 type costs = {
   dispatch : Sim.Stime.t;      (* per-raise bookkeeping, ~ a procedure call *)
   guard : Sim.Stime.t;         (* per guard predicate evaluation *)
+  index : Sim.Stime.t;         (* per-raise demux-key hash lookup *)
   thread_spawn : Sim.Stime.t;  (* thread-mode per-invocation cost *)
 }
 
@@ -27,6 +50,7 @@ let default_costs =
   {
     dispatch = Sim.Stime.ns 400;
     guard = Sim.Stime.ns 300;
+    index = Sim.Stime.ns 250;
     thread_spawn = Sim.Stime.us 12;
   }
 
@@ -35,6 +59,7 @@ type t = {
   costs : costs;
   raises : Sim.Stats.Counter.t;
   guard_evals : Sim.Stats.Counter.t;
+  index_lookups : Sim.Stats.Counter.t;
   invocations : Sim.Stats.Counter.t;
   terminations : Sim.Stats.Counter.t;
   faults : Sim.Stats.Counter.t;
@@ -46,6 +71,7 @@ let create ~cpu ~costs =
     costs;
     raises = Sim.Stats.Counter.create ();
     guard_evals = Sim.Stats.Counter.create ();
+    index_lookups = Sim.Stats.Counter.create ();
     invocations = Sim.Stats.Counter.create ();
     terminations = Sim.Stats.Counter.create ();
     faults = Sim.Stats.Counter.create ();
@@ -55,6 +81,7 @@ let cpu t = t.cpu
 let costs t = t.costs
 let raises t = Sim.Stats.Counter.get t.raises
 let guard_evals t = Sim.Stats.Counter.get t.guard_evals
+let index_lookups t = Sim.Stats.Counter.get t.index_lookups
 let invocations t = Sim.Stats.Counter.get t.invocations
 let terminations t = Sim.Stats.Counter.get t.terminations
 let faults t = Sim.Stats.Counter.get t.faults
@@ -72,6 +99,7 @@ type 'a handler = {
   hid : int;
   guard : 'a -> bool;
   gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
+  hkey : int option;    (* dispatch key this handler is indexed under *)
   kind : 'a kind;
 }
 
@@ -79,33 +107,99 @@ type 'a event = {
   disp : t;
   ename : string;
   mutable mode : delivery;
-  mutable handlers : 'a handler list; (* install order *)
+  table : (int, 'a handler) Hashtbl.t;       (* hid -> handler; the registry *)
+  mutable linear : int list;                  (* unkeyed hids, newest first *)
+  buckets : (int, int list ref) Hashtbl.t;    (* key -> hids, newest first *)
+  mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
+  mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
 }
 
 let event disp ?(mode = Interrupt) ename =
-  { disp; ename; mode; handlers = []; next_hid = 0 }
+  {
+    disp;
+    ename;
+    mode;
+    table = Hashtbl.create 8;
+    linear = [];
+    buckets = Hashtbl.create 8;
+    keyfn = None;
+    nkeyed = 0;
+    next_hid = 0;
+  }
 
 let name ev = ev.ename
 let mode ev = ev.mode
 let set_mode ev m = ev.mode <- m
-let handler_count ev = List.length ev.handlers
+let set_keyfn ev kf = ev.keyfn <- Some kf
+let handler_count ev = Hashtbl.length ev.table
+let indexed_count ev = ev.nkeyed
+let linear_count ev = Hashtbl.length ev.table - ev.nkeyed
 
-let add_handler ev guard gcost kind =
+let remove_hid ev hid =
+  match Hashtbl.find_opt ev.table hid with
+  | None -> ()
+  | Some h ->
+      Hashtbl.remove ev.table hid;
+      (match h.hkey with
+      | Some _ -> ev.nkeyed <- ev.nkeyed - 1
+      | None -> ())
+
+let add_handler ev guard gcost key kind =
   let hid = ev.next_hid in
   ev.next_hid <- hid + 1;
-  ev.handlers <- ev.handlers @ [ { hid; guard; gcost; kind } ];
-  fun () ->
-    ev.handlers <- List.filter (fun h -> h.hid <> hid) ev.handlers
+  Hashtbl.replace ev.table hid { hid; guard; gcost; hkey = key; kind };
+  (match key with
+  | None -> ev.linear <- hid :: ev.linear
+  | Some k ->
+      ev.nkeyed <- ev.nkeyed + 1;
+      (match Hashtbl.find_opt ev.buckets k with
+      | Some b -> b := hid :: !b
+      | None -> Hashtbl.replace ev.buckets k (ref [ hid ])));
+  fun () -> remove_hid ev hid
 
 let no_guard _ = true
 
-let install ev ?(guard = no_guard) ?(gcost = Sim.Stime.zero) ?dyncost ~cost fn =
-  add_handler ev guard gcost (Plain { cost; dyncost; fn })
+let install ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero) ?dyncost
+    ~cost fn =
+  add_handler ev guard gcost key (Plain { cost; dyncost; fn })
 
-let install_ephemeral ev ?(guard = no_guard) ?(gcost = Sim.Stime.zero) ?budget
-    fn =
-  add_handler ev guard gcost (Eph { budget; fn })
+let install_ephemeral ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero)
+    ?budget fn =
+  add_handler ev guard gcost key (Eph { budget; fn })
+
+(* Live handlers behind a hid list, pruning uninstalled ids in place. *)
+let prune ev ids =
+  if List.for_all (fun hid -> Hashtbl.mem ev.table hid) ids then (ids, false)
+  else (List.filter (fun hid -> Hashtbl.mem ev.table hid) ids, true)
+
+let bucket_hids ev k =
+  match Hashtbl.find_opt ev.buckets k with
+  | None -> []
+  | Some b ->
+      let live, stale = prune ev !b in
+      if stale then
+        if live = [] then Hashtbl.remove ev.buckets k else b := live;
+      live
+
+(* The handlers whose guards this raise must evaluate, in install order.
+   Without a key extractor every live handler is a candidate; with one,
+   only the matching buckets plus the linear fallback bucket are. *)
+let candidates ev v =
+  let hids =
+    match ev.keyfn with
+    | None -> Hashtbl.fold (fun hid _ acc -> hid :: acc) ev.table []
+    | Some kf ->
+        let keyed =
+          if ev.nkeyed = 0 then []
+          else List.concat_map (fun k -> bucket_hids ev k) (kf v)
+        in
+        let live_linear, stale = prune ev ev.linear in
+        if stale then ev.linear <- live_linear;
+        List.rev_append keyed live_linear
+  in
+  List.filter_map (fun hid -> Hashtbl.find_opt ev.table hid)
+    (List.sort_uniq compare hids)
 
 (* Fault containment: extension code that raises must not take the
    kernel down.  The typesafe language already rules out wild memory
@@ -114,11 +208,11 @@ let install_ephemeral ev ?(guard = no_guard) ?(gcost = Sim.Stime.zero) ?budget
    the offending extension rather than the system. *)
 let fault ev h =
   Sim.Stats.Counter.incr ev.disp.faults;
-  ev.handlers <- List.filter (fun h' -> h'.hid <> h.hid) ev.handlers
+  remove_hid ev h.hid
 
 let contain ev h f = try f () with _exn -> fault ev h
 
-let still_installed ev h = List.exists (fun h' -> h'.hid = h.hid) ev.handlers
+let still_installed ev h = Hashtbl.mem ev.table h.hid
 
 let deliver ev v h =
   let d = ev.disp in
@@ -158,27 +252,32 @@ let deliver ev v h =
 let raise ev v =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.raises;
-  let handlers = ev.handlers in
-  let n_guards = List.length handlers in
+  let cands = candidates ev v in
+  let n_guards = List.length cands in
   Sim.Stats.Counter.add d.guard_evals n_guards;
+  let indexed =
+    match ev.keyfn with Some _ -> ev.nkeyed > 0 | None -> false
+  in
+  if indexed then Sim.Stats.Counter.incr d.index_lookups;
   let extra_gcost =
-    List.fold_left
-      (fun acc h -> Sim.Stime.add acc h.gcost)
-      Sim.Stime.zero handlers
+    List.fold_left (fun acc h -> Sim.Stime.add acc h.gcost) Sim.Stime.zero cands
   in
   let demux_cost =
     Sim.Stime.add extra_gcost
-      (Sim.Stime.add d.costs.dispatch (Sim.Stime.mul d.costs.guard n_guards))
+      (Sim.Stime.add d.costs.dispatch
+         (Sim.Stime.add
+            (if indexed then d.costs.index else Sim.Stime.zero)
+            (Sim.Stime.mul d.costs.guard n_guards)))
   in
   let prio =
     match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
   in
   Sim.Cpu.run d.cpu ~prio ~cost:demux_cost (fun () ->
-      (* Demultiplex against the *current* handler list: a handler
-         uninstalled while this raise was queued no longer fires. *)
+      (* Demultiplex against the *current* registry: a handler uninstalled
+         while this raise was queued no longer fires. *)
       List.iter
         (fun h ->
           (* a faulting guard is contained the same way *)
           let accepted = try h.guard v with _ -> fault ev h; false in
           if accepted then deliver ev v h)
-        ev.handlers)
+        (candidates ev v))

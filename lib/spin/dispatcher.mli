@@ -1,10 +1,18 @@
-(** The SPIN event dispatcher: typed events, guards and handlers.
+(** The SPIN event dispatcher: typed events, guards, handlers and the
+    demux index.
 
     "An event is raised by a kernel service or extension code to announce
     a change in system state or to request a service" (paper, section 2).
     Handlers are installed with guards — arbitrary predicates that act as
     packet filters — and may be delivered at interrupt level (possibly as
-    budget-limited {!Ephemeral} programs) or each on a fresh thread. *)
+    budget-limited {!Ephemeral} programs) or each on a fresh thread.
+
+    Events may additionally carry a {e dispatch index} (DPF/PathFinder
+    style): handlers whose guard implies a literal equality on a demux
+    field are installed with that equality as a [key]; raising then hashes
+    the payload's key fields once ({!set_keyfn}) and evaluates only the
+    guards in the matching buckets plus the unkeyed linear fallback, so
+    raise cost scales with matching handlers, not installed handlers. *)
 
 type t
 (** One dispatcher per kernel; owns the delivery cost model and counters. *)
@@ -16,6 +24,9 @@ type delivery =
 type costs = {
   dispatch : Sim.Stime.t;
   guard : Sim.Stime.t;
+  index : Sim.Stime.t;
+      (** charged once per raise on an indexed event, replacing the
+          [guard * installed] scan *)
   thread_spawn : Sim.Stime.t;
 }
 
@@ -37,33 +48,55 @@ val event : t -> ?mode:delivery -> string -> 'a event
 val name : _ event -> string
 val mode : _ event -> delivery
 val set_mode : _ event -> delivery -> unit
+
+val set_keyfn : 'a event -> ('a -> int list) -> unit
+(** Declare the event's demux-key extractor: the list of dispatch keys a
+    payload presents (e.g. its EtherType, protocol number and ports).
+    Handlers installed with [~key:k] are only considered for payloads
+    whose extracted keys include [k].  Soundness contract: a keyed
+    handler's guard must reject any payload that does not present its
+    key, so the index only ever skips guards that would refuse. *)
+
 val handler_count : _ event -> int
+val indexed_count : _ event -> int
+(** Handlers installed with a dispatch key. *)
+
+val linear_count : _ event -> int
+(** Handlers in the unkeyed fallback bucket, scanned on every raise. *)
 
 val install :
-  'a event -> ?guard:('a -> bool) -> ?gcost:Sim.Stime.t ->
+  'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
   ?dyncost:('a -> Sim.Stime.t) -> cost:Sim.Stime.t -> ('a -> unit) ->
   unit -> unit
 (** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
     raise whose [guard] accepts the payload, charging [cost] (plus
     [dyncost payload] for data-touching work) of CPU.  [gcost] adds
     per-evaluation guard cost on top of the dispatcher's base guard
-    charge (interpreted packet filters).  Returns the uninstaller. *)
+    charge (interpreted packet filters).  [key] places the handler in the
+    event's dispatch index under that key (see {!set_keyfn}).  Returns
+    the uninstaller (O(1)). *)
 
 val install_ephemeral :
-  'a event -> ?guard:('a -> bool) -> ?gcost:Sim.Stime.t ->
+  'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
   ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) -> unit -> unit
 (** Attach an interrupt-level handler as an ephemeral program, optionally
     limited to [budget] of CPU per invocation (overruns are terminated
     between actions).  Returns the uninstaller. *)
 
 val raise : 'a event -> 'a -> unit
-(** Raise the event: evaluate every installed guard (charging demux cost)
-    and deliver to each accepting handler according to the event's mode. *)
+(** Raise the event: evaluate the candidate guards (the matching index
+    buckets plus the linear fallback on indexed events; every installed
+    guard otherwise), charging demux cost, and deliver to each accepting
+    handler according to the event's mode. *)
 
 (** {1 Counters} *)
 
 val raises : t -> int
 val guard_evals : t -> int
+
+val index_lookups : t -> int
+(** Raises that consulted a dispatch index instead of scanning. *)
+
 val invocations : t -> int
 val terminations : t -> int
 

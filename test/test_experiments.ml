@@ -115,8 +115,9 @@ let micro_shape () =
   Alcotest.(check bool) "AM < full UDP stack" true
     (r.Experiments.Micro.interrupt_rtt < r.Experiments.Micro.udp_rtt)
 
-(* Ablations: guard cost grows slowly; overwrite is the fast spoof
-   policy; disabling the checksum saves time on big frames. *)
+(* Ablations: unkeyed guard cost grows slowly with bystanders while the
+   dispatch index stays flat; overwrite is the fast spoof policy;
+   disabling the checksum saves time on big frames. *)
 let ablate_shape () =
   let gs = Experiments.Ablate.guard_scaling ~counts:[ 0; 64 ] ~iters:30 () in
   (match gs with
@@ -127,7 +128,16 @@ let ablate_shape () =
       Alcotest.(check bool)
         (Printf.sprintf "guard slope small but nonzero (%.2fus/guard)" slope)
         true
-        (slope > 0.05 && slope < 2.0)
+        (slope > 0.05 && slope < 2.0);
+      let islope =
+        (g64.Experiments.Ablate.indexed_rtt_us
+        -. g0.Experiments.Ablate.indexed_rtt_us)
+        /. 64.
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "indexed dispatch flat (%.3fus/guard)" islope)
+        true
+        (Float.abs islope < 0.05)
   | _ -> Alcotest.fail "wrong shape");
   let s = Experiments.Ablate.spoof_policy ~iters:30 () in
   Alcotest.(check bool) "overwrite is at least as fast" true

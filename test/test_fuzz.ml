@@ -220,3 +220,177 @@ let suite =
       ("fuzz.parsers", List.map prop parser_fuzz @ [ prop http_fuzz ]);
       ("fuzz.tcp", [ prop tcp_input_fuzz ]);
     ]
+
+(* ---- filter compiler and dispatch-index equivalence --------------------- *)
+
+(* Random filter ASTs over random packet contexts: the tree interpreter
+   ([Filter.eval], the reference semantics), the compiled instruction
+   array ([Filter.run]) and indexed dispatch must all agree — including
+   on short packets and contexts with no parsed IP header or ports,
+   where field reads are Unavailable. *)
+
+let field_gen =
+  QCheck.Gen.(
+    let anchor = map (fun b -> if b then Plexus.Filter.Cur else Plexus.Filter.Abs) bool in
+    frequency
+      [
+        (3, map2 (fun a o -> Plexus.Filter.U8 (a, o)) anchor (int_bound 40));
+        (3, map2 (fun a o -> Plexus.Filter.U16 (a, o)) anchor (int_bound 40));
+        (2, map2 (fun a o -> Plexus.Filter.U32 (a, o)) anchor (int_bound 40));
+        (2, return Plexus.Filter.Ip_proto);
+        (2, return Plexus.Filter.Src_port);
+        (3, return Plexus.Filter.Dst_port);
+        (2, return Plexus.Filter.Payload_len);
+      ])
+
+let filter_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          frequency
+            [
+              (1, return Plexus.Filter.True);
+              (1, return Plexus.Filter.False);
+              (4, map2 (fun f v -> Plexus.Filter.Eq (f, v)) field_gen (int_bound 300));
+              (2, map2 (fun f v -> Plexus.Filter.Lt (f, v)) field_gen (int_bound 300));
+              (2, map2 (fun f v -> Plexus.Filter.Gt (f, v)) field_gen (int_bound 300));
+              ( 2,
+                map3
+                  (fun f m v -> Plexus.Filter.Mask (f, m, v))
+                  field_gen (int_bound 0xffff) (int_bound 0xffff) );
+            ]
+        in
+        if n <= 1 then leaf
+        else
+          frequency
+            [
+              (2, leaf);
+              (3, map2 (fun a b -> Plexus.Filter.And (a, b)) (self (n / 2)) (self (n / 2)));
+              (3, map2 (fun a b -> Plexus.Filter.Or (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> Plexus.Filter.Not a) (self (n - 1)));
+            ]))
+
+(* A context description: raw bytes plus optional parsed-header state,
+   with the cursor possibly advanced past fake headers. *)
+type ctx_desc = {
+  bytes : string;
+  ip_proto : int option;
+  ports : (int * int) option;
+  adv : int;
+}
+
+let ctx_gen =
+  QCheck.Gen.(
+    map
+      (fun (bytes, ip_proto, ports, adv) -> { bytes; ip_proto; ports; adv })
+      (quad
+         (string_size ~gen:char (0 -- 80))
+         (option (int_bound 255))
+         (option (pair (int_bound 300) (int_bound 300)))
+         (int_bound 30)))
+
+(* One shared device for minting packet contexts. *)
+let fuzz_dev =
+  lazy
+    (let engine = Sim.Engine.create () in
+     let host =
+       Netsim.Host.create engine ~name:"fuzz" ~ip:(Proto.Ipaddr.v 10 9 9 9)
+     in
+     Netsim.Host.add_device host (Netsim.Costs.loopback ()))
+
+let make_ctx d =
+  let dev = Lazy.force fuzz_dev in
+  let ctx = Plexus.Pctx.make dev (Mbuf.ro (Mbuf.of_string d.bytes)) in
+  let ctx =
+    match d.ip_proto with
+    | None -> ctx
+    | Some proto ->
+        Plexus.Pctx.with_ip ctx
+          (Proto.Ipv4.make ~proto ~src:(Proto.Ipaddr.v 10 0 0 1)
+             ~dst:(Proto.Ipaddr.v 10 9 9 9)
+             ~payload_len:(String.length d.bytes) ())
+  in
+  let ctx =
+    match d.ports with
+    | None -> ctx
+    | Some (src_port, dst_port) -> Plexus.Pctx.with_ports ctx ~src_port ~dst_port
+  in
+  Plexus.Pctx.advance ctx (min d.adv (String.length d.bytes))
+
+let pp_pair (f, d) =
+  Format.asprintf "filter=%a bytes=%d ip=%s ports=%s adv=%d" Plexus.Filter.pp f
+    (String.length d.bytes)
+    (match d.ip_proto with None -> "-" | Some p -> string_of_int p)
+    (match d.ports with
+    | None -> "-"
+    | Some (s, p) -> Printf.sprintf "%d,%d" s p)
+    d.adv
+
+let arb_filter_ctx =
+  QCheck.make ~print:pp_pair QCheck.Gen.(pair filter_gen ctx_gen)
+
+let compiled_eval_agree =
+  QCheck.Test.make ~count:1000 ~name:"eval = run(compile) = compile_guard"
+    arb_filter_ctx
+    (fun (f, d) ->
+      let ctx = make_ctx d in
+      let reference = Plexus.Filter.eval f ctx in
+      Plexus.Filter.run (Plexus.Filter.compile f) ctx = reference
+      && Plexus.Filter.compile_guard f ctx = reference
+      && Plexus.Filter.eval (Plexus.Filter.normalize f) ctx = reference)
+
+(* Indexed dispatch delivers to exactly the handlers the linear
+   interpreter would: install the same random filters on two events —
+   unkeyed with interpreted guards, keyed (dispatch_key + context_keys)
+   with compiled guards — and compare the accepted sets per packet. *)
+let indexed_dispatch_agrees =
+  QCheck.Test.make ~count:200 ~name:"indexed dispatch = linear interpreter"
+    QCheck.(
+      make
+        ~print:(fun (fs, ds) ->
+          String.concat "\n"
+            (List.map (fun f -> Format.asprintf "%a" Plexus.Filter.pp f) fs)
+          ^ Printf.sprintf "\n(%d packets)" (List.length ds))
+        Gen.(pair (list_size (1 -- 8) filter_gen) (list_size (1 -- 6) ctx_gen)))
+    (fun (filters, descs) ->
+      let e = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create e ~name:"c" in
+      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+      let linear_ev = Spin.Dispatcher.event d "linear" in
+      let indexed_ev = Spin.Dispatcher.event d "indexed" in
+      Spin.Dispatcher.set_keyfn indexed_ev Plexus.Filter.context_keys;
+      let n = List.length filters in
+      let linear_hits = Array.make n 0 and indexed_hits = Array.make n 0 in
+      List.iteri
+        (fun i f ->
+          let (_ : unit -> unit) =
+            Spin.Dispatcher.install linear_ev
+              ~guard:(Plexus.Filter.eval f)
+              ~cost:Sim.Stime.zero
+              (fun _ -> linear_hits.(i) <- linear_hits.(i) + 1)
+          in
+          let prog = Plexus.Filter.compile f in
+          let (_ : unit -> unit) =
+            Spin.Dispatcher.install indexed_ev
+              ~guard:(Plexus.Filter.run prog)
+              ?key:(Plexus.Filter.dispatch_key f)
+              ~cost:Sim.Stime.zero
+              (fun _ -> indexed_hits.(i) <- indexed_hits.(i) + 1)
+          in
+          ())
+        filters;
+      List.iter
+        (fun desc ->
+          let ctx = make_ctx desc in
+          Spin.Dispatcher.raise linear_ev ctx;
+          Spin.Dispatcher.raise indexed_ev ctx;
+          Sim.Engine.run e)
+        descs;
+      linear_hits = indexed_hits)
+
+let suite =
+  suite
+  @ [
+      ( "fuzz.filter",
+        [ prop compiled_eval_agree; prop indexed_dispatch_agrees ] );
+    ]

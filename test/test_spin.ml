@@ -497,3 +497,193 @@ let ephemeral_in_thread_mode () =
 
 let suite =
   suite @ [ ("spin.eph_thread", [ tc "ephemeral in thread mode" ephemeral_in_thread_mode ]) ]
+
+(* ---- Dispatch index ----------------------------------------------------- *)
+
+(* An int event indexed on the payload's own value: handler for key [k]
+   only sees raises of [k]. *)
+let mk_keyed_event d =
+  let ev = Spin.Dispatcher.event d "keyed" in
+  Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+  ev
+
+let keyed_skips_other_buckets () =
+  let e, _, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  let hits = Array.make 4 0 in
+  for k = 0 to 3 do
+    let (_ : unit -> unit) =
+      Spin.Dispatcher.install ev ~guard:(fun x -> x = k) ~key:k
+        ~cost:Sim.Stime.zero
+        (fun _ -> hits.(k) <- hits.(k) + 1)
+    in
+    ()
+  done;
+  Alcotest.(check int) "all keyed" 4 (Spin.Dispatcher.indexed_count ev);
+  Alcotest.(check int) "none linear" 0 (Spin.Dispatcher.linear_count ev);
+  List.iter (Spin.Dispatcher.raise ev) [ 2; 2; 3 ];
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "only matching buckets fired" [ 0; 0; 2; 1 ]
+    (Array.to_list hits);
+  (* each raise evaluated exactly its own bucket's guard, never the
+     other three *)
+  Alcotest.(check int) "guard evals = candidates only" 3
+    (Spin.Dispatcher.guard_evals d);
+  Alcotest.(check int) "every raise used the index" 3
+    (Spin.Dispatcher.index_lookups d)
+
+(* Install order is preserved even when delivery mixes index buckets and
+   the unkeyed linear fallback. *)
+let keyed_preserves_install_order () =
+  let e, _, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  let order = ref [] in
+  let record tag = fun _ -> order := tag :: !order in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 7) ~key:7
+      ~cost:Sim.Stime.zero (record "k1")
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~cost:Sim.Stime.zero (record "u1")
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 7) ~key:7
+      ~cost:Sim.Stime.zero (record "k2")
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~cost:Sim.Stime.zero (record "u2")
+  in
+  Spin.Dispatcher.raise ev 7;
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "bucket and linear interleave in install order"
+    [ "k1"; "u1"; "k2"; "u2" ] (List.rev !order)
+
+let keyed_uninstall_while_queued () =
+  let e, _, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  let n = ref 0 in
+  let un =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 1) ~key:1
+      ~cost:Sim.Stime.zero (fun _ -> incr n)
+  in
+  Spin.Dispatcher.raise ev 1;
+  (* uninstalled after the raise but before the engine delivers it *)
+  un ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "uninstalled-while-queued does not fire" 0 !n;
+  Alcotest.(check int) "bucket bookkeeping" 0 (Spin.Dispatcher.indexed_count ev);
+  (* the key's bucket is gone; a fresh raise hits an empty candidate set *)
+  Spin.Dispatcher.raise ev 1;
+  Sim.Engine.run e;
+  Alcotest.(check int) "still silent" 0 !n
+
+let keyed_raise_cost () =
+  let e, cpu, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  (* two buckets; only one is consulted *)
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 1) ~key:1 ~cost:(us 10)
+      ignore
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 2) ~key:2 ~cost:(us 10)
+      ignore
+  in
+  Spin.Dispatcher.raise ev 1;
+  Sim.Engine.run e;
+  (* dispatch 0.4 + index 0.25 + one guard 0.3 + handler 10; the second
+     bucket's guard is neither run nor charged *)
+  Alcotest.(check int) "indexed raise charges one hash + matching guards"
+    10_950
+    (Sim.Stime.to_ns (Sim.Cpu.busy_time cpu))
+
+let keyed_guard_fault_contained () =
+  let e, _, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  let survivor = ref 0 in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun _ -> failwith "bad guard") ~key:5
+      ~cost:Sim.Stime.zero ignore
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = 5) ~key:5
+      ~cost:Sim.Stime.zero (fun _ -> incr survivor)
+  in
+  Spin.Dispatcher.raise ev 5;
+  Sim.Engine.run e;
+  Alcotest.(check int) "fault counted" 1 (Spin.Dispatcher.faults d);
+  Alcotest.(check int) "faulting handler uninstalled" 1
+    (Spin.Dispatcher.indexed_count ev);
+  Alcotest.(check int) "same-bucket survivor still fired" 1 !survivor
+
+(* The model property again, but against a keyed event with handlers
+   spread over buckets and the linear fallback at random. *)
+let keyed_install_model =
+  QCheck.Test.make ~count:80 ~name:"keyed install/uninstall model"
+    QCheck.(list (triple bool (int_bound 7) (option (int_bound 3))))
+    (fun ops ->
+      let e = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create e ~name:"c" in
+      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+      let ev = Spin.Dispatcher.event d "m" in
+      Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+      let installed : (int, int ref * (unit -> unit)) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let next = ref 0 in
+      List.iter
+        (fun (is_install, slot, key) ->
+          if is_install then begin
+            let counter = ref 0 in
+            let guard =
+              match key with None -> fun _ -> true | Some k -> fun x -> x = k
+            in
+            let un =
+              Spin.Dispatcher.install ev ~guard ?key ~cost:Sim.Stime.zero
+                (fun _ -> incr counter)
+            in
+            Hashtbl.replace installed !next (counter, un);
+            incr next
+          end
+          else begin
+            let keys = Hashtbl.fold (fun k _ acc -> k :: acc) installed [] in
+            match
+              List.nth_opt (List.sort compare keys)
+                (slot mod max 1 (List.length keys))
+            with
+            | Some k when keys <> [] ->
+                let _, un = Hashtbl.find installed k in
+                un ();
+                Hashtbl.remove installed k
+            | _ -> ()
+          end)
+        ops;
+      Alcotest.(check int) "count matches model" (Hashtbl.length installed)
+        (Spin.Dispatcher.handler_count ev);
+      Alcotest.(check int) "keyed + linear = total"
+        (Spin.Dispatcher.handler_count ev)
+        (Spin.Dispatcher.indexed_count ev + Spin.Dispatcher.linear_count ev);
+      (* raise every key value: each surviving handler must fire exactly
+         once (keyed ones on their own key's raise, unkeyed on all four —
+         so unkeyed fire 4x) *)
+      for k = 0 to 3 do
+        Spin.Dispatcher.raise ev k
+      done;
+      Sim.Engine.run e;
+      Hashtbl.fold
+        (fun _ (c, _) acc -> acc && (!c = 1 || !c = 4))
+        installed true)
+
+let suite =
+  suite
+  @ [
+      ( "spin.dispatch_index",
+        [
+          tc "index skips other buckets" keyed_skips_other_buckets;
+          tc "install order across buckets" keyed_preserves_install_order;
+          tc "uninstall while queued" keyed_uninstall_while_queued;
+          tc "indexed raise cost" keyed_raise_cost;
+          tc "guard fault in a bucket" keyed_guard_fault_contained;
+          prop keyed_install_model;
+        ] );
+    ]
