@@ -210,6 +210,121 @@ let test_ephemeral_plan =
            (Sys.opaque_identity
               (Spin.Ephemeral.execute ~budget:(Sim.Stime.us 12) prog))))
 
+(* ---- datapath subjects (the zero-copy PR's trajectory record) --------- *)
+
+(* Checksum: the chain-aware word-at-a-time fold against the
+   byte-at-a-time reference, on a contiguous MTU frame and on a 12.5 KB
+   datagram split into fragment-sized segments (odd-capable chain fold,
+   no pullup). *)
+let cksum_views_of ~seg_len total =
+  let rec go off acc =
+    if off >= total then List.rev acc
+    else
+      let n = min seg_len (total - off) in
+      go (off + n) (View.of_string (String.make n 'x') :: acc)
+  in
+  go 0 []
+
+let test_cksum_chain_1500 =
+  let v = [ View.of_string (String.make 1500 'x') ] in
+  Test.make ~name:"cksum chain-aware (1500B)"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (Cksum.of_views v))))
+
+let test_cksum_byte_1500 =
+  let v = [ View.of_string (String.make 1500 'x') ] in
+  Test.make ~name:"cksum byte-at-a-time (1500B)"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Cksum.of_views_bytewise v))))
+
+let test_cksum_chain_12500 =
+  let vs = cksum_views_of ~seg_len:1480 12500 in
+  Test.make ~name:"cksum chain-aware (12.5KB chain)"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (Cksum.of_views vs))))
+
+let test_cksum_byte_12500 =
+  let vs = cksum_views_of ~seg_len:1480 12500 in
+  Test.make ~name:"cksum byte-at-a-time (12.5KB chain)"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Cksum.of_views_bytewise vs))))
+
+let test_mbuf_alloc_recycle =
+  Test.make ~name:"mbuf alloc+free 1500B (recycling)"
+    (Staged.stage (fun () ->
+         let m = Mbuf.alloc 1500 in
+         Mbuf.free m))
+
+let test_fragment_12500 =
+  let payload = Mbuf.of_string (String.make 12500 'v') in
+  Test.make ~name:"fragment 12.5KB into sub-chains"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Proto.Ip_frag.fragment ~mtu:1500 payload))))
+
+(* Full simulated-stack round trip: application mbuf -> UDP/IP/ether
+   headroom prepends -> device -> wire -> ring -> protocol graph ->
+   application handler, per operation. *)
+let udp_env =
+  lazy
+    (let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+     let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+     let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+     let bind_exn udp ~owner ~port =
+       match Plexus.Udp_mgr.bind udp ~owner ~port with
+       | Ok ep -> ep
+       | Error _ -> failwith "bench: bind failed"
+     in
+     let server = bind_exn udp_b ~owner:"srv" ~port:7 in
+     let (_ : unit -> unit) =
+       Plexus.Udp_mgr.install_recv udp_b server (fun _ -> ())
+     in
+     let client = bind_exn udp_a ~owner:"cli" ~port:5000 in
+     (* warm up ARP so measured rounds are pure datapath *)
+     Plexus.Udp_mgr.send udp_a client ~dst:(Experiments.Common.ip_b, 7) "warm";
+     Sim.Engine.run p.Experiments.Common.engine;
+     (p.Experiments.Common.engine, udp_a, client))
+
+let test_udp_roundtrip =
+  Test.make ~name:"udp tx/rx round trip (1000B, full stack)"
+    (Staged.stage (fun () ->
+         let engine, udp, client = Lazy.force udp_env in
+         let payload = Mbuf.alloc 1000 in
+         Plexus.Udp_mgr.send_mbuf udp client
+           ~dst:(Experiments.Common.ip_b, 7)
+           payload;
+         Sim.Engine.run engine))
+
+let datapath_tests =
+  [
+    test_udp_roundtrip;
+    test_fragment_12500;
+    test_cksum_chain_1500;
+    test_cksum_byte_1500;
+    test_cksum_chain_12500;
+    test_cksum_byte_12500;
+    test_mbuf_alloc_recycle;
+  ]
+
+(* Deterministic per-op copy/alloc counts for the two key paths, measured
+   with the Metrics counters rather than timed. *)
+let datapath_counters () =
+  let engine, udp, client = Lazy.force udp_env in
+  let payload = Mbuf.alloc 1000 in
+  Metrics.reset ();
+  Plexus.Udp_mgr.send_mbuf udp client ~dst:(Experiments.Common.ip_b, 7) payload;
+  Sim.Engine.run engine;
+  let udp_s = Metrics.snapshot () in
+  let big = Mbuf.of_string (String.make 12500 'v') in
+  Metrics.reset ();
+  let frags = Proto.Ip_frag.fragment ~mtu:1500 big in
+  let frag_s = Metrics.snapshot () in
+  [
+    ("udp fast path: copies per op", udp_s.Metrics.copies);
+    ("udp fast path: bytes copied per op", udp_s.Metrics.bytes_copied);
+    ("udp fast path: buffer allocs per op", udp_s.Metrics.allocs);
+    ("fragment 12.5KB: copies per op", frag_s.Metrics.copies);
+    ("fragment 12.5KB: buffer allocs per op", frag_s.Metrics.allocs);
+    ("fragment 12.5KB: fragments", List.length frags);
+  ]
+
 let micro_tests =
   [ test_direct_call ]
   @ dispatch_tests
@@ -295,17 +410,54 @@ let write_dispatch_json path results =
   close_out oc;
   Printf.printf "\n  wrote %s (%d subjects)\n%!" path (List.length entries)
 
+(* The zero-copy datapath subjects: timed numbers plus the deterministic
+   Metrics copy/alloc counts, same JSON shape as BENCH_dispatch.json with
+   an extra "counters" map. *)
+let write_datapath_json path results =
+  let strip name =
+    if String.length name > 2 && String.sub name 0 2 = "g " then
+      String.sub name 2 (String.length name - 2)
+    else name
+  in
+  let subjects =
+    List.filter_map
+      (fun test ->
+        let name = "g " ^ Test.name test in
+        Option.map (fun v -> (strip name, v)) (List.assoc_opt name results))
+      datapath_tests
+  in
+  let counters = datapath_counters () in
+  let oc = open_out path in
+  output_string oc "{\n  \"unit\": \"ns_per_op\",\n  \"subjects\": {\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map (fun (n, v) -> Printf.sprintf "    %S: %.1f" n v) subjects));
+  output_string oc "\n  },\n  \"counters\": {\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map (fun (n, v) -> Printf.sprintf "    %S: %d" n v) counters));
+  output_string oc "\n  }\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s (%d subjects, %d counters)\n%!" path
+    (List.length subjects) (List.length counters)
+
 (* ---- Part 2: paper reproduction --------------------------------------- *)
 
 let () =
   let dispatch_only = Array.mem "--dispatch-only" Sys.argv in
+  let datapath_only = Array.mem "--datapath-only" Sys.argv in
   if dispatch_only then begin
     let results = run_bechamel (dispatch_tests @ filter_tests) in
     write_dispatch_json "BENCH_dispatch.json" results
   end
+  else if datapath_only then begin
+    let results = run_bechamel datapath_tests in
+    write_datapath_json "BENCH_datapath.json" results
+  end
   else begin
-    let results = run_bechamel micro_tests in
+    let results = run_bechamel (micro_tests @ datapath_tests) in
     write_dispatch_json "BENCH_dispatch.json" results;
+    write_datapath_json "BENCH_datapath.json" results;
     ignore (Experiments.Fig5.print ~iters:200 ());
     ignore (Experiments.Tput.print ~bytes:2_000_000 ());
     ignore (Experiments.Fig6.print ());

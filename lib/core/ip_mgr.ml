@@ -79,7 +79,7 @@ let rx t ctx =
         let ctx = match l2 with Some h2 -> Pctx.with_l2 ctx h2 | None -> ctx in
         if h.Proto.Ipv4.more_fragments || h.Proto.Ipv4.frag_offset > 0 then begin
           let payload =
-            View.get_string v ~off:Proto.Ipv4.header_len
+            View.sub v ~off:Proto.Ipv4.header_len
               ~len:(h.Proto.Ipv4.total_len - Proto.Ipv4.header_len)
           in
           match
@@ -89,7 +89,7 @@ let rx t ctx =
           | Some datagram ->
               t.counters.reassembled <- t.counters.reassembled + 1;
               t.counters.delivered <- t.counters.delivered + 1;
-              let pkt = Mbuf.ro (Mbuf.of_string datagram) in
+              let pkt = Mbuf.ro datagram in
               let h = { h with Proto.Ipv4.more_fragments = false; frag_offset = 0 } in
               raise_recv t (Pctx.with_ip (Pctx.with_payload ctx pkt) h)
         end
@@ -168,18 +168,20 @@ let send t ?prio:p ~proto ~dst payload =
       end
       else begin
         let id = fresh_id t in
-        let frags = Proto.Ip_frag.fragment ~mtu (Mbuf.to_string payload) in
+        (* zero-copy: fragments are sub-chains sharing the payload's
+           buffers; only the per-fragment headers are fresh bytes *)
+        let frags = Proto.Ip_frag.fragment ~mtu payload in
         let n = List.length frags in
         t.counters.fragments_out <- t.counters.fragments_out + n;
         Sim.Cpu.run (cpu t) ~prio
           ~cost:(Sim.Stime.mul t.costs.Netsim.Costs.layer.ip_out n)
           (fun () ->
             List.iter
-              (fun (off8, more, data) ->
-                let fragment = Mbuf.of_string data in
+              (fun (off8, more, fragment) ->
+                let frag_len = Mbuf.length fragment in
                 Proto.Ipv4.encapsulate fragment
                   (Proto.Ipv4.make ~id ~more_fragments:more ~frag_offset:off8
-                     ~proto ~src ~dst ~payload_len:(String.length data) ());
+                     ~proto ~src ~dst ~payload_len:frag_len ());
                 emit t route ~prio ~dst fragment)
               frags)
       end

@@ -210,14 +210,16 @@ let install_recv_ephemeral t ep ?budget fn =
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 
-let do_send ?(extra_cost = Sim.Stime.zero) t ep ~prio ~dst:(dip, dport)
-    ~checksum ~src_port data =
+(* The zero-copy send core: the caller's mbuf is encapsulated in place
+   (headers go into its headroom) and handed down the stack — no payload
+   byte is copied anywhere between here and the device. *)
+let do_send_mbuf ?(extra_cost = Sim.Stime.zero) t ep ~prio ~dst:(dip, dport)
+    ~checksum ~src_port payload =
   t.counters.tx <- t.counters.tx + 1;
-  let payload = Mbuf.of_string data in
   let cksum_cost =
     if checksum && not (Ip_mgr.dst_touches_data t.ip dip) then
       Netsim.Costs.per_byte t.costs.Netsim.Costs.layer.cksum_ns_per_byte
-        (String.length data)
+        (Mbuf.length payload)
     else Sim.Stime.zero
   in
   let prio =
@@ -236,6 +238,10 @@ let do_send ?(extra_cost = Sim.Stime.zero) t ep ~prio ~dst:(dip, dport)
       Proto.Udp.encapsulate ~checksum payload ~src:(Endpoint.ip ep) ~dst:dip
         ~src_port ~dst_port:dport;
       Ip_mgr.send t.ip ~prio ~proto:Proto.Ipv4.proto_udp ~dst:dip payload)
+
+let do_send ?extra_cost t ep ~prio ~dst ~checksum ~src_port data =
+  do_send_mbuf ?extra_cost t ep ~prio ~dst ~checksum ~src_port
+    (Mbuf.of_string data)
 
 (* Multicast semantics for UDP (paper section 5.1): the datagram is
    marshalled and checksummed once, then replicated to every
@@ -278,6 +284,13 @@ let send_multi t ep ?prio ?(checksum = true) ~dsts data =
    representable). *)
 let send t ep ?prio ?(checksum = true) ~dst data =
   do_send t ep ~prio ~dst ~checksum ~src_port:(Endpoint.port ep) data
+
+(* Zero-copy send: the application hands over an mbuf it built (payload
+   written once into allocated headroom-bearing buffers); headers are
+   prepended in place and the chain reaches the wire without a single
+   payload-byte copy.  The device consumes the mbuf at transmit. *)
+let send_mbuf t ep ?prio ?(checksum = true) ~dst payload =
+  do_send_mbuf t ep ~prio ~dst ~checksum ~src_port:(Endpoint.port ep) payload
 
 (* A send that lets the caller *claim* a source — exists to demonstrate
    the two anti-spoofing strategies of section 3.1.  Under [Overwrite]

@@ -72,6 +72,13 @@ val send :
 (** Send a datagram from the endpoint.  [~checksum:false] is the
     application-specific no-checksum variant of section 1.1. *)
 
+val send_mbuf :
+  t -> Endpoint.t -> ?prio:Sim.Cpu.prio -> ?checksum:bool ->
+  dst:Proto.Ipaddr.t * int -> Mbuf.rw Mbuf.t -> unit
+(** Zero-copy send: headers are prepended into the mbuf's headroom and
+    the chain travels to the device without a payload-byte copy.  The
+    mbuf is consumed (the device takes ownership at transmit). *)
+
 val send_multi :
   t -> Endpoint.t -> ?prio:Sim.Cpu.prio -> ?checksum:bool ->
   dsts:(Proto.Ipaddr.t * int) list -> string -> unit

@@ -87,47 +87,53 @@ let set_loss t p =
 
 let pio_cost t len = Costs.per_byte t.params.Costs.pio_ns_per_byte len
 
-let deliver_to peer (data : string) =
-  let len = String.length data in
-  (* A frame occupies a receive buffer from wire arrival until the
+let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
+  let len = Mbuf.length pkt in
+  (* A frame occupies a receive-ring slot from wire arrival until the
      interrupt is serviced; with a bounded pool, a burst that outruns the
-     CPU drops frames at the ring. *)
-  let buffer =
-    match peer.rx_pool with
-    | None -> Some (Mbuf.ro (Mbuf.of_string data))
-    | Some pool -> Option.map Mbuf.ro (Pool.alloc_string pool data)
+     CPU drops frames at the ring.  The chain itself crosses the wire
+     untouched — no per-frame marshalling or buffer copy. *)
+  let ring_slot =
+    match peer.rx_pool with None -> true | Some pool -> Pool.reserve pool
   in
-  match buffer with
-  | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
-  | Some pkt ->
-      (* Receive interrupt: fixed driver cost plus PIO read for devices
-         that make the CPU pull bytes off the adapter. *)
-      let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer len) in
-      Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
-          (match peer.rx_pool with
-          | Some pool -> Pool.free pool pkt
-          | None -> ());
-          match peer.rx_handler with
-          | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
-          | Some h ->
-              peer.counters.rx_packets <- peer.counters.rx_packets + 1;
-              peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
-              Sim.Trace.emit
-                (Sim.Engine.now peer.engine)
-                "%s: rx %d bytes" peer.name len;
-              h pkt)
+  if not ring_slot then begin
+    peer.counters.rx_drops <- peer.counters.rx_drops + 1;
+    Mbuf.free pkt
+  end
+  else
+    (* Receive interrupt: fixed driver cost plus PIO read for devices
+       that make the CPU pull bytes off the adapter. *)
+    let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer len) in
+    Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
+        (match peer.rx_pool with
+        | Some pool -> Pool.release pool
+        | None -> ());
+        match peer.rx_handler with
+        | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
+        | Some h ->
+            peer.counters.rx_packets <- peer.counters.rx_packets + 1;
+            peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
+            Sim.Trace.emit
+              (Sim.Engine.now peer.engine)
+              "%s: rx %d bytes" peer.name len;
+            h pkt)
 
 let transmit t ?(prio = Sim.Cpu.Thread) pkt =
   let len = Mbuf.length pkt in
   if len > t.params.Costs.mtu + Proto.Ether.header_len then
     invalid_arg
       (Printf.sprintf "Dev.transmit(%s): frame of %d bytes exceeds MTU" t.name len);
-  let data = Mbuf.to_string pkt in
+  (* The driver consumes the frame: the sender's handle empties here and
+     now, so it cannot scribble on bytes that are on the wire (ownership
+     transfer instead of the seed's defensive string flatten). *)
+  let frame = Mbuf.ro (Mbuf.take pkt) in
   (* Driver send cost (+ PIO write). *)
   let cost = Sim.Stime.add t.params.Costs.tx_fixed (pio_cost t len) in
   Sim.Cpu.run t.cpu ~prio ~cost (fun () ->
-      if t.txq >= t.params.Costs.txq_limit then
-        t.counters.tx_drops <- t.counters.tx_drops + 1
+      if t.txq >= t.params.Costs.txq_limit then begin
+        t.counters.tx_drops <- t.counters.tx_drops + 1;
+        Mbuf.free frame
+      end
       else begin
         t.txq <- t.txq + 1;
         let now = Sim.Engine.now t.engine in
@@ -146,18 +152,21 @@ let transmit t ?(prio = Sim.Cpu.Thread) pkt =
           (Sim.Engine.schedule t.engine ~at:done_at (fun () ->
                t.txq <- t.txq - 1;
                match t.peer with
-               | None -> ()
+               | None -> Mbuf.free frame
                | Some peer ->
                    if
                      t.loss_prob > 0.
                      && Sim.Rng.float (Sim.Engine.rng t.engine) 1.0
                         < t.loss_prob
-                   then t.counters.tx_drops <- t.counters.tx_drops + 1
+                   then begin
+                     t.counters.tx_drops <- t.counters.tx_drops + 1;
+                     Mbuf.free frame
+                   end
                    else
                      ignore
                        (Sim.Engine.schedule_in t.engine
                           ~delay:t.params.Costs.prop_delay (fun () ->
-                            deliver_to peer data))))
+                            deliver_to peer frame))))
       end)
 
 (* Raw wire occupancy for a packet of [len] bytes — used by experiments to

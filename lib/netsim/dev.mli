@@ -28,8 +28,10 @@ val set_rx : t -> (Mbuf.ro Mbuf.t -> unit) -> unit
 (** Install the driver's receive upcall (trusted kernel code only). *)
 
 val set_rx_pool : t -> Pool.t -> unit
-(** Bound the receive ring: frames hold a pool buffer from wire arrival
-    until their interrupt is serviced; exhaustion drops at the ring. *)
+(** Bound the receive ring: frames hold a pool {e slot} from wire arrival
+    until their interrupt is serviced; exhaustion drops at the ring.  The
+    frame's mbuf chain is handed to the handler as-is — the ring bounds
+    buffers without copying them. *)
 
 val rx_pool : t -> Pool.t option
 
@@ -39,7 +41,10 @@ val set_loss : t -> float -> unit
     [0, 1). *)
 
 val transmit : t -> ?prio:Sim.Cpu.prio -> Mbuf.rw Mbuf.t -> unit
-(** Send a frame.  @raise Invalid_argument if it exceeds the MTU. *)
+(** Send a frame.  The driver {e consumes} the mbuf ({!Mbuf.take}): the
+    caller's handle is empty when [transmit] returns, and the chain
+    travels to the peer's receive handler without being flattened or
+    copied.  @raise Invalid_argument if it exceeds the MTU. *)
 
 val name : t -> string
 val mac : t -> Proto.Ether.Mac.t

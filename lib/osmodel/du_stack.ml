@@ -161,16 +161,17 @@ let ip_send t ~proto ~dst payload =
                 ether_send t route ~dst:mac ~etype:Proto.Ether.etype_ip payload))
       else begin
         let id = fresh_ip_id t in
-        let frags = Proto.Ip_frag.fragment ~mtu (Mbuf.to_string payload) in
+        (* fragments are zero-copy sub-chains of the payload *)
+        let frags = Proto.Ip_frag.fragment ~mtu payload in
         krun t
           (T.mul t.costs.Netsim.Costs.layer.ip_out (List.length frags))
           (fun () ->
             List.iter
-              (fun (off8, more, data) ->
-                let frag = Mbuf.of_string data in
+              (fun (off8, more, frag) ->
+                let frag_len = Mbuf.length frag in
                 Proto.Ipv4.encapsulate frag
                   (Proto.Ipv4.make ~id ~more_fragments:more ~frag_offset:off8
-                     ~proto ~src ~dst ~payload_len:(String.length data) ());
+                     ~proto ~src ~dst ~payload_len:frag_len ());
                 arp_resolve t route dst (fun mac ->
                     ether_send t route ~dst:mac ~etype:Proto.Ether.etype_ip frag))
               frags)
@@ -342,7 +343,7 @@ let rx_ip t route pkt =
             in
             if h.more_fragments || h.frag_offset > 0 then begin
               let payload =
-                View.get_string v ~off:Proto.Ipv4.header_len
+                View.sub v ~off:Proto.Ipv4.header_len
                   ~len:(h.total_len - Proto.Ipv4.header_len)
               in
               match
@@ -352,7 +353,7 @@ let rx_ip t route pkt =
               | None -> ()
               | Some datagram ->
                   let h = { h with more_fragments = false; frag_offset = 0 } in
-                  deliver h (View.of_string datagram)
+                  deliver h (View.ro (Mbuf.view datagram))
             end
             else begin
               let l4_len = h.total_len - Proto.Ipv4.header_len in

@@ -97,14 +97,14 @@ let user_process t (pkt : string) =
                   if h.Proto.Ipv4.more_fragments || h.Proto.Ipv4.frag_offset > 0
                   then begin
                     let payload =
-                      View.get_string ipv ~off:Proto.Ipv4.header_len
+                      View.sub ipv ~off:Proto.Ipv4.header_len
                         ~len:(h.Proto.Ipv4.total_len - Proto.Ipv4.header_len)
                     in
                     match
                       Proto.Ip_frag.input t.frag
                         ~now:(Sim.Engine.now t.engine) h payload
                     with
-                    | Some datagram -> deliver (View.of_string datagram) h
+                    | Some datagram -> deliver (View.ro (Mbuf.view datagram)) h
                     | None -> ()
                   end
                   else begin
@@ -255,11 +255,11 @@ let udp_sendto t sock ~dst:(dip, dport) data =
       end
       else
         List.iter
-          (fun (off8, more, bytes) ->
-            let frag = Mbuf.of_string bytes in
+          (fun (off8, more, frag) ->
+            let frag_len = Mbuf.length frag in
             Proto.Ipv4.encapsulate frag
               (Proto.Ipv4.make ~id ~more_fragments:more ~frag_offset:off8
                  ~proto:Proto.Ipv4.proto_udp ~src:(host_ip t) ~dst:dip
-                 ~payload_len:(String.length bytes) ());
+                 ~payload_len:frag_len ());
             emit frag)
-          (Proto.Ip_frag.fragment ~mtu (Mbuf.to_string datagram)))
+          (Proto.Ip_frag.fragment ~mtu datagram))

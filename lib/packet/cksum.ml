@@ -1,21 +1,34 @@
 (* The Internet checksum (RFC 1071): one's-complement sum of 16-bit
-   big-endian words.  Used by IP, ICMP, UDP and TCP. *)
+   big-endian words.  Used by IP, ICMP, UDP and TCP.
 
-let fold_words acc (v : _ View.t) =
+   The fast path folds a word at a time with the runtime's native
+   big-endian 16-bit loads, and carries a parity bit across windows so a
+   scatter-gather chain checksums correctly even when interior segments
+   have odd length — no pullup, no flattening.  A byte-at-a-time
+   implementation is kept as executable reference semantics. *)
+
+(* Running state: the unfolded sum plus whether the byte count so far is
+   odd (i.e. the last byte consumed was the high half of an open word). *)
+let fold16 (sum, odd) (v : _ View.t) =
   let data = View.unsafe_data v and off = View.unsafe_off v in
   let len = View.length v in
-  let sum = ref acc in
-  let i = ref 0 in
-  while !i + 1 < len do
-    sum :=
-      !sum
-      + (Char.code (Bytes.get data (off + !i)) lsl 8)
-      + Char.code (Bytes.get data (off + !i + 1));
+  let sum = ref sum and i = ref 0 in
+  if odd && len > 0 then begin
+    (* complete the word opened by the previous window: its high byte is
+       already in the sum, this byte is the low half *)
+    sum := !sum + Char.code (Bytes.get data off);
+    incr i
+  end;
+  let stop = len - 1 in
+  while !i < stop do
+    sum := !sum + Bytes.get_uint16_be data (off + !i);
     i := !i + 2
   done;
-  if len land 1 = 1 then
-    sum := !sum + (Char.code (Bytes.get data (off + len - 1)) lsl 8);
-  !sum
+  if !i < len then
+    sum := !sum + (Char.code (Bytes.get data (off + !i)) lsl 8);
+  (!sum, if len = 0 then odd else odd <> (len land 1 = 1))
+
+let fold_words acc v = fst (fold16 (acc, false) v)
 
 let finish sum =
   let s = ref sum in
@@ -26,7 +39,21 @@ let finish sum =
 
 let of_view v = finish (fold_words 0 v)
 
-let of_views vs = finish (List.fold_left fold_words 0 vs)
+let of_views vs = finish (fst (List.fold_left fold16 (0, false) vs))
+
+let of_mbuf m = of_views (Mbuf.views m)
+
+(* ---- reference semantics: one byte at a time ------------------------- *)
+
+let fold_bytes state v =
+  View.fold_u8
+    (fun (sum, odd) b ->
+      if odd then (sum + b, false) else (sum + (b lsl 8), true))
+    state v
+
+let of_views_bytewise vs = finish (fst (List.fold_left fold_bytes (0, false) vs))
+
+let of_view_bytewise v = of_views_bytewise [ v ]
 
 (* One's-complement addition of two 16-bit partial sums, used for the
    pseudo-header checksums of UDP and TCP. *)

@@ -1,13 +1,29 @@
-(** Internet checksum (RFC 1071) with incremental update (RFC 1624). *)
+(** Internet checksum (RFC 1071) with incremental update (RFC 1624).
+
+    The fast path folds 16-bit words with native big-endian loads and is
+    chain-aware: a parity bit carries across windows, so scatter-gather
+    chains with odd-length interior segments checksum correctly without
+    any pullup or copy.  The [_bytewise] functions are the byte-at-a-time
+    reference semantics. *)
 
 val of_view : _ View.t -> int
 (** Checksum of a byte window, as a 16-bit value. *)
 
 val of_views : _ View.t list -> int
 (** Checksum of the concatenation of several windows (e.g. pseudo-header
-    followed by payload) without materializing the concatenation.
-    Note: each window is treated as word-aligned at its start, so interior
-    windows should have even length (true for all protocol uses here). *)
+    followed by payload, or the segments of an mbuf chain) without
+    materializing the concatenation.  Windows of any length compose
+    correctly. *)
+
+val of_mbuf : _ Mbuf.t -> int
+(** Checksum of an mbuf chain, zero-copy ({!of_views} over its
+    segments). *)
+
+val of_view_bytewise : _ View.t -> int
+(** Reference implementation: one byte at a time. *)
+
+val of_views_bytewise : _ View.t list -> int
+(** Reference implementation over a window list. *)
 
 val valid : _ View.t -> bool
 (** True iff the window (which includes its checksum field) sums to zero. *)
@@ -23,4 +39,5 @@ val finish : int -> int
 (** Fold a running sum and complement it into a final 16-bit checksum. *)
 
 val fold_words : int -> _ View.t -> int
-(** Accumulate a window into a running (unfolded) sum. *)
+(** Accumulate a window into a running (unfolded) sum, starting on a word
+    boundary. *)

@@ -1,16 +1,37 @@
 (* Berkeley-style packet buffers (mbufs), the packet representation Plexus
    uses to move data through the protocol graph (paper section 3.4).
 
-   An mbuf is a chain of segments; each segment is a window onto a byte
-   buffer with headroom in front so that protocol layers can prepend
-   headers without copying.  The ['perm] phantom type parameter mirrors the
-   paper's READONLY discipline: handlers receive [ro] mbufs and the type
-   checker rejects writes through them; a writable copy must be made
-   explicitly with [copy_rw] (Figure 4's explicit copy-on-write). *)
+   An mbuf is a chain of segments; each segment is a window onto a
+   ref-counted byte buffer (a [store]) with headroom in front so that
+   protocol layers can prepend headers without copying.  Stores are
+   shared: [sub] carves a zero-copy sub-chain out of an existing chain
+   (fragmentation), and [take] transfers a whole chain between owners
+   (the driver handing a frame across the simulated wire).  A store's
+   bytes return to a size-classed free list when its last reference is
+   dropped, so steady-state traffic recycles buffers instead of leaking
+   them to the GC.
 
-type seg = { buf : Bytes.t; mutable off : int; mutable len : int }
+   The ['perm] phantom type parameter mirrors the paper's READONLY
+   discipline: handlers receive [ro] mbufs and the type checker rejects
+   writes through them; a writable copy must be made explicitly with
+   [copy_rw] (Figure 4's explicit copy-on-write). *)
 
-type raw = { mutable segs : seg list; mutable total : int }
+type store = { data : Bytes.t; mutable refs : int; cls : int }
+(* [cls] is the free-list size class, or -1 for unpooled (oversized)
+   buffers that go back to the GC. *)
+
+type seg = { store : store; mutable off : int; mutable len : int }
+
+(* Segments are a deque: [front] in order, [back] reversed, so both
+   [extend_back] and [concat] append in O(1)/O(|donor|) instead of the
+   O(n^2) of repeated list append.  [nsegs] caches the count. *)
+type raw = {
+  mutable front : seg list;
+  mutable back : seg list; (* reversed *)
+  mutable total : int;
+  mutable nsegs : int;
+  mutable freed : bool;
+}
 
 type ro = [ `Ro ]
 type rw = [ `Rw ]
@@ -18,156 +39,359 @@ type 'perm t = raw
 
 let default_headroom = 64
 
-(* Allocation accounting, standing in for the kernel mbuf pool that the
-   SPIN "packet buffer" protection domain exposes to most extensions. *)
+(* ---- the recycling free list ---------------------------------------- *)
+
+(* Size classes cover the traffic the experiments generate: small
+   control frames, MTU-sized frames (1500 + headroom), and the 12.5 KB
+   video datagrams.  Requests above the largest class are served by the
+   GC directly (cls = -1). *)
+let classes = [| 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 |]
+let max_freelist_depth = 512
+let freelists : Bytes.t list array = Array.make (Array.length classes) []
+let freelist_depths = Array.make (Array.length classes) 0
+
+let class_of size =
+  let n = Array.length classes in
+  let rec go i = if i >= n then -1 else if classes.(i) >= size then i else go (i + 1) in
+  go 0
+
+let drain_freelist () =
+  Array.fill freelists 0 (Array.length freelists) [];
+  Array.fill freelist_depths 0 (Array.length freelist_depths) 0
+
+(* Allocate a store of at least [size] usable bytes, recycling a
+   free-listed buffer of the right class when one is available. *)
+let alloc_store size =
+  let cls = class_of size in
+  if cls >= 0 then
+    match freelists.(cls) with
+    | data :: rest ->
+        freelists.(cls) <- rest;
+        freelist_depths.(cls) <- freelist_depths.(cls) - 1;
+        Metrics.count_recycle ();
+        { data; refs = 1; cls }
+    | [] ->
+        Metrics.count_alloc ();
+        { data = Bytes.create classes.(cls); refs = 1; cls }
+  else begin
+    Metrics.count_alloc ();
+    { data = Bytes.create size; refs = 1; cls }
+  end
+
+let incref store = store.refs <- store.refs + 1
+
+let decref store =
+  store.refs <- store.refs - 1;
+  if
+    store.refs = 0 && store.cls >= 0
+    && freelist_depths.(store.cls) < max_freelist_depth
+  then begin
+    freelists.(store.cls) <- store.data :: freelists.(store.cls);
+    freelist_depths.(store.cls) <- freelist_depths.(store.cls) + 1
+  end
+
+(* ---- allocation accounting ------------------------------------------- *)
+
+(* Stands in for the kernel mbuf pool that the SPIN "packet buffer"
+   protection domain exposes to most extensions. *)
 let allocated = ref 0
 let live = ref 0
 
 let stats () = (!allocated, !live)
-let reset_stats () = allocated := 0; live := 0
+
+let reset_stats () =
+  allocated := 0;
+  live := 0
+
+(* ---- chain plumbing --------------------------------------------------- *)
+
+let normalize t =
+  if t.back <> [] then begin
+    t.front <- t.front @ List.rev t.back;
+    t.back <- []
+  end
+
+let iter_segs f t =
+  List.iter f t.front;
+  if t.back <> [] then List.iter f (List.rev t.back)
+
+let mk_raw segs total nsegs =
+  incr allocated;
+  incr live;
+  { front = segs; back = []; total; nsegs; freed = false }
 
 let alloc ?(headroom = default_headroom) len : rw t =
   if len < 0 || headroom < 0 then invalid_arg "Mbuf.alloc";
-  incr allocated;
-  incr live;
-  let seg = { buf = Bytes.make (headroom + len) '\000'; off = headroom; len } in
-  { segs = [ seg ]; total = len }
+  let store = alloc_store (headroom + len) in
+  (* recycled buffers are dirty; the visible region must read as zeros *)
+  Bytes.fill store.data headroom len '\000';
+  mk_raw [ { store; off = headroom; len } ] len 1
 
-let free (_ : _ t) = decr live
+let free t =
+  if t.freed then invalid_arg "Mbuf.free: double free";
+  t.freed <- true;
+  decr live;
+  iter_segs (fun seg -> decref seg.store) t;
+  t.front <- [];
+  t.back <- [];
+  t.total <- 0;
+  t.nsegs <- 0
 
 let length t = t.total
-let num_segs t = List.length t.segs
+let num_segs t = t.nsegs
 let is_empty t = t.total = 0
 
 let of_string s : rw t =
-  let m = alloc (String.length s) in
-  (match m.segs with
-  | [ seg ] -> Bytes.blit_string s 0 seg.buf seg.off (String.length s)
-  | _ -> assert false);
-  m
+  let len = String.length s in
+  let store = alloc_store (default_headroom + len) in
+  Bytes.blit_string s 0 store.data default_headroom len;
+  Metrics.count_copy len;
+  mk_raw [ { store; off = default_headroom; len } ] len 1
 
-let seg_view seg = View.of_bytes ~off:seg.off ~len:seg.len seg.buf
+let seg_view seg = View.of_bytes ~off:seg.off ~len:seg.len seg.store.data
 
 let views (t : 'p t) : 'p View.t list =
-  List.map (fun seg -> View.unsafe_cast (seg_view seg)) t.segs
+  let acc = ref [] in
+  iter_segs (fun seg -> acc := View.unsafe_cast (seg_view seg) :: !acc) t;
+  List.rev !acc
 
 let ro (t : _ t) : ro t = t
 
-let to_string t =
+(* Uncounted flatten for structural operations (equality, debug print);
+   [to_string] below is the counted marshalling entry point. *)
+let flatten_string t =
   let b = Buffer.create t.total in
-  List.iter (fun seg -> Buffer.add_subbytes b seg.buf seg.off seg.len) t.segs;
+  iter_segs (fun seg -> Buffer.add_subbytes b seg.store.data seg.off seg.len) t;
   Buffer.contents b
 
-let copy_rw (t : _ t) : rw t = of_string (to_string t)
+let to_string t =
+  if t.total > 0 then Metrics.count_copy t.total;
+  flatten_string t
 
 (* Make at least [n] bytes contiguous at the head of the chain, copying
    (like BSD m_pullup) only when the first segment is too short. *)
 let pullup (t : _ t) n =
   if n > t.total then invalid_arg "Mbuf.pullup: chain too short";
-  match t.segs with
+  normalize t;
+  match t.front with
   | first :: _ when first.len >= n -> ()
   | _ ->
-      let flat = to_string t in
-      let seg =
-        {
-          buf = Bytes.make (default_headroom + String.length flat) '\000';
-          off = default_headroom;
-          len = String.length flat;
-        }
-      in
-      Bytes.blit_string flat 0 seg.buf seg.off (String.length flat);
-      t.segs <- [ seg ]
+      let store = alloc_store (default_headroom + t.total) in
+      let pos = ref default_headroom in
+      iter_segs
+        (fun seg ->
+          Bytes.blit seg.store.data seg.off store.data !pos seg.len;
+          pos := !pos + seg.len;
+          decref seg.store)
+        t;
+      Metrics.count_copy t.total;
+      t.front <- [ { store; off = default_headroom; len = t.total } ];
+      t.back <- [];
+      t.nsegs <- 1
 
 let view (t : 'p t) : 'p View.t =
-  match t.segs with
+  normalize t;
+  match t.front with
   | [] -> View.unsafe_cast (View.create 0)
   | [ seg ] -> View.unsafe_cast (seg_view seg)
   | _ :: _ ->
       (* Multi-segment chains are flattened on demand; protocol code calls
-         [pullup] first to control when this copy happens. *)
+         [pullup] first — or uses [views] — to control when this copy
+         happens. *)
       pullup t t.total;
-      (match t.segs with
+      (match t.front with
       | [ s ] -> View.unsafe_cast (seg_view s)
       | _ -> assert false)
 
+let copy_rw (t : _ t) : rw t =
+  let store = alloc_store (default_headroom + t.total) in
+  let pos = ref default_headroom in
+  iter_segs
+    (fun seg ->
+      Bytes.blit seg.store.data seg.off store.data !pos seg.len;
+      pos := !pos + seg.len)
+    t;
+  if t.total > 0 then Metrics.count_copy t.total;
+  mk_raw [ { store; off = default_headroom; len = t.total } ] t.total 1
+
+(* A segment's headroom (or tailroom) may only be written when this
+   chain is the store's sole owner — fragments sharing a payload buffer
+   must not scribble on each other's bytes. *)
+let exclusive seg = seg.store.refs = 1
+
 let prepend (t : rw t) n : View.rw View.t =
   if n < 0 then invalid_arg "Mbuf.prepend";
-  (match t.segs with
-  | first :: _ when first.off >= n ->
+  normalize t;
+  (match t.front with
+  | first :: _ when first.off >= n && exclusive first ->
       first.off <- first.off - n;
-      first.len <- first.len + n
-  | segs ->
-      let seg = { buf = Bytes.make (default_headroom + n) '\000'; off = default_headroom; len = n } in
-      incr allocated;
-      t.segs <- seg :: segs);
+      first.len <- first.len + n;
+      Bytes.fill first.store.data first.off n '\000'
+  | front ->
+      let store = alloc_store (default_headroom + n) in
+      Bytes.fill store.data default_headroom n '\000';
+      t.front <- { store; off = default_headroom; len = n } :: front;
+      t.nsegs <- t.nsegs + 1);
   t.total <- t.total + n;
-  match t.segs with
-  | first :: _ -> View.of_bytes ~off:first.off ~len:n first.buf
+  match t.front with
+  | first :: _ -> View.of_bytes ~off:first.off ~len:n first.store.data
   | [] -> assert false
 
 let extend_back (t : rw t) n : View.rw View.t =
   if n < 0 then invalid_arg "Mbuf.extend_back";
   let rec last = function [ x ] -> Some x | _ :: tl -> last tl | [] -> None in
-  (match last t.segs with
-  | Some seg when seg.off + seg.len + n <= Bytes.length seg.buf ->
-      seg.len <- seg.len + n
-  | _ ->
-      let seg = { buf = Bytes.make n '\000'; off = 0; len = n } in
-      incr allocated;
-      t.segs <- t.segs @ [ seg ]);
+  let tail =
+    match t.back with s :: _ -> Some s | [] -> last t.front
+  in
+  let seg =
+    match tail with
+    | Some seg
+      when seg.off + seg.len + n <= Bytes.length seg.store.data && exclusive seg
+      ->
+        Bytes.fill seg.store.data (seg.off + seg.len) n '\000';
+        seg.len <- seg.len + n;
+        seg
+    | _ ->
+        let store = alloc_store n in
+        Bytes.fill store.data 0 n '\000';
+        let seg = { store; off = 0; len = n } in
+        t.back <- seg :: t.back;
+        t.nsegs <- t.nsegs + 1;
+        seg
+  in
   t.total <- t.total + n;
-  match last t.segs with
-  | Some seg -> View.of_bytes ~off:(seg.off + seg.len - n) ~len:n seg.buf
-  | None -> assert false
+  View.of_bytes ~off:(seg.off + seg.len - n) ~len:n seg.store.data
 
 let trim_front (t : rw t) n =
   if n < 0 || n > t.total then invalid_arg "Mbuf.trim_front";
+  normalize t;
   let rec go n segs =
     if n = 0 then segs
     else
       match segs with
       | [] -> assert false
       | seg :: tl ->
-          if seg.len <= n then go (n - seg.len) tl
+          if seg.len <= n then begin
+            decref seg.store;
+            t.nsegs <- t.nsegs - 1;
+            go (n - seg.len) tl
+          end
           else begin
             seg.off <- seg.off + n;
             seg.len <- seg.len - n;
             segs
           end
   in
-  t.segs <- go n t.segs;
+  t.front <- go n t.front;
   t.total <- t.total - n
 
 let trim_back (t : rw t) n =
   if n < 0 || n > t.total then invalid_arg "Mbuf.trim_back";
+  normalize t;
   let target = t.total - n in
   let rec go kept segs =
     match segs with
     | [] -> []
     | seg :: tl ->
-        if kept >= target then []
+        if kept >= target then begin
+          List.iter
+            (fun s ->
+              decref s.store;
+              t.nsegs <- t.nsegs - 1)
+            segs;
+          []
+        end
         else if kept + seg.len <= target then seg :: go (kept + seg.len) tl
         else begin
+          List.iter
+            (fun s ->
+              decref s.store;
+              t.nsegs <- t.nsegs - 1)
+            tl;
           seg.len <- target - kept;
           [ seg ]
         end
   in
-  t.segs <- go 0 t.segs;
+  t.front <- go 0 t.front;
   t.total <- target
 
 let concat (a : rw t) (b : rw t) =
-  a.segs <- a.segs @ b.segs;
+  let b_segs = if b.back = [] then b.front else b.front @ List.rev b.back in
+  (* rev(rev_append b_segs a.back) = rev a.back @ b_segs: b's segments
+     land after a's in order, without retraversing a's chain. *)
+  a.back <- List.rev_append b_segs a.back;
   a.total <- a.total + b.total;
-  b.segs <- [];
-  b.total <- 0
+  a.nsegs <- a.nsegs + b.nsegs;
+  b.front <- [];
+  b.back <- [];
+  b.total <- 0;
+  b.nsegs <- 0
+
+(* Zero-copy sub-chain: the result shares the underlying stores (their
+   refcounts grow), so no payload byte moves.  Writable sub-chains of a
+   writable parent are for trusted composition code (fragmentation);
+   sharing means headroom tricks automatically fall back to fresh header
+   segments ([exclusive] above). *)
+let sub (t : 'p t) ~off ~len : 'p t =
+  if off < 0 || len < 0 || off + len > t.total then invalid_arg "Mbuf.sub";
+  let segs = ref [] and nsegs = ref 0 in
+  let pos = ref 0 in
+  iter_segs
+    (fun seg ->
+      let seg_start = !pos and seg_end = !pos + seg.len in
+      pos := seg_end;
+      let lo = max seg_start off and hi = min seg_end (off + len) in
+      if lo < hi then begin
+        incref seg.store;
+        segs :=
+          { store = seg.store; off = seg.off + (lo - seg_start); len = hi - lo }
+          :: !segs;
+        incr nsegs
+      end)
+    t;
+  mk_raw (List.rev !segs) len !nsegs
+
+(* Ownership transfer: the result takes over [t]'s segments and [t]
+   becomes empty.  This is how the driver consumes a frame at transmit
+   time — the sender keeps a (now empty) handle and can no longer
+   scribble on bytes that are on the wire. *)
+let take (t : 'p t) : 'p t =
+  let r =
+    {
+      front = t.front;
+      back = t.back;
+      total = t.total;
+      nsegs = t.nsegs;
+      freed = false;
+    }
+  in
+  t.front <- [];
+  t.back <- [];
+  t.total <- 0;
+  t.nsegs <- 0;
+  r
 
 let sub_copy (t : _ t) ~off ~len : rw t =
   if off < 0 || len < 0 || off + len > t.total then invalid_arg "Mbuf.sub_copy";
-  let s = to_string t in
-  of_string (String.sub s off len)
+  let store = alloc_store (default_headroom + len) in
+  let pos = ref 0 in
+  iter_segs
+    (fun seg ->
+      let seg_start = !pos and seg_end = !pos + seg.len in
+      pos := seg_end;
+      let lo = max seg_start off and hi = min seg_end (off + len) in
+      if lo < hi then
+        Bytes.blit seg.store.data
+          (seg.off + (lo - seg_start))
+          store.data
+          (default_headroom + (lo - off))
+          (hi - lo))
+    t;
+  if len > 0 then Metrics.count_copy len;
+  mk_raw [ { store; off = default_headroom; len } ] len 1
 
-let equal a b = to_string a = to_string b
+let equal a b = a.total = b.total && flatten_string a = flatten_string b
 
 let pp ppf t =
-  Fmt.pf ppf "mbuf(len=%d segs=%d %a)" t.total (num_segs t)
-    View.pp (View.of_string (to_string t))
+  Fmt.pf ppf "mbuf(len=%d segs=%d %a)" t.total t.nsegs View.pp
+    (View.of_string (flatten_string t))

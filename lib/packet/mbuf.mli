@@ -8,7 +8,13 @@
     not type-check, exactly like [BadPacketRecv] in the paper's Figure 4.
 
     An mbuf is a chain of segments with headroom, so pushing a header with
-    {!prepend} is O(1) and copy-free on the common path. *)
+    {!prepend} is O(1) and copy-free on the common path.  Segments are
+    windows onto ref-counted buffers: {!sub} carves zero-copy sub-chains
+    (fragmentation), {!take} transfers whole chains between owners
+    (transmit), and a buffer's bytes return to a size-classed free list
+    when its last reference drops, so steady traffic recycles buffers
+    instead of allocating.  All payload copies and buffer allocations made
+    by this module are counted in {!Metrics}. *)
 
 type ro = [ `Ro ]
 type rw = [ `Rw ]
@@ -18,20 +24,28 @@ type 'perm t
 
 val alloc : ?headroom:int -> int -> rw t
 (** [alloc n] is a zero-filled packet of [n] bytes with header headroom
-    (default 64 bytes). *)
+    (default 64 bytes).  The segment buffer is drawn from the free list
+    when a suitable one is available. *)
 
 val of_string : string -> rw t
 
 val free : _ t -> unit
-(** Return the buffer to the pool (accounting only). *)
+(** Drop the chain's references; buffers whose last reference this was
+    return to the free list.  @raise Invalid_argument on double free. *)
 
 val stats : unit -> int * int
 (** [(total_allocations, live)] since the last {!reset_stats}. *)
 
 val reset_stats : unit -> unit
 
+val drain_freelist : unit -> unit
+(** Empty the recycling free list (for deterministic tests/benches). *)
+
 val length : _ t -> int
+
 val num_segs : _ t -> int
+(** O(1): the segment count is cached. *)
+
 val is_empty : _ t -> bool
 
 val ro : _ t -> ro t
@@ -55,21 +69,36 @@ val pullup : _ t -> int -> unit
     bytes, copying only if needed (BSD [m_pullup]). *)
 
 val prepend : rw t -> int -> View.rw View.t
-(** [prepend t n] grows the packet by [n] bytes at the front — O(1) when
-    headroom suffices — and returns a writable view of the new header
-    region. *)
+(** [prepend t n] grows the packet by [n] bytes at the front — O(1) and
+    allocation-free when headroom suffices and the first segment's buffer
+    is not shared — and returns a writable view of the new (zeroed)
+    header region. *)
 
 val extend_back : rw t -> int -> View.rw View.t
-(** Grow the packet at the tail, returning a view of the new region. *)
+(** Grow the packet at the tail, returning a view of the new region.
+    O(1) amortized (reversed-tail representation). *)
 
 val trim_front : rw t -> int -> unit
-(** Drop [n] bytes from the front (e.g. stepping past a header on input). *)
+(** Drop [n] bytes from the front (e.g. stepping past a header on input).
+    Fully-consumed segments release their buffer references. *)
 
 val trim_back : rw t -> int -> unit
 
 val concat : rw t -> rw t -> unit
-(** [concat a b] moves all of [b]'s data to the end of [a]; [b] becomes
-    empty. *)
+(** [concat a b] moves all of [b]'s segments to the end of [a] without
+    copying; [b] becomes empty.  O(|b|), independent of [a]'s length. *)
+
+val sub : 'p t -> off:int -> len:int -> 'p t
+(** Zero-copy sub-chain: shares the underlying buffers (ref-counted), no
+    payload byte moves.  A writable sub-chain of a writable parent is for
+    trusted composition code (e.g. fragmentation) — writes through it are
+    visible to the parent, but headroom/tailroom growth on shared buffers
+    automatically falls back to fresh segments. *)
+
+val take : 'p t -> 'p t
+(** Ownership transfer: returns a chain holding all of [t]'s segments and
+    empties [t].  The device uses this to consume a frame at transmit
+    time, so the sender cannot scribble on bytes already on the wire. *)
 
 val sub_copy : _ t -> off:int -> len:int -> rw t
 (** Copy of a byte range as a fresh packet. *)

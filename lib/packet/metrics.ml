@@ -1,0 +1,47 @@
+(* Global datapath accounting.
+
+   The paper's data-movement claim is structural: packets move through
+   the protocol graph as read-only mbuf chains and are *not* copied on
+   the common path (section 3.4).  These counters make that claim
+   checkable — benches and tests reset them, drive a path, and assert
+   "zero copies here".  Every payload-byte copy in the packet substrate
+   (mbuf flatten/copy, view copy/blit) and every fresh segment-buffer
+   allocation is counted; recycled buffers drawn from the free list are
+   counted separately so allocation pressure on the GC is visible. *)
+
+let copies = ref 0
+let bytes_copied = ref 0
+let allocs = ref 0 (* fresh Bytes.t segment buffers *)
+let recycled = ref 0 (* buffers satisfied from the free list *)
+
+let count_copy n =
+  incr copies;
+  bytes_copied := !bytes_copied + n
+
+let count_alloc () = incr allocs
+let count_recycle () = incr recycled
+
+let reset () =
+  copies := 0;
+  bytes_copied := 0;
+  allocs := 0;
+  recycled := 0
+
+type snapshot = {
+  copies : int;
+  bytes_copied : int;
+  allocs : int;
+  recycled : int;
+}
+
+let snapshot () =
+  {
+    copies = !copies;
+    bytes_copied = !bytes_copied;
+    allocs = !allocs;
+    recycled = !recycled;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "copies=%d bytes_copied=%d allocs=%d recycled=%d" s.copies
+    s.bytes_copied s.allocs s.recycled

@@ -4,7 +4,13 @@
    extensions; a real kernel bounds that resource.  A pool enforces a
    buffer budget: allocation fails (and is counted) when the budget is
    exhausted, which is how receive paths shed load when a consumer falls
-   behind rather than growing without bound. *)
+   behind rather than growing without bound.
+
+   Budget slots and buffer memory are separate concerns: the memory
+   behind an mbuf comes from (and returns to) Mbuf's size-classed
+   recycling free list; a pool accounts who may hold how many buffers at
+   once.  Receive rings that hand chains onward without allocating use
+   the bare [reserve]/[release] slot operations. *)
 
 type t = {
   name : string;
@@ -13,11 +19,20 @@ type t = {
   mutable allocations : int;
   mutable failures : int;
   mutable peak : int;
+  mutable underflows : int;
 }
 
 let create ?(name = "pool") ~capacity () =
   if capacity <= 0 then invalid_arg "Pool.create: capacity must be positive";
-  { name; capacity; live = 0; allocations = 0; failures = 0; peak = 0 }
+  {
+    name;
+    capacity;
+    live = 0;
+    allocations = 0;
+    failures = 0;
+    peak = 0;
+    underflows = 0;
+  }
 
 let name t = t.name
 let capacity t = t.capacity
@@ -25,18 +40,31 @@ let live t = t.live
 let allocations t = t.allocations
 let failures t = t.failures
 let peak t = t.peak
+let underflows t = t.underflows
 
-let alloc t ?headroom len =
+let reserve t =
   if t.live >= t.capacity then begin
     t.failures <- t.failures + 1;
-    None
+    false
   end
   else begin
     t.live <- t.live + 1;
     t.allocations <- t.allocations + 1;
     if t.live > t.peak then t.peak <- t.live;
-    Some (Mbuf.alloc ?headroom len)
+    true
   end
+
+let release t =
+  if t.live = 0 then begin
+    (* an underflow means a slot was given back twice — a double free.
+       The seed silently swallowed this; now it is counted and fatal. *)
+    t.underflows <- t.underflows + 1;
+    invalid_arg (t.name ^ ": pool slot released twice (double free)")
+  end;
+  t.live <- t.live - 1
+
+let alloc t ?headroom len =
+  if reserve t then Some (Mbuf.alloc ?headroom len) else None
 
 let alloc_string t s =
   match alloc t (String.length s) with
@@ -45,12 +73,10 @@ let alloc_string t s =
       View.set_string (Mbuf.view m) ~off:0 s;
       Some m
 
-(* Buffers are plain mbufs; freeing is an accounting act, as in the
-   simulator's global pool. *)
 let free t (m : _ Mbuf.t) =
   Mbuf.free m;
-  if t.live > 0 then t.live <- t.live - 1
+  release t
 
 let pp ppf t =
-  Fmt.pf ppf "%s: %d/%d live (peak %d, %d allocs, %d failures)" t.name t.live
-    t.capacity t.peak t.allocations t.failures
+  Fmt.pf ppf "%s: %d/%d live (peak %d, %d allocs, %d failures, %d underflows)"
+    t.name t.live t.capacity t.peak t.allocations t.failures t.underflows

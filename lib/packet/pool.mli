@@ -2,12 +2,23 @@
 
     Allocation fails — and is counted — when the pool is exhausted;
     receive paths use this to shed load instead of growing without
-    bound. *)
+    bound.  Buffer {e memory} is recycled by {!Mbuf}'s free list; a pool
+    accounts budget {e slots}.  Receive rings that pass chains onward
+    without allocating use {!reserve}/{!release} directly. *)
 
 type t
 
 val create : ?name:string -> capacity:int -> unit -> t
 (** @raise Invalid_argument if [capacity <= 0]. *)
+
+val reserve : t -> bool
+(** Claim a budget slot without allocating a buffer.  [false] (counted as
+    a failure) when the pool is exhausted. *)
+
+val release : t -> unit
+(** Give a budget slot back.
+    @raise Invalid_argument on underflow (a slot released twice — the
+    double free is also counted, see {!underflows}). *)
 
 val alloc : t -> ?headroom:int -> int -> Mbuf.rw Mbuf.t option
 (** [None] when the pool is exhausted (counted as a failure). *)
@@ -15,7 +26,9 @@ val alloc : t -> ?headroom:int -> int -> Mbuf.rw Mbuf.t option
 val alloc_string : t -> string -> Mbuf.rw Mbuf.t option
 
 val free : t -> _ Mbuf.t -> unit
-(** Return a buffer to the pool (accounting). *)
+(** Free the buffer and release its slot.
+    @raise Invalid_argument on double free (from {!Mbuf.free} or slot
+    underflow). *)
 
 val name : t -> string
 val capacity : t -> int
@@ -25,5 +38,8 @@ val failures : t -> int
 
 val peak : t -> int
 (** High-water mark of live buffers. *)
+
+val underflows : t -> int
+(** Number of detected double frees / slot underflows. *)
 
 val pp : Format.formatter -> t -> unit

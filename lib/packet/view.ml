@@ -46,15 +46,16 @@ let get_u8 v i =
   check v i 1;
   Char.code (Bytes.get v.data (v.off + i))
 
+(* Multi-byte accessors do one window check here, then use the runtime's
+   native big-endian primitives — a single bounds-checked wide load
+   instead of per-byte gets. *)
 let get_u16 v i =
   check v i 2;
-  Char.code (Bytes.get v.data (v.off + i)) lsl 8
-  lor Char.code (Bytes.get v.data (v.off + i + 1))
+  Bytes.get_uint16_be v.data (v.off + i)
 
 let get_u32 v i =
   check v i 4;
-  let b k = Char.code (Bytes.get v.data (v.off + i + k)) in
-  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  Int32.to_int (Bytes.get_int32_be v.data (v.off + i)) land 0xFFFFFFFF
 
 let get_string v ~off ~len =
   check v off len;
@@ -68,15 +69,11 @@ let set_u8 (v : rw t) i x =
 
 let set_u16 (v : rw t) i x =
   check v i 2;
-  Bytes.set v.data (v.off + i) (Char.chr ((x lsr 8) land 0xff));
-  Bytes.set v.data (v.off + i + 1) (Char.chr (x land 0xff))
+  Bytes.set_uint16_be v.data (v.off + i) (x land 0xffff)
 
 let set_u32 (v : rw t) i x =
   check v i 4;
-  Bytes.set v.data (v.off + i) (Char.chr ((x lsr 24) land 0xff));
-  Bytes.set v.data (v.off + i + 1) (Char.chr ((x lsr 16) land 0xff));
-  Bytes.set v.data (v.off + i + 2) (Char.chr ((x lsr 8) land 0xff));
-  Bytes.set v.data (v.off + i + 3) (Char.chr (x land 0xff))
+  Bytes.set_int32_be v.data (v.off + i) (Int32.of_int x)
 
 let set_string (v : rw t) ~off s =
   check v off (String.length s);
@@ -85,11 +82,13 @@ let set_string (v : rw t) ~off s =
 let blit ~(src : _ t) ~(dst : rw t) ~src_off ~dst_off ~len =
   check src src_off len;
   check dst dst_off len;
+  if len > 0 then Metrics.count_copy len;
   Bytes.blit src.data (src.off + src_off) dst.data (dst.off + dst_off) len
 
 let fill (v : rw t) c = Bytes.fill v.data v.off v.len c
 
 let copy (v : _ t) : rw t =
+  if v.len > 0 then Metrics.count_copy v.len;
   { data = Bytes.sub v.data v.off v.len; off = 0; len = v.len }
 
 let equal a b = to_string a = to_string b

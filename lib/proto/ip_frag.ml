@@ -1,21 +1,31 @@
 (* IP fragmentation and reassembly.  The video experiment (Figure 6)
    sends 12.5 KB UDP frames, which must be fragmented to the device MTU;
-   the receive side reassembles before the UDP layer sees the datagram. *)
+   the receive side reassembles before the UDP layer sees the datagram.
 
-(* Split a datagram payload into (offset-in-8-byte-units, more, bytes)
-   fragments that each fit in [mtu] together with the IP header. *)
-let fragment ~mtu payload =
+   Fragmentation is zero-copy: each fragment is an [Mbuf.sub] sub-chain
+   sharing the datagram's buffers, so splitting a 12.5 KB datagram moves
+   no payload bytes at all (headers are later prepended into fresh
+   per-fragment segments because the shared payload store is not
+   exclusively owned).  Reassembly holds (offset, view) chunks and blits
+   each byte exactly once into a fresh mbuf when the datagram completes —
+   the one legitimate copy on this path. *)
+
+(* Split a datagram into (offset-in-8-byte-units, more, sub-chain)
+   fragments that each fit in [mtu] together with the IP header.  The
+   caller keeps ownership of [payload]; fragments hold their own
+   references to its buffers. *)
+let fragment ~mtu (payload : 'p Mbuf.t) : (int * bool * 'p Mbuf.t) list =
   if mtu <= Ipv4.header_len + 8 then invalid_arg "Ip_frag.fragment: mtu too small";
   let max_data = (mtu - Ipv4.header_len) / 8 * 8 in
-  let len = String.length payload in
-  if len <= max_data then [ (0, false, payload) ]
+  let len = Mbuf.length payload in
+  if len <= max_data then [ (0, false, Mbuf.sub payload ~off:0 ~len) ]
   else begin
     let rec go off acc =
       if off >= len then List.rev acc
       else begin
         let n = min max_data (len - off) in
         let more = off + n < len in
-        go (off + n) ((off / 8, more, String.sub payload off n) :: acc)
+        go (off + n) ((off / 8, more, Mbuf.sub payload ~off ~len:n) :: acc)
       end
     in
     go 0 []
@@ -25,7 +35,7 @@ let fragment ~mtu payload =
 type key = { src : Ipaddr.t; dst : Ipaddr.t; proto : int; id : int }
 
 type ctx = {
-  mutable chunks : (int * string) list; (* byte offset, data *)
+  mutable chunks : (int * View.ro View.t) list; (* byte offset, payload *)
   mutable total : int option;           (* known once the last fragment arrives *)
   mutable received : int;
   deadline : Sim.Stime.t;
@@ -57,9 +67,25 @@ let expire t ~now =
       t.timeouts <- t.timeouts + 1)
     stale
 
-(* Feed one fragment; returns the reassembled payload when complete. *)
-let input t ~now (h : Ipv4.header) payload =
-  if (not h.more_fragments) && h.frag_offset = 0 then Some payload
+(* Assemble completed chunks into a fresh contiguous datagram: each
+   payload byte is copied exactly once, here. *)
+let assemble total chunks =
+  let m = Mbuf.alloc total in
+  let dst = Mbuf.view m in
+  List.iter
+    (fun (o, v) ->
+      View.blit ~src:v ~dst ~src_off:0 ~dst_off:o ~len:(View.length v))
+    chunks;
+  m
+
+(* Feed one fragment's payload; returns the reassembled datagram when
+   complete.  The chunk views must stay valid until then (they reference
+   the arriving frames' buffers, which the receive path keeps alive). *)
+let input t ~now (h : Ipv4.header) (payload : _ View.t) :
+    Mbuf.rw Mbuf.t option =
+  let payload = View.ro payload in
+  if (not h.more_fragments) && h.frag_offset = 0 then
+    Some (assemble (View.length payload) [ (0, payload) ])
   else begin
     expire t ~now;
     let key = { src = h.src; dst = h.dst; proto = h.proto; id = h.id } in
@@ -81,18 +107,13 @@ let input t ~now (h : Ipv4.header) payload =
     let off = h.frag_offset * 8 in
     if not (List.mem_assoc off ctx.chunks) then begin
       ctx.chunks <- (off, payload) :: ctx.chunks;
-      ctx.received <- ctx.received + String.length payload
+      ctx.received <- ctx.received + View.length payload
     end;
-    if not h.more_fragments then ctx.total <- Some (off + String.length payload);
+    if not h.more_fragments then ctx.total <- Some (off + View.length payload);
     match ctx.total with
     | Some total when ctx.received >= total ->
         Hashtbl.remove t.pending key;
-        let buf = Bytes.make total '\000' in
-        List.iter
-          (fun (o, data) ->
-            Bytes.blit_string data 0 buf o (String.length data))
-          ctx.chunks;
         t.reassembled <- t.reassembled + 1;
-        Some (Bytes.to_string buf)
+        Some (assemble total ctx.chunks)
     | _ -> None
   end

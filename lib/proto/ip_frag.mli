@@ -1,9 +1,14 @@
-(** IP fragmentation and reassembly. *)
+(** IP fragmentation and reassembly.
 
-val fragment : mtu:int -> string -> (int * bool * string) list
+    Fragmentation is zero-copy: fragments are {!Mbuf.sub} sub-chains
+    sharing the datagram's buffers.  Reassembly copies each payload byte
+    exactly once, into the completed datagram. *)
+
+val fragment : mtu:int -> 'p Mbuf.t -> (int * bool * 'p Mbuf.t) list
 (** [fragment ~mtu payload] is a list of
-    [(frag_offset_in_8B_units, more_fragments, data)] covering [payload],
-    each fitting in [mtu] with an IP header.
+    [(frag_offset_in_8B_units, more_fragments, sub_chain)] covering
+    [payload], each fitting in [mtu] with an IP header.  No payload byte
+    is copied; the caller keeps ownership of [payload].
     @raise Invalid_argument if the MTU cannot carry 8 payload bytes. *)
 
 type t
@@ -11,9 +16,11 @@ type t
 
 val create : ?timeout:Sim.Stime.t -> unit -> t
 
-val input : t -> now:Sim.Stime.t -> Ipv4.header -> string -> string option
-(** Feed a fragment (or whole datagram); [Some payload] when a datagram
-    completes.  Stale contexts are expired lazily against [now]. *)
+val input : t -> now:Sim.Stime.t -> Ipv4.header -> _ View.t -> Mbuf.rw Mbuf.t option
+(** Feed a fragment's payload (or a whole datagram); [Some datagram] when
+    one completes.  Chunk views are held until completion, so they must
+    remain valid that long (the receive path keeps arriving frames
+    alive).  Stale contexts are expired lazily against [now]. *)
 
 val pending_count : t -> int
 val reassembled_count : t -> int

@@ -31,14 +31,20 @@ let compute_cksum ~src ~dst v =
   | c -> c
 
 (* Prepend a UDP header to a payload packet.  [checksum:false] writes 0,
-   which RFC 768 defines as "no checksum". *)
+   which RFC 768 defines as "no checksum".  The checksum folds over the
+   chain's segments in place — a scatter-gather payload is neither pulled
+   up nor copied. *)
 let encapsulate ?(checksum = true) pkt ~src ~dst ~src_port ~dst_port =
   let len = header_len + Mbuf.length pkt in
   let v = Mbuf.prepend pkt header_len in
   write v { src_port; dst_port; len; cksum = 0 };
   if checksum then begin
-    let c = compute_cksum ~src ~dst (Mbuf.view pkt) in
-    let v = Mbuf.view pkt in
+    let pseudo = Ipv4.pseudo_header ~src ~dst ~proto:Ipv4.proto_udp ~len in
+    let c =
+      match Cksum.of_views (View.ro pseudo :: Mbuf.views (Mbuf.ro pkt)) with
+      | 0 -> 0xffff (* RFC 768: transmitted as all-ones when it computes to 0 *)
+      | c -> c
+    in
     View.set_u16 v 6 c
   end
 

@@ -30,13 +30,15 @@ let dev_delivers () =
   let cb = Netsim.Dev.counters b.Netsim.Network.dev in
   Alcotest.(check int) "rx count" 2 cb.Netsim.Dev.rx_packets
 
-let dev_receiver_gets_a_copy () =
+let dev_transmit_takes_ownership () =
   let engine, a, b = mk_pair () in
   let got = ref None in
   Netsim.Dev.set_rx b.Netsim.Network.dev (fun pkt -> got := Some pkt);
   let pkt = Mbuf.of_string "orig" in
   Netsim.Dev.transmit a.Netsim.Network.dev pkt;
-  (* sender scribbles on its buffer after handing it to the driver *)
+  (* the driver consumed the frame: the sender's handle is empty, so a
+     post-transmit scribble cannot reach bytes on the wire *)
+  Alcotest.(check bool) "sender handle emptied" true (Mbuf.is_empty pkt);
   View.fill (Mbuf.view pkt) 'X';
   Sim.Engine.run engine;
   match !got with
@@ -220,7 +222,7 @@ let suite =
     ( "netsim.dev",
       [
         tc "delivers in order" dev_delivers;
-        tc "receiver gets a copy" dev_receiver_gets_a_copy;
+        tc "transmit takes ownership" dev_transmit_takes_ownership;
         tc "no handler -> drop" dev_no_handler_drops;
         tc "mtu enforced" dev_mtu_enforced;
         tc "wire serializes" dev_wire_serializes;

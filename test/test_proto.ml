@@ -103,24 +103,24 @@ let ipv4_frag_fields () =
 (* ---- Ip_frag ----------------------------------------------------------- *)
 
 let frag_small_passthrough () =
-  match Proto.Ip_frag.fragment ~mtu:1500 "short" with
-  | [ (0, false, "short") ] -> ()
+  match Proto.Ip_frag.fragment ~mtu:1500 (Mbuf.of_string "short") with
+  | [ (0, false, m) ] when Mbuf.to_string m = "short" -> ()
   | _ -> Alcotest.fail "small payload should not fragment"
 
 let frag_sizes () =
   let payload = String.make 4000 'x' in
-  let frags = Proto.Ip_frag.fragment ~mtu:1500 payload in
+  let frags = Proto.Ip_frag.fragment ~mtu:1500 (Mbuf.of_string payload) in
   Alcotest.(check int) "three fragments" 3 (List.length frags);
   List.iteri
     (fun i (off, more, data) ->
       Alcotest.(check bool) "8-byte aligned offsets" true (off * 8 mod 8 = 0);
       if i < 2 then begin
         Alcotest.(check bool) "more set" true more;
-        Alcotest.(check int) "full fragment" 1480 (String.length data)
+        Alcotest.(check int) "full fragment" 1480 (Mbuf.length data)
       end
       else Alcotest.(check bool) "last has no more" false more)
     frags;
-  let total = List.fold_left (fun a (_, _, d) -> a + String.length d) 0 frags in
+  let total = List.fold_left (fun a (_, _, d) -> a + Mbuf.length d) 0 frags in
   Alcotest.(check int) "lossless" 4000 total
 
 let reassemble frags =
@@ -130,30 +130,30 @@ let reassemble frags =
     (fun acc (off8, more, data) ->
       let h =
         Proto.Ipv4.make ~id:1 ~more_fragments:more ~frag_offset:off8 ~proto:17
-          ~src:ip_a ~dst:ip_b ~payload_len:(String.length data) ()
+          ~src:ip_a ~dst:ip_b ~payload_len:(Mbuf.length data) ()
       in
-      match Proto.Ip_frag.input t ~now h data with
-      | Some d -> Some d
+      match Proto.Ip_frag.input t ~now h (Mbuf.view data) with
+      | Some d -> Some (Mbuf.to_string d)
       | None -> acc)
     None frags
 
 let frag_roundtrip () =
   let payload = String.init 5000 (fun i -> Char.chr (i mod 256)) in
-  let frags = Proto.Ip_frag.fragment ~mtu:1500 payload in
+  let frags = Proto.Ip_frag.fragment ~mtu:1500 (Mbuf.of_string payload) in
   match reassemble frags with
   | Some d -> Alcotest.(check bool) "reassembled intact" true (d = payload)
   | None -> Alcotest.fail "did not reassemble"
 
 let frag_out_of_order () =
   let payload = String.init 3000 (fun i -> Char.chr (i mod 251)) in
-  let frags = List.rev (Proto.Ip_frag.fragment ~mtu:1000 payload) in
+  let frags = List.rev (Proto.Ip_frag.fragment ~mtu:1000 (Mbuf.of_string payload)) in
   match reassemble frags with
   | Some d -> Alcotest.(check bool) "order independent" true (d = payload)
   | None -> Alcotest.fail "did not reassemble"
 
 let frag_duplicates_ignored () =
   let payload = String.make 3000 'q' in
-  let frags = Proto.Ip_frag.fragment ~mtu:1500 payload in
+  let frags = Proto.Ip_frag.fragment ~mtu:1500 (Mbuf.of_string payload) in
   let doubled = frags @ frags in
   match reassemble doubled with
   | Some d -> Alcotest.(check int) "no double counting" 3000 (String.length d)
@@ -165,20 +165,20 @@ let frag_timeout () =
     Proto.Ipv4.make ~id:1 ~more_fragments:true ~frag_offset:0 ~proto:17
       ~src:ip_a ~dst:ip_b ~payload_len:8 ()
   in
-  ignore (Proto.Ip_frag.input t ~now:Sim.Stime.zero h "AAAAAAAA");
+  ignore (Proto.Ip_frag.input t ~now:Sim.Stime.zero h (View.of_string "AAAAAAAA"));
   Alcotest.(check int) "pending" 1 (Proto.Ip_frag.pending_count t);
   (* an unrelated fragment far in the future expires the stale context *)
   let h2 = { h with Proto.Ipv4.id = 2 } in
-  ignore (Proto.Ip_frag.input t ~now:(Sim.Stime.s 5) h2 "BBBBBBBB");
+  ignore (Proto.Ip_frag.input t ~now:(Sim.Stime.s 5) h2 (View.of_string "BBBBBBBB"));
   Alcotest.(check int) "stale expired" 1 (Proto.Ip_frag.timeout_count t)
 
 let frag_qcheck =
   QCheck.Test.make ~name:"fragment/reassemble roundtrip"
     QCheck.(pair (string_of_size Gen.(1 -- 8000)) (int_range 80 1500))
     (fun (payload, mtu) ->
-      let frags = Proto.Ip_frag.fragment ~mtu payload in
+      let frags = Proto.Ip_frag.fragment ~mtu (Mbuf.of_string payload) in
       (* every fragment fits in the MTU *)
-      List.for_all (fun (_, _, d) -> String.length d + 20 <= mtu) frags
+      List.for_all (fun (_, _, d) -> Mbuf.length d + 20 <= mtu) frags
       && reassemble frags = Some payload)
 
 (* ---- Udp -------------------------------------------------------------- *)
