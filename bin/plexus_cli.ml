@@ -79,6 +79,80 @@ let run_stats () =
   print_string (Plexus.Stack.report p.Experiments.Common.a);
   print_string (Plexus.Stack.report p.Experiments.Common.b)
 
+(* The same mixed workload, but with ring-buffer span sinks attached to
+   both kernels, then the observability story: introspection (installed
+   handlers with live counters), the metrics registries (table or JSON)
+   and optionally the tail of the span ring. *)
+let run_observe json trace_n =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let kernels =
+    List.map
+      (fun stack -> Netsim.Host.kernel (Plexus.Stack.host stack))
+      [ p.Experiments.Common.a; p.Experiments.Common.b ]
+  in
+  let rings =
+    List.map
+      (fun kernel ->
+        let ring = Observe.Trace.Ring.create ~capacity:4096 () in
+        Observe.Trace.set_sink (Spin.Kernel.trace kernel)
+          (Observe.Trace.Ring ring);
+        (kernel, ring))
+      kernels
+  in
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  (match Plexus.Udp_mgr.bind udp_b ~owner:"echo" ~port:7 with
+  | Ok ep ->
+      let (_ : unit -> unit) =
+        Plexus.Udp_mgr.install_recv udp_b ep (fun ctx ->
+            let data = Packet.View.to_string (Plexus.Pctx.view ctx) in
+            let src = (Plexus.Pctx.ip_exn ctx).Proto.Ipv4.src in
+            Plexus.Udp_mgr.send udp_b ep
+              ~dst:(src, ctx.Plexus.Pctx.src_port)
+              data)
+      in
+      ()
+  | Error _ -> ());
+  (match Plexus.Udp_mgr.bind udp_a ~owner:"cli" ~port:5000 with
+  | Ok ep ->
+      for i = 1 to 5 do
+        Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 7)
+          (Printf.sprintf "ping-%d" i)
+      done;
+      Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 4242)
+        "nobody home"
+  | Error _ -> ());
+  Sim.Engine.run p.Experiments.Common.engine ~until:(Sim.Stime.s 60)
+    ~max_events:10_000_000;
+  if json then begin
+    let regs =
+      List.map
+        (fun kernel ->
+          Printf.sprintf "%S: %s"
+            (Spin.Kernel.name kernel)
+            (Observe.Registry.to_json (Spin.Kernel.registry kernel)))
+        kernels
+    in
+    Printf.printf "{\n%s\n}\n" (String.concat ",\n" regs)
+  end
+  else
+    List.iter
+      (fun (kernel, ring) ->
+        print_string (Spin.Kernel.introspect kernel);
+        Fmt.pr "%a@." Observe.Registry.pp (Spin.Kernel.registry kernel);
+        if trace_n > 0 then begin
+          let spans = Observe.Trace.Ring.to_list ring in
+          let total = List.length spans in
+          let tail =
+            if total <= trace_n then spans
+            else List.filteri (fun i _ -> i >= total - trace_n) spans
+          in
+          Fmt.pr "last %d of %d span(s) on %s:@." (List.length tail) total
+            (Spin.Kernel.name kernel);
+          List.iter (fun s -> Fmt.pr "  %a@." Observe.Trace.pp_span s) tail
+        end)
+      rings
+
 let run_graph () =
   let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
   print_string (Plexus.Graph.to_dot (Plexus.Stack.graph p.Experiments.Common.a))
@@ -161,6 +235,25 @@ let stats_cmd =
        ~doc:"Run a mixed workload and print both hosts' diagnostics")
     Term.(const run_stats $ const ())
 
+let observe_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the metrics registries as JSON.")
+  in
+  let trace_n =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Also print the last $(docv) spans from each kernel's ring.")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Run a mixed workload with tracing on, then print kernel \
+          introspection and the metrics registries")
+    Term.(const run_observe $ json $ trace_n)
+
 let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Print the protocol graph in Graphviz DOT form")
@@ -189,6 +282,7 @@ let () =
             http_cmd;
             ablate_cmd;
             stats_cmd;
+            observe_cmd;
             graph_cmd;
             all_cmd;
           ]))

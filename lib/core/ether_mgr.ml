@@ -59,8 +59,8 @@ let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 (* Trusted install used by in-kernel protocol managers (IP, ARP). *)
 let install_protocol t ~child ~guard ?key ?dyncost ~cost fn =
   Graph.add_edge t.graph ~parent:t.node ~child ~label:"guard";
-  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?key ?dyncost ~cost
-    fn
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?key ?dyncost
+    ~label:child ~cost fn
 
 let etype_guard etype ctx =
   match Proto.Ether.parse (Pctx.view ctx) with
@@ -79,8 +79,8 @@ let install_ephemeral t ~owner ~etype ?budget fn =
       ~label:"ephemeral";
     Ok
       (Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
-         ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype) ?budget
-         fn)
+         ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype)
+         ~label:owner ?budget fn)
   end
 
 (* Thread-delivered application handler on a non-reserved EtherType. *)
@@ -91,7 +91,8 @@ let install_handler t ~owner ~etype ?(cost = Sim.Stime.us 4) fn =
       ~label:"handler";
     Ok
       (Spin.Dispatcher.install (Graph.recv_event t.node)
-         ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype) ~cost fn)
+         ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype)
+         ~label:owner ~cost fn)
   end
 
 (* Send a frame: charge the Ethernet output cost, write the header — the

@@ -29,6 +29,9 @@ let create host =
 
 let host t = t.host
 let dispatcher t = t.disp
+let kernel t = Netsim.Host.kernel t.host
+let registry t = Spin.Kernel.registry (kernel t)
+let trace t = Spin.Kernel.trace (kernel t)
 
 let node t name =
   match List.find_opt (fun n -> n.node_name = name) t.nodes with

@@ -9,6 +9,14 @@ val create : Netsim.Host.t -> t
 val host : t -> Netsim.Host.t
 val dispatcher : t -> Spin.Dispatcher.t
 
+val kernel : t -> Spin.Kernel.t
+
+val registry : t -> Observe.Registry.t
+(** The owning kernel's metrics registry. *)
+
+val trace : t -> Observe.Trace.t
+(** The owning kernel's span endpoint. *)
+
 val node : t -> string -> node
 (** Find-or-create a protocol node (and its PacketRecv event). *)
 

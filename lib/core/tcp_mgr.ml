@@ -206,7 +206,7 @@ let create graph ip =
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:(proto_guard t)
       ~key:(Filter.ip_proto_key Proto.Ipv4.proto_tcp)
-      ~cost:costs.Netsim.Costs.layer.tcp_in
+      ~label:"tcp" ~cost:costs.Netsim.Costs.layer.tcp_in
       ~dyncost:(fun ctx ->
         if Pctx.data_touched_by_device ctx then Sim.Stime.zero
         else

@@ -48,6 +48,16 @@ let proto_guard t ctx =
          View.length v < 4 || not (List.mem (View.get_u16 v 2) t.excluded))
   | None -> false
 
+let drop_span graph ~reason =
+  let tr = Graph.trace graph in
+  if Observe.Trace.active tr then
+    Observe.Trace.emit tr
+      {
+        Observe.Trace.at_ns =
+          Sim.Stime.to_ns (Spin.Kernel.now (Graph.kernel graph));
+        event = Observe.Trace.Drop { scope = "udp"; reason };
+      }
+
 let create graph ip =
   let costs = Netsim.Host.costs (Graph.host graph) in
   let t =
@@ -77,10 +87,15 @@ let create graph ip =
     let v = Pctx.view ctx in
     let iph = Pctx.ip_exn ctx in
     if not (Proto.Udp.valid ~src:iph.Proto.Ipv4.src ~dst:iph.Proto.Ipv4.dst v)
-    then t.counters.bad_checksum <- t.counters.bad_checksum + 1
+    then begin
+      t.counters.bad_checksum <- t.counters.bad_checksum + 1;
+      drop_span graph ~reason:"bad_checksum"
+    end
     else begin
       match Proto.Udp.parse v with
-      | None -> t.counters.bad_checksum <- t.counters.bad_checksum + 1
+      | None ->
+          t.counters.bad_checksum <- t.counters.bad_checksum + 1;
+          drop_span graph ~reason:"bad_checksum"
       | Some h ->
           let ctx =
             Pctx.with_ports
@@ -93,6 +108,7 @@ let create graph ip =
           end
           else begin
             t.counters.no_port <- t.counters.no_port + 1;
+            drop_span graph ~reason:"no_port";
             (* BSD behaviour: answer with an ICMP port unreachable *)
             t.counters.unreachable_sent <- t.counters.unreachable_sent + 1;
             let original = View.to_string v in
@@ -108,7 +124,7 @@ let create graph ip =
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:(fun ctx -> proto_guard t ctx)
       ~key:(Filter.ip_proto_key Proto.Ipv4.proto_udp)
-      ~cost:costs.Netsim.Costs.layer.udp_in
+      ~label:"udp" ~cost:costs.Netsim.Costs.layer.udp_in
       ~dyncost:(fun ctx ->
         (* checksum verification touches the payload — unless the PIO
            device already did (integrated layer processing) *)
@@ -155,7 +171,7 @@ let install_recv t ep ?cost fn =
     ~label:(Printf.sprintf "port=%d" (Endpoint.port ep));
   Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~cost fn
+    ~label:(Endpoint.owner ep) ~cost fn
 
 (* The same handler without a dispatch key: every raise scans its guard
    linearly.  Exists for the guard-scaling ablation — this is what every
@@ -165,8 +181,8 @@ let install_recv_linear t ep ?cost fn =
   Graph.add_edge t.graph ~parent:t.node
     ~child:(Endpoint.owner ep)
     ~label:(Printf.sprintf "port=%d(linear)" (Endpoint.port ep));
-  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep) ~cost
-    fn
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
+    ~label:(Endpoint.owner ep) ~cost fn
 
 (* Receive handler demultiplexed by an *interpreted* packet filter
    (see Filter): the manager conjoins the endpoint's port guard — the
@@ -180,7 +196,7 @@ let install_recv_filtered t ep filter ?cost fn =
   Spin.Dispatcher.install (Graph.recv_event t.node)
     ~guard:(fun ctx -> port_guard ep ctx && Filter.eval filter ctx)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~gcost:(Filter.eval_cost filter) ~cost fn
+    ~label:(Endpoint.owner ep) ~gcost:(Filter.eval_cost filter) ~cost fn
 
 (* The filtered install with the filter *compiled* instead of
    interpreted: same delivery semantics (run ≡ eval), but the per-packet
@@ -196,7 +212,7 @@ let install_recv_compiled t ep filter ?cost fn =
   Spin.Dispatcher.install (Graph.recv_event t.node)
     ~guard:(fun ctx -> port_guard ep ctx && Filter.run prog ctx)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~gcost:(Filter.compiled_cost prog) ~cost fn
+    ~label:(Endpoint.owner ep) ~gcost:(Filter.compiled_cost prog) ~cost fn
 
 (* Interrupt-level (EPHEMERAL) receive handler with optional budget. *)
 let install_recv_ephemeral t ep ?budget fn =
@@ -206,7 +222,7 @@ let install_recv_ephemeral t ep ?budget fn =
   Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
     ~guard:(port_guard ep)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ?budget fn
+    ~label:(Endpoint.owner ep) ?budget fn
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 

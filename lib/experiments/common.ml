@@ -18,10 +18,10 @@ type plexus_pair = {
   b : Plexus.Stack.t;
 }
 
-let plexus_pair ?costs params =
+let plexus_pair ?costs ?observe params =
   let engine = Sim.Engine.create () in
   let ea, eb =
-    Netsim.Network.pair ?costs engine params ~a:("hostA", ip_a)
+    Netsim.Network.pair ?costs ?observe engine params ~a:("hostA", ip_a)
       ~b:("hostB", ip_b)
   in
   let a = Plexus.Stack.build ea.Netsim.Network.host in

@@ -15,8 +15,10 @@ type plexus_pair = {
   b : Plexus.Stack.t;
 }
 
-val plexus_pair : ?costs:Netsim.Costs.t -> Netsim.Costs.device -> plexus_pair
-(** Two hosts with full Plexus stacks, ARP primed. *)
+val plexus_pair :
+  ?costs:Netsim.Costs.t -> ?observe:bool -> Netsim.Costs.device -> plexus_pair
+(** Two hosts with full Plexus stacks, ARP primed.  [observe] (default
+    true) controls per-kernel metrics registries. *)
 
 type du_pair = {
   du_engine : Sim.Engine.t;

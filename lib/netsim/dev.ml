@@ -87,6 +87,18 @@ let set_loss t p =
 
 let pio_cost t len = Costs.per_byte t.params.Costs.pio_ns_per_byte len
 
+(* Queue depths and drop counts as sampling gauges — read at registry
+   snapshot time only, nothing on the per-frame path. *)
+let register t reg =
+  let g key f = Observe.Registry.gauge reg ("dev." ^ t.name ^ "." ^ key) f in
+  g "txq" (fun () -> t.txq);
+  g "tx_drops" (fun () -> t.counters.tx_drops);
+  g "rx_drops" (fun () -> t.counters.rx_drops);
+  g "ring.live" (fun () ->
+      match t.rx_pool with Some p -> Pool.live p | None -> 0);
+  g "ring.failures" (fun () ->
+      match t.rx_pool with Some p -> Pool.failures p | None -> 0)
+
 let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
   let len = Mbuf.length pkt in
   (* A frame occupies a receive-ring slot from wire arrival until the
@@ -98,6 +110,9 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
   in
   if not ring_slot then begin
     peer.counters.rx_drops <- peer.counters.rx_drops + 1;
+    if Sim.Trace.on () then
+      Sim.Trace.drop (Sim.Engine.now peer.engine) ~scope:peer.name
+        ~reason:"rx_ring_full";
     Mbuf.free pkt
   end
   else
@@ -113,9 +128,10 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
         | Some h ->
             peer.counters.rx_packets <- peer.counters.rx_packets + 1;
             peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
-            Sim.Trace.emit
-              (Sim.Engine.now peer.engine)
-              "%s: rx %d bytes" peer.name len;
+            if Sim.Trace.on () then
+              Sim.Trace.emit
+                (Sim.Engine.now peer.engine)
+                "%s: rx %d bytes" peer.name len;
             h pkt)
 
 let transmit t ?(prio = Sim.Cpu.Thread) pkt =
@@ -132,6 +148,9 @@ let transmit t ?(prio = Sim.Cpu.Thread) pkt =
   Sim.Cpu.run t.cpu ~prio ~cost (fun () ->
       if t.txq >= t.params.Costs.txq_limit then begin
         t.counters.tx_drops <- t.counters.tx_drops + 1;
+        if Sim.Trace.on () then
+          Sim.Trace.drop (Sim.Engine.now t.engine) ~scope:t.name
+            ~reason:"txq_full";
         Mbuf.free frame
       end
       else begin
@@ -146,8 +165,9 @@ let transmit t ?(prio = Sim.Cpu.Thread) pkt =
         t.wire_busy_until := done_at;
         t.counters.tx_packets <- t.counters.tx_packets + 1;
         t.counters.tx_bytes <- t.counters.tx_bytes + len;
-        Sim.Trace.emit now "%s: tx %d bytes (wire until %a)" t.name len
-          Sim.Stime.pp done_at;
+        if Sim.Trace.on () then
+          Sim.Trace.emit now "%s: tx %d bytes (wire until %a)" t.name len
+            Sim.Stime.pp done_at;
         ignore
           (Sim.Engine.schedule t.engine ~at:done_at (fun () ->
                t.txq <- t.txq - 1;
@@ -160,6 +180,10 @@ let transmit t ?(prio = Sim.Cpu.Thread) pkt =
                         < t.loss_prob
                    then begin
                      t.counters.tx_drops <- t.counters.tx_drops + 1;
+                     if Sim.Trace.on () then
+                       Sim.Trace.drop
+                         (Sim.Engine.now t.engine)
+                         ~scope:t.name ~reason:"wire_loss";
                      Mbuf.free frame
                    end
                    else

@@ -52,5 +52,10 @@ val mtu : t -> int
 val params : t -> Costs.device
 val counters : t -> counters
 
+val register : t -> Observe.Registry.t -> unit
+(** Publish the device's queue depths and drop counts as sampling gauges
+    ([dev.<name>.txq|tx_drops|rx_drops|ring.live|ring.failures]) — read
+    only when the registry is snapshotted. *)
+
 val wire_time : t -> int -> Sim.Stime.t
 (** Wire occupancy of a packet of the given length (framing included). *)

@@ -3,7 +3,11 @@
 type t
 
 val create :
-  ?costs:Costs.t -> Sim.Engine.t -> name:string -> ip:Proto.Ipaddr.t -> t
+  ?costs:Costs.t -> ?observe:bool -> Sim.Engine.t -> name:string ->
+  ip:Proto.Ipaddr.t -> t
+(** [observe] (default true) is forwarded to {!Spin.Kernel.create} and
+    controls whether devices added later publish gauges into the
+    kernel's registry. *)
 
 val name : t -> string
 val engine : t -> Sim.Engine.t

@@ -3,13 +3,13 @@
 type endpoint = { host : Host.t; dev : Dev.t }
 
 val pair :
-  ?costs:Costs.t -> Sim.Engine.t -> Costs.device ->
+  ?costs:Costs.t -> ?observe:bool -> Sim.Engine.t -> Costs.device ->
   a:string * Proto.Ipaddr.t -> b:string * Proto.Ipaddr.t ->
   endpoint * endpoint
 (** Two hosts joined by one link of the given device type. *)
 
 val line3 :
-  ?costs:Costs.t -> Sim.Engine.t -> Costs.device ->
+  ?costs:Costs.t -> ?observe:bool -> Sim.Engine.t -> Costs.device ->
   client:string * Proto.Ipaddr.t -> middle:string * Proto.Ipaddr.t ->
   server:string * Proto.Ipaddr.t ->
   endpoint * (endpoint * endpoint) * endpoint

@@ -1,0 +1,142 @@
+(* A named-metric registry.
+
+   One registry per kernel (plus a process-global one for the packet
+   substrate).  Three metric kinds:
+
+   - counters: find-or-create returns the bare [int ref], so hot paths
+     pay exactly one load+store per increment and legacy modules (e.g.
+     [Packet.Metrics]) can expose the same refs they always did;
+   - gauges: a sampling closure, read at snapshot time — queue depths
+     and pool occupancy register the closure once and never pay a
+     per-packet cost;
+   - histograms: log-bucketed {!Histogram}s for latency distributions.
+
+   Naming scheme (see DESIGN.md "Observability"): dot-separated paths,
+   [<subsystem>.<scope>.<metric>], e.g. [spin.udp.PacketRecv.raises],
+   [dev.hostB.eth0.txq], [packet.copies]. *)
+
+type entry =
+  | Counter of int ref
+  | Gauge of (unit -> int)
+  | Hist of Histogram.t
+
+type t = { rname : string; tbl : (string, entry) Hashtbl.t }
+
+let create ?(name = "registry") () = { rname = name; tbl = Hashtbl.create 64 }
+let name t = t.rname
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let mismatch t key entry want =
+  invalid_arg
+    (Printf.sprintf "Registry %s: %s is a %s, not a %s" t.rname key
+       (kind_name entry) want)
+
+let counter t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Counter r) -> r
+  | Some e -> mismatch t key e "counter"
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.tbl key (Counter r);
+      r
+
+let gauge t key f =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Gauge _) | None -> Hashtbl.replace t.tbl key (Gauge f)
+  | Some e -> mismatch t key e "gauge"
+
+let histogram t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Hist h) -> h
+  | Some e -> mismatch t key e "histogram"
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace t.tbl key (Hist h);
+      h
+
+let find t key = Hashtbl.find_opt t.tbl key
+let mem t key = Hashtbl.mem t.tbl key
+let size t = Hashtbl.length t.tbl
+
+(* Counters and histograms rewind to zero; gauges sample live state and
+   are left alone. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | Counter r -> r := 0
+      | Hist h -> Histogram.reset h
+      | Gauge _ -> ())
+    t.tbl
+
+type sample = Count of int | Level of int | Dist of Histogram.snapshot
+
+let sample_of = function
+  | Counter r -> Count !r
+  | Gauge f -> Level (f ())
+  | Hist h -> Dist (Histogram.snapshot h)
+
+let snapshot t =
+  Hashtbl.fold (fun k e acc -> (k, sample_of e) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- export ----------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_sample = function
+  | Count n | Level n -> string_of_int n
+  | Dist s ->
+      Printf.sprintf
+        "{\"n\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %s, \
+         \"p50\": %d, \"p99\": %d, \"p999\": %d}"
+        s.Histogram.n s.Histogram.sum s.Histogram.vmin s.Histogram.vmax
+        (if s.Histogram.n = 0 then "0" else Printf.sprintf "%.1f" s.Histogram.mean)
+        s.Histogram.p50 s.Histogram.p99 s.Histogram.p999
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"registry\": \"%s\",\n  \"metrics\": {\n"
+       (json_escape t.rname));
+  let entries =
+    List.map
+      (fun (k, s) ->
+        Printf.sprintf "    \"%s\": %s" (json_escape k) (json_of_sample s))
+      (snapshot t)
+  in
+  Buffer.add_string b (String.concat ",\n" entries);
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let pp_sample ppf = function
+  | Count n -> Fmt.pf ppf "%d" n
+  | Level n -> Fmt.pf ppf "%d (gauge)" n
+  | Dist s ->
+      if s.Histogram.n = 0 then Fmt.pf ppf "n=0"
+      else
+        Fmt.pf ppf "n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d" s.Histogram.n
+          s.Histogram.mean s.Histogram.p50 s.Histogram.p99 s.Histogram.p999
+          s.Histogram.vmax
+
+let pp ppf t =
+  Fmt.pf ppf "[%s] %d metrics@." t.rname (size t);
+  List.iter
+    (fun (k, s) -> Fmt.pf ppf "  %-52s %a@." k pp_sample s)
+    (snapshot t)

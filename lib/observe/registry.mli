@@ -1,0 +1,55 @@
+(** Named metric registry: counters, sampled gauges and log-bucketed
+    histograms under dot-separated names.
+
+    One registry per kernel ({!Spin.Kernel.registry}) plus a global one
+    for the packet substrate ({!Packet.Metrics.registry}).  Counters are
+    bare [int ref]s so hot paths pay one load+store; gauges are sampling
+    closures read only at {!snapshot} time; histograms are O(1)-memory
+    {!Histogram}s.
+
+    Naming scheme: [<subsystem>.<scope>.<metric>], e.g.
+    [spin.udp.PacketRecv.raises] or [dev.hostB.eth0.txq]. *)
+
+type t
+
+type entry =
+  | Counter of int ref
+  | Gauge of (unit -> int)
+  | Hist of Histogram.t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val counter : t -> string -> int ref
+(** Find-or-create the named counter; the returned ref {e is} the live
+    metric.  @raise Invalid_argument if the name is taken by another
+    metric kind. *)
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register (or replace) a sampled gauge: the closure is called at
+    snapshot/export time only.
+    @raise Invalid_argument if the name is taken by another kind. *)
+
+val histogram : t -> string -> Histogram.t
+(** Find-or-create the named histogram.
+    @raise Invalid_argument if the name is taken by another kind. *)
+
+val find : t -> string -> entry option
+val mem : t -> string -> bool
+val size : t -> int
+
+val reset : t -> unit
+(** Zero every counter and histogram; gauges sample live state and are
+    untouched. *)
+
+type sample = Count of int | Level of int | Dist of Histogram.snapshot
+
+val snapshot : t -> (string * sample) list
+(** Every metric's current value, sorted by name.  Gauges are sampled
+    here. *)
+
+val to_json : t -> string
+(** The whole registry as a JSON object. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table. *)

@@ -9,10 +9,18 @@
    allocation is counted; recycled buffers drawn from the free list are
    counted separately so allocation pressure on the GC is visible. *)
 
-let copies = ref 0
-let bytes_copied = ref 0
-let allocs = ref 0 (* fresh Bytes.t segment buffers *)
-let recycled = ref 0 (* buffers satisfied from the free list *)
+(* The counters live in a process-global Observe registry; the refs
+   exposed here ARE the registry's — asserting on [!Metrics.copies] and
+   snapshotting the registry read the same cell. *)
+let registry = Observe.Registry.create ~name:"packet" ()
+let copies = Observe.Registry.counter registry "packet.copies"
+let bytes_copied = Observe.Registry.counter registry "packet.bytes_copied"
+
+(* fresh Bytes.t segment buffers *)
+let allocs = Observe.Registry.counter registry "packet.allocs"
+
+(* buffers satisfied from the free list *)
+let recycled = Observe.Registry.counter registry "packet.recycled"
 
 let count_copy n =
   incr copies;

@@ -17,6 +17,11 @@ type snapshot = {
 val snapshot : unit -> snapshot
 val reset : unit -> unit
 
+val registry : Observe.Registry.t
+(** The process-global packet registry; the refs below are its
+    [packet.*] counters, so registry snapshots and direct ref reads
+    always agree. *)
+
 val copies : int ref
 val bytes_copied : int ref
 val allocs : int ref

@@ -77,6 +77,14 @@ let free t (m : _ Mbuf.t) =
   Mbuf.free m;
   release t
 
+(* Gauges are sampling closures: nothing is paid per packet, the pool's
+   fields are read only when the registry is snapshotted. *)
+let register t reg ~prefix =
+  Observe.Registry.gauge reg (prefix ^ ".live") (fun () -> t.live);
+  Observe.Registry.gauge reg (prefix ^ ".peak") (fun () -> t.peak);
+  Observe.Registry.gauge reg (prefix ^ ".failures") (fun () -> t.failures);
+  Observe.Registry.gauge reg (prefix ^ ".underflows") (fun () -> t.underflows)
+
 let pp ppf t =
   Fmt.pf ppf "%s: %d/%d live (peak %d, %d allocs, %d failures, %d underflows)"
     t.name t.live t.capacity t.peak t.allocations t.failures t.underflows

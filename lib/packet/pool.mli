@@ -42,4 +42,9 @@ val peak : t -> int
 val underflows : t -> int
 (** Number of detected double frees / slot underflows. *)
 
+val register : t -> Observe.Registry.t -> prefix:string -> unit
+(** Publish the pool's occupancy as sampling gauges
+    ([<prefix>.live|peak|failures|underflows]) — read at snapshot time
+    only, no per-packet cost. *)
+
 val pp : Format.formatter -> t -> unit

@@ -47,6 +47,7 @@ let create engine ~name =
   }
 
 let name t = t.name
+let engine t = t.engine
 let busy_time t = t.busy_ns
 let served t = t.served
 

@@ -16,6 +16,9 @@ val create : Engine.t -> name:string -> t
 
 val name : t -> string
 
+val engine : t -> Engine.t
+(** The engine this CPU charges time against. *)
+
 val run : t -> ?prio:prio -> cost:Stime.t -> (unit -> unit) -> unit
 (** [run t ~prio ~cost k] enqueues [cost] worth of work; [k] fires when the
     work completes.  Two-level priority service, non-preemptive by

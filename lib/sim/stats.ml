@@ -1,6 +1,10 @@
-(* Measurement helpers: counters and sample series with summary statistics.
-   Series keep all samples (experiments are small) so percentiles are
-   exact. *)
+(* Measurement helpers: counters, sample series and log-bucketed
+   histograms.  Series keep all samples (experiments are small) so
+   percentiles are exact — but that makes them unbounded; hot paths and
+   long-running workloads should use Histogram, which is O(1) memory
+   with ~3%-accurate quantiles. *)
+
+module Histogram = Observe.Histogram
 
 module Counter = struct
   type t = { mutable n : int }

@@ -1,4 +1,11 @@
-(** Counters and sample series for experiment measurement. *)
+(** Counters, sample series and log-bucketed histograms for experiment
+    measurement. *)
+
+module Histogram = Observe.Histogram
+(** Log-bucketed latency histogram: O(1) record, O(1) memory,
+    quantiles within ~3% relative error.  Prefer this over {!Series}
+    anywhere sample counts are unbounded (hot paths, long-running
+    workloads). *)
 
 module Counter : sig
   type t
@@ -13,7 +20,11 @@ end
 module Series : sig
   type t
   (** A collection of float samples; retains everything, percentiles are
-      exact. *)
+      exact.
+
+      @deprecated for hot-path use: memory grows with the sample count.
+      Small fixed-iteration experiments may keep using it; anything
+      per-packet or long-running should use {!Histogram}. *)
 
   val create : unit -> t
   val add : t -> float -> unit

@@ -1,8 +1,45 @@
-(* Lightweight conditional tracing for debugging simulations.  Off by
-   default; tests and examples can switch it on to watch packets move. *)
+(* Conditional simulation tracing, routed through Observe.Trace sinks.
+
+   Two switches control the process-global trace endpoint:
+   - the legacy [enabled] flag keeps the old behaviour: formatted lines
+     go to stderr;
+   - a structured sink ([set_sink]) receives the same lines as
+     [Observe.Trace.Message] spans (ring buffer, custom closure, ...).
+
+   Disabled-path cost: [emit] itself never formats when off — arguments
+   are consumed by [ikfprintf] without being rendered, so a [%a]
+   pretty-printer in the argument list is never invoked.  Hot paths
+   should additionally guard the whole call with [if Trace.on () then
+   ...] so even argument *evaluation* (e.g. computing a length) is
+   skipped; [on] is one load and a branch. *)
 
 let enabled = ref false
 
+let endpoint = Observe.Trace.create ()
+
+let set_sink s = Observe.Trace.set_sink endpoint s
+let sink () = Observe.Trace.sink endpoint
+
+let[@inline] on () = !enabled || Observe.Trace.active endpoint
+
+let dispatch now msg =
+  if !enabled then Fmt.epr "[%a] %s@." Stime.pp now msg;
+  if Observe.Trace.active endpoint then
+    Observe.Trace.emit endpoint
+      {
+        Observe.Trace.at_ns = Stime.to_ns now;
+        event = Observe.Trace.Message { scope = "sim"; text = msg };
+      }
+
 let emit now fmt =
-  if !enabled then Fmt.epr ("[%a] " ^^ fmt ^^ "@.") Stime.pp now
-  else Format.ifprintf Format.err_formatter fmt
+  if on () then Format.kasprintf (dispatch now) fmt
+  else Format.ikfprintf ignore Format.err_formatter fmt
+
+let drop now ~scope ~reason =
+  if !enabled then Fmt.epr "[%a] drop %s: %s@." Stime.pp now scope reason;
+  if Observe.Trace.active endpoint then
+    Observe.Trace.emit endpoint
+      {
+        Observe.Trace.at_ns = Stime.to_ns now;
+        event = Observe.Trace.Drop { scope; reason };
+      }

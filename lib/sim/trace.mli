@@ -1,7 +1,30 @@
-(** Conditional simulation tracing. *)
+(** Conditional simulation tracing over {!Observe.Trace} sinks.
+
+    The process-global trace endpoint for components without a kernel of
+    their own (devices, the DU model).  Protocol-graph dispatch emits
+    structured spans through the per-kernel endpoint instead
+    ({!Spin.Kernel.trace}). *)
 
 val enabled : bool ref
-(** When true, {!emit} prints to stderr; default false. *)
+(** Legacy switch: when true, {!emit} prints formatted lines to stderr;
+    default false. *)
+
+val set_sink : Observe.Trace.sink -> unit
+(** Attach a structured sink; {!emit} lines arrive as [Message] spans
+    and {!drop} as [Drop] spans.  Default [Null]. *)
+
+val sink : unit -> Observe.Trace.sink
+
+val on : unit -> bool
+(** True when any output is live (stderr or a structured sink).  Guard
+    hot-path calls with this so argument evaluation is skipped when
+    tracing is off. *)
 
 val emit : Stime.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** [emit now fmt ...] prints a timestamped trace line when enabled. *)
+(** [emit now fmt ...] emits a timestamped trace line when on.  When
+    off, the arguments are consumed without being formatted — a [%a]
+    printer in the argument list is never invoked. *)
+
+val drop : Stime.t -> scope:string -> reason:string -> unit
+(** Record a packet drop as a structured [Drop] span (and a stderr line
+    under the legacy flag). *)

@@ -35,7 +35,17 @@
      context.  Ephemeral handlers additionally run under a time budget
      with transactional termination.
    - [Thread]: "each event raise creating a new thread" — every handler
-     invocation pays a thread-spawn cost and runs at thread priority. *)
+     invocation pays a thread-spawn cost and runs at thread priority.
+
+   Observability: a dispatcher optionally carries an [Observe.Registry]
+   (per-event raise/index counters, per-handler guard hit/miss counters
+   and run-latency histograms, ephemeral commit accounting — naming
+   scheme in DESIGN.md) and always carries an [Observe.Trace] endpoint
+   whose sink defaults to [Null].  Span emission is guarded by
+   [Trace.active], so disabled tracing costs one load and branch per
+   site; counter updates are bare int-ref increments whether or not a
+   registry is attached (the refs are simply shared with the registry
+   when one is). *)
 
 type delivery = Interrupt | Thread
 
@@ -54,37 +64,74 @@ let default_costs =
     thread_spawn = Sim.Stime.us 12;
   }
 
+(* Introspection views (see [dump]). *)
+type handler_info = {
+  hi_id : int;
+  hi_label : string;
+  hi_key : int option;
+  hi_ephemeral : bool;
+  hi_guard_hits : int;
+  hi_guard_misses : int;
+  hi_runs : int;
+}
+
+type event_info = {
+  ei_name : string;
+  ei_mode : delivery;
+  ei_indexed : bool;          (* has a key extractor *)
+  ei_handlers : handler_info list;
+}
+
 type t = {
   cpu : Sim.Cpu.t;
   costs : costs;
+  reg : Observe.Registry.t option;
+  trace : Observe.Trace.t;
   raises : Sim.Stats.Counter.t;
   guard_evals : Sim.Stats.Counter.t;
   index_lookups : Sim.Stats.Counter.t;
   invocations : Sim.Stats.Counter.t;
   terminations : Sim.Stats.Counter.t;
   faults : Sim.Stats.Counter.t;
+  eph_commits : int ref;
+  eph_actions : int ref;       (* committed ephemeral actions *)
+  eph_terminated : int ref;    (* budget overruns *)
+  mutable introspectors : (unit -> event_info) list; (* newest first *)
 }
 
-let create ~cpu ~costs =
+let mkref reg name =
+  match reg with Some r -> Observe.Registry.counter r name | None -> ref 0
+
+let create ?registry ?trace ~cpu ~costs () =
   {
     cpu;
     costs;
+    reg = registry;
+    trace = (match trace with Some tr -> tr | None -> Observe.Trace.create ());
     raises = Sim.Stats.Counter.create ();
     guard_evals = Sim.Stats.Counter.create ();
     index_lookups = Sim.Stats.Counter.create ();
     invocations = Sim.Stats.Counter.create ();
     terminations = Sim.Stats.Counter.create ();
     faults = Sim.Stats.Counter.create ();
+    eph_commits = mkref registry "spin.eph.commits";
+    eph_actions = mkref registry "spin.eph.committed_actions";
+    eph_terminated = mkref registry "spin.eph.terminated";
+    introspectors = [];
   }
 
 let cpu t = t.cpu
 let costs t = t.costs
+let registry t = t.reg
+let trace t = t.trace
 let raises t = Sim.Stats.Counter.get t.raises
 let guard_evals t = Sim.Stats.Counter.get t.guard_evals
 let index_lookups t = Sim.Stats.Counter.get t.index_lookups
 let invocations t = Sim.Stats.Counter.get t.invocations
 let terminations t = Sim.Stats.Counter.get t.terminations
 let faults t = Sim.Stats.Counter.get t.faults
+
+let now_ns t = Sim.Stime.to_ns (Sim.Engine.now (Sim.Cpu.engine t.cpu))
 
 type 'a kind =
   | Plain of {
@@ -95,12 +142,25 @@ type 'a kind =
     }
   | Eph of { budget : Sim.Stime.t option; fn : 'a -> Ephemeral.t }
 
+(* Per-handler accounting.  The hit/miss/run refs live in the
+   dispatcher's registry when one is attached (so snapshots see them);
+   the latency histogram only exists under a registry — recording into
+   it is the one per-run cost a detached dispatcher does not pay. *)
+type hstats = {
+  h_hits : int ref;
+  h_misses : int ref;
+  h_runs : int ref;
+  h_lat : Observe.Histogram.t option;
+}
+
 type 'a handler = {
   hid : int;
+  label : string;
   guard : 'a -> bool;
   gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
   hkey : int option;    (* dispatch key this handler is indexed under *)
   kind : 'a kind;
+  hs : hstats;
 }
 
 type 'a event = {
@@ -113,20 +173,54 @@ type 'a event = {
   mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
+  ev_raises : int ref;
+  ev_indexed : int ref;   (* raises served through the demux index *)
+  ev_linear : int ref;    (* raises that scanned every live guard *)
 }
 
-let event disp ?(mode = Interrupt) ename =
+let info_of_event ev =
+  let handlers =
+    Hashtbl.fold (fun _ h acc -> h :: acc) ev.table []
+    |> List.sort (fun a b -> compare a.hid b.hid)
+    |> List.map (fun h ->
+           {
+             hi_id = h.hid;
+             hi_label = h.label;
+             hi_key = h.hkey;
+             hi_ephemeral = (match h.kind with Eph _ -> true | Plain _ -> false);
+             hi_guard_hits = !(h.hs.h_hits);
+             hi_guard_misses = !(h.hs.h_misses);
+             hi_runs = !(h.hs.h_runs);
+           })
+  in
   {
-    disp;
-    ename;
-    mode;
-    table = Hashtbl.create 8;
-    linear = [];
-    buckets = Hashtbl.create 8;
-    keyfn = None;
-    nkeyed = 0;
-    next_hid = 0;
+    ei_name = ev.ename;
+    ei_mode = ev.mode;
+    ei_indexed = ev.keyfn <> None;
+    ei_handlers = handlers;
   }
+
+let event disp ?(mode = Interrupt) ename =
+  let ev =
+    {
+      disp;
+      ename;
+      mode;
+      table = Hashtbl.create 8;
+      linear = [];
+      buckets = Hashtbl.create 8;
+      keyfn = None;
+      nkeyed = 0;
+      next_hid = 0;
+      ev_raises = mkref disp.reg ("spin." ^ ename ^ ".raises");
+      ev_indexed = mkref disp.reg ("spin." ^ ename ^ ".indexed_raises");
+      ev_linear = mkref disp.reg ("spin." ^ ename ^ ".linear_raises");
+    }
+  in
+  disp.introspectors <- (fun () -> info_of_event ev) :: disp.introspectors;
+  ev
+
+let dump t = List.rev_map (fun f -> f ()) t.introspectors
 
 let name ev = ev.ename
 let mode ev = ev.mode
@@ -145,10 +239,26 @@ let remove_hid ev hid =
       | Some _ -> ev.nkeyed <- ev.nkeyed - 1
       | None -> ())
 
-let add_handler ev guard gcost key kind =
+let hstats_for disp ev label =
+  let prefix = "spin." ^ ev.ename ^ "." ^ label in
+  {
+    h_hits = mkref disp.reg (prefix ^ ".guard_hits");
+    h_misses = mkref disp.reg (prefix ^ ".guard_misses");
+    h_runs = mkref disp.reg (prefix ^ ".runs");
+    h_lat =
+      (match disp.reg with
+      | Some r -> Some (Observe.Registry.histogram r (prefix ^ ".run_ns"))
+      | None -> None);
+  }
+
+let add_handler ev ?label guard gcost key kind =
   let hid = ev.next_hid in
   ev.next_hid <- hid + 1;
-  Hashtbl.replace ev.table hid { hid; guard; gcost; hkey = key; kind };
+  let label =
+    match label with Some l -> l | None -> "h" ^ string_of_int hid
+  in
+  let hs = hstats_for ev.disp ev label in
+  Hashtbl.replace ev.table hid { hid; label; guard; gcost; hkey = key; kind; hs };
   (match key with
   | None -> ev.linear <- hid :: ev.linear
   | Some k ->
@@ -161,12 +271,12 @@ let add_handler ev guard gcost key kind =
 let no_guard _ = true
 
 let install ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero) ?dyncost
-    ~cost fn =
-  add_handler ev guard gcost key (Plain { cost; dyncost; fn })
+    ?label ~cost fn =
+  add_handler ev ?label guard gcost key (Plain { cost; dyncost; fn })
 
 let install_ephemeral ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero)
-    ?budget fn =
-  add_handler ev guard gcost key (Eph { budget; fn })
+    ?label ?budget fn =
+  add_handler ev ?label guard gcost key (Eph { budget; fn })
 
 (* Live handlers behind a hid list, pruning uninstalled ids in place. *)
 let prune ev ids =
@@ -214,6 +324,9 @@ let contain ev h f = try f () with _exn -> fault ev h
 
 let still_installed ev h = Hashtbl.mem ev.table h.hid
 
+let emit_span d event =
+  Observe.Trace.emit d.trace { Observe.Trace.at_ns = now_ns d; event }
+
 let deliver ev v h =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.invocations;
@@ -232,9 +345,25 @@ let deliver ev v h =
         | None -> cost
         | Some f -> Sim.Stime.add cost (f v)
       in
-      Sim.Cpu.run d.cpu ~prio ~cost:(Sim.Stime.add spawn cost) (fun () ->
+      let total = Sim.Stime.add spawn cost in
+      Sim.Cpu.run d.cpu ~prio ~cost:total (fun () ->
           (* skip if uninstalled while this invocation was queued *)
-          if still_installed ev h then contain ev h (fun () -> fn v))
+          if still_installed ev h then begin
+            contain ev h (fun () -> fn v);
+            incr h.hs.h_runs;
+            (match h.hs.h_lat with
+            | Some hist -> Observe.Histogram.record hist (Sim.Stime.to_ns total)
+            | None -> ());
+            if Observe.Trace.active d.trace then
+              emit_span d
+                (Observe.Trace.Handler_run
+                   {
+                     event = ev.ename;
+                     hid = h.hid;
+                     label = h.label;
+                     duration_ns = Sim.Stime.to_ns total;
+                   })
+          end)
   | Eph { budget; fn } -> (
       match (try Some (Ephemeral.plan ?budget (fn v)) with _ -> None) with
       | None -> fault ev h
@@ -246,19 +375,70 @@ let deliver ev v h =
               if still_installed ev h then
                 contain ev h (fun () ->
                     let r = Ephemeral.commit plan in
-                    if r.Ephemeral.terminated then
-                      Sim.Stats.Counter.incr d.terminations)))
+                    incr h.hs.h_runs;
+                    incr d.eph_commits;
+                    d.eph_actions := !(d.eph_actions) + r.Ephemeral.committed;
+                    (match h.hs.h_lat with
+                    | Some hist ->
+                        Observe.Histogram.record hist
+                          (Sim.Stime.to_ns r.Ephemeral.consumed)
+                    | None -> ());
+                    if r.Ephemeral.terminated then begin
+                      Sim.Stats.Counter.incr d.terminations;
+                      incr d.eph_terminated
+                    end;
+                    if Observe.Trace.active d.trace then
+                      emit_span d
+                        (if r.Ephemeral.terminated then
+                           Observe.Trace.Terminated
+                             {
+                               event = ev.ename;
+                               hid = h.hid;
+                               label = h.label;
+                               committed = r.Ephemeral.committed;
+                               total = r.Ephemeral.total;
+                               duration_ns =
+                                 Sim.Stime.to_ns r.Ephemeral.consumed;
+                             }
+                         else
+                           Observe.Trace.Ephemeral_commit
+                             {
+                               event = ev.ename;
+                               hid = h.hid;
+                               label = h.label;
+                               committed = r.Ephemeral.committed;
+                               total = r.Ephemeral.total;
+                               duration_ns =
+                                 Sim.Stime.to_ns r.Ephemeral.consumed;
+                             }))))
 
 let raise ev v =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.raises;
+  incr ev.ev_raises;
   let cands = candidates ev v in
   let n_guards = List.length cands in
   Sim.Stats.Counter.add d.guard_evals n_guards;
   let indexed =
     match ev.keyfn with Some _ -> ev.nkeyed > 0 | None -> false
   in
-  if indexed then Sim.Stats.Counter.incr d.index_lookups;
+  if indexed then begin
+    Sim.Stats.Counter.incr d.index_lookups;
+    incr ev.ev_indexed
+  end
+  else incr ev.ev_linear;
+  if Observe.Trace.active d.trace then begin
+    emit_span d
+      (Observe.Trace.Raise
+         { event = ev.ename; candidates = n_guards; indexed });
+    if indexed then
+      let nkeys =
+        match ev.keyfn with Some kf -> List.length (kf v) | None -> 0
+      in
+      emit_span d
+        (Observe.Trace.Index_lookup
+           { event = ev.ename; keys = nkeys; candidates = n_guards })
+  end;
   let extra_gcost =
     List.fold_left (fun acc h -> Sim.Stime.add acc h.gcost) Sim.Stime.zero cands
   in
@@ -279,5 +459,31 @@ let raise ev v =
         (fun h ->
           (* a faulting guard is contained the same way *)
           let accepted = try h.guard v with _ -> fault ev h; false in
+          if accepted then incr h.hs.h_hits else incr h.hs.h_misses;
+          if Observe.Trace.active d.trace then
+            emit_span d
+              (Observe.Trace.Guard_eval
+                 { event = ev.ename; hid = h.hid; label = h.label;
+                   hit = accepted });
           if accepted then deliver ev v h)
         (candidates ev v))
+
+(* --- introspection rendering ------------------------------------------ *)
+
+let pp_event_info ppf ei =
+  Fmt.pf ppf "%s [%s%s] %d handler(s)@." ei.ei_name
+    (match ei.ei_mode with Interrupt -> "interrupt" | Thread -> "thread")
+    (if ei.ei_indexed then ", indexed" else "")
+    (List.length ei.ei_handlers);
+  List.iter
+    (fun hi ->
+      Fmt.pf ppf "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d@." hi.hi_id
+        hi.hi_label
+        (match hi.hi_key with
+        | Some k -> Printf.sprintf "key=0x%x " k
+        | None -> "linear ")
+        (if hi.hi_ephemeral then "ephemeral" else "plain")
+        hi.hi_guard_hits hi.hi_guard_misses hi.hi_runs)
+    ei.ei_handlers
+
+let pp_dump ppf t = List.iter (fun ei -> Fmt.pf ppf "  %a" pp_event_info ei) (dump t)

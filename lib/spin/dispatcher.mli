@@ -12,7 +12,13 @@
     field are installed with that equality as a [key]; raising then hashes
     the payload's key fields once ({!set_keyfn}) and evaluates only the
     guards in the matching buckets plus the unkeyed linear fallback, so
-    raise cost scales with matching handlers, not installed handlers. *)
+    raise cost scales with matching handlers, not installed handlers.
+
+    A dispatcher may carry an {!Observe.Registry} (per-event and
+    per-handler counters and latency histograms) and an {!Observe.Trace}
+    endpoint through which every raise, index lookup, guard evaluation,
+    handler run and ephemeral commit/termination is emitted as a
+    structured span when a sink is attached. *)
 
 type t
 (** One dispatcher per kernel; owns the delivery cost model and counters. *)
@@ -32,10 +38,21 @@ type costs = {
 
 val default_costs : costs
 
-val create : cpu:Sim.Cpu.t -> costs:costs -> t
+val create :
+  ?registry:Observe.Registry.t -> ?trace:Observe.Trace.t ->
+  cpu:Sim.Cpu.t -> costs:costs -> unit -> t
+(** [create ?registry ?trace ~cpu ~costs ()] builds a dispatcher.  With a
+    [registry], per-event and per-handler metrics are published under
+    [spin.<event>...] names; without one, the same counts are kept in
+    private refs (identical hot-path cost, minus histogram recording).
+    [trace] is the span endpoint; it defaults to a fresh endpoint with a
+    [Null] sink, under which span construction is skipped entirely. *)
 
 val cpu : t -> Sim.Cpu.t
 val costs : t -> costs
+
+val registry : t -> Observe.Registry.t option
+val trace : t -> Observe.Trace.t
 
 (** {1 Events} *)
 
@@ -66,19 +83,23 @@ val linear_count : _ event -> int
 
 val install :
   'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
-  ?dyncost:('a -> Sim.Stime.t) -> cost:Sim.Stime.t -> ('a -> unit) ->
-  unit -> unit
+  ?dyncost:('a -> Sim.Stime.t) -> ?label:string -> cost:Sim.Stime.t ->
+  ('a -> unit) -> unit -> unit
 (** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
     raise whose [guard] accepts the payload, charging [cost] (plus
     [dyncost payload] for data-touching work) of CPU.  [gcost] adds
     per-evaluation guard cost on top of the dispatcher's base guard
     charge (interpreted packet filters).  [key] places the handler in the
-    event's dispatch index under that key (see {!set_keyfn}).  Returns
-    the uninstaller (O(1)). *)
+    event's dispatch index under that key (see {!set_keyfn}).  [label]
+    names the handler in spans, metrics
+    ([spin.<event>.<label>.guard_hits|guard_misses|runs|run_ns]) and
+    {!dump} output; it defaults to ["h<id>"].  Returns the uninstaller
+    (O(1)). *)
 
 val install_ephemeral :
   'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
-  ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) -> unit -> unit
+  ?label:string -> ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) ->
+  unit -> unit
 (** Attach an interrupt-level handler as an ephemeral program, optionally
     limited to [budget] of CPU per invocation (overruns are terminated
     between actions).  Returns the uninstaller. *)
@@ -104,3 +125,29 @@ val faults : t -> int
 (** Handlers (or guards) that raised an exception.  The fault is
     contained: counted, and the offending handler uninstalled — never
     propagated into the kernel. *)
+
+(** {1 Introspection} *)
+
+type handler_info = {
+  hi_id : int;
+  hi_label : string;
+  hi_key : int option;
+  hi_ephemeral : bool;
+  hi_guard_hits : int;
+  hi_guard_misses : int;
+  hi_runs : int;
+}
+
+type event_info = {
+  ei_name : string;
+  ei_mode : delivery;
+  ei_indexed : bool;  (** the event has a demux-key extractor *)
+  ei_handlers : handler_info list;  (** in install order *)
+}
+
+val dump : t -> event_info list
+(** Every event declared on this dispatcher, in declaration order, with
+    its installed handlers and their live counters. *)
+
+val pp_event_info : event_info Fmt.t
+val pp_dump : t Fmt.t

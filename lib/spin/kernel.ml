@@ -7,19 +7,28 @@ type t = {
   engine : Sim.Engine.t;
   cpu : Sim.Cpu.t;
   dispatcher : Dispatcher.t;
+  registry : Observe.Registry.t;
+  trace : Observe.Trace.t;
   interfaces : (string, Interface.t) Hashtbl.t;
   root_domain : Domain.t;
       (* every interface in the kernel; "few extensions have access to
          this domain" *)
 }
 
-let create ?(costs = Dispatcher.default_costs) engine ~name =
+let create ?(costs = Dispatcher.default_costs) ?(observe = true) engine ~name =
   let cpu = Sim.Cpu.create engine ~name:(name ^ ".cpu") in
+  let registry = Observe.Registry.create ~name () in
+  let trace = Observe.Trace.create () in
   {
     name;
     engine;
     cpu;
-    dispatcher = Dispatcher.create ~cpu ~costs;
+    dispatcher =
+      Dispatcher.create
+        ?registry:(if observe then Some registry else None)
+        ~trace ~cpu ~costs ();
+    registry;
+    trace;
     interfaces = Hashtbl.create 16;
     root_domain = Domain.create (name ^ ".root");
   }
@@ -28,7 +37,15 @@ let name t = t.name
 let engine t = t.engine
 let cpu t = t.cpu
 let dispatcher t = t.dispatcher
+let registry t = t.registry
+let trace t = t.trace
 let root_domain t = t.root_domain
+
+let introspect t =
+  Fmt.str "kernel %s: %d interface(s), %d event(s)@.%a" t.name
+    (Hashtbl.length t.interfaces)
+    (List.length (Dispatcher.dump t.dispatcher))
+    Dispatcher.pp_dump t.dispatcher
 
 let declare_interface t iname =
   match Hashtbl.find_opt t.interfaces iname with

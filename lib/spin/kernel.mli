@@ -5,13 +5,33 @@
 
 type t
 
-val create : ?costs:Dispatcher.costs -> Sim.Engine.t -> name:string -> t
+val create :
+  ?costs:Dispatcher.costs -> ?observe:bool -> Sim.Engine.t -> name:string -> t
+(** [create engine ~name] builds a kernel with its own CPU, dispatcher,
+    metrics registry and trace endpoint.  [observe] (default true)
+    attaches the registry to the dispatcher so per-event/per-handler
+    metrics are published; [~observe:false] keeps the dispatcher
+    detached — counters still accumulate privately, histograms are not
+    recorded (the baseline for overhead benchmarks). *)
 
 val name : t -> string
 val engine : t -> Sim.Engine.t
 val cpu : t -> Sim.Cpu.t
 val dispatcher : t -> Dispatcher.t
 val now : t -> Sim.Stime.t
+
+val registry : t -> Observe.Registry.t
+(** The kernel's metrics registry (empty when created with
+    [~observe:false]). *)
+
+val trace : t -> Observe.Trace.t
+(** The kernel's span endpoint; attach a sink with
+    [Observe.Trace.set_sink (trace k) (Ring ...)] to record dispatch
+    spans. *)
+
+val introspect : t -> string
+(** Human-readable dump of every event, its installed handlers (label,
+    dispatch key, delivery kind) and their live counters. *)
 
 val root_domain : t -> Domain.t
 (** The domain containing every kernel interface; handed out sparingly. *)

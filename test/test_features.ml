@@ -270,7 +270,7 @@ let handler_fault_contained () =
 let guard_fault_contained () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e ~name:"c" in
-  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
   let ev = Spin.Dispatcher.event d "t" in
   let ok = ref 0 in
   let (_ : unit -> unit) =

@@ -355,7 +355,7 @@ let indexed_dispatch_agrees =
     (fun (filters, descs) ->
       let e = Sim.Engine.create () in
       let cpu = Sim.Cpu.create e ~name:"c" in
-      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
       let linear_ev = Spin.Dispatcher.event d "linear" in
       let indexed_ev = Spin.Dispatcher.event d "indexed" in
       Spin.Dispatcher.set_keyfn indexed_ev Plexus.Filter.context_keys;

@@ -194,7 +194,7 @@ let host_utilization_window () =
 let uninstall_from_handler () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e ~name:"c" in
-  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
   let ev = Spin.Dispatcher.event d "t" in
   let n = ref 0 in
   let un = ref (fun () -> ()) in

@@ -1,0 +1,435 @@
+(* The observability layer: histograms, the registry, trace rings, span
+   emission from the dispatcher, and the zero-cost disabled path. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let prop t = QCheck_alcotest.to_alcotest t
+let us = Sim.Stime.us
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---- Histogram ------------------------------------------------------------ *)
+
+(* The design bound: every value lands in a bucket whose midpoint is
+   within 2^-(sub_bits+1) ≈ 3.1% of it (plus 1 absolute for the integer
+   midpoint of tiny buckets). *)
+let hist_bucket_error =
+  QCheck.Test.make ~name:"bucket midpoint within the relative error bound"
+    QCheck.(int_bound 1_000_000_000)
+    (fun v ->
+      let r = Observe.Histogram.value_of (Observe.Histogram.bucket_of v) in
+      abs (r - v) <= 1 + (v / 30))
+
+let hist_vs_series =
+  QCheck.Test.make ~name:"quantiles track Series within the error bound"
+    QCheck.(list_of_size (Gen.int_range 50 300) (int_bound 5_000_000))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Observe.Histogram.create () in
+      let s = Sim.Stats.Series.create () in
+      List.iter
+        (fun v ->
+          Observe.Histogram.record h v;
+          Sim.Stats.Series.add s (float_of_int v))
+        samples;
+      List.for_all
+        (fun p ->
+          let exact = Sim.Stats.Series.percentile s p in
+          let approx = float_of_int (Observe.Histogram.percentile h p) in
+          (* rank conventions differ by at most one sample; allow the
+             bucket error plus one sample-gap of slack *)
+          abs_float (approx -. exact) <= 2. +. (0.07 *. (exact +. approx)))
+        [ 50.; 90.; 99. ])
+
+let hist_exact_counts () =
+  let h = Observe.Histogram.create () in
+  List.iter (Observe.Histogram.record h) [ 3; 14; 15; 9_265; 358_979 ];
+  Alcotest.(check int) "count" 5 (Observe.Histogram.count h);
+  Alcotest.(check int) "sum" 368_276 (Observe.Histogram.sum h);
+  Alcotest.(check int) "min" 3 (Observe.Histogram.min_value h);
+  Alcotest.(check int) "max" 358_979 (Observe.Histogram.max_value h);
+  (* values below [sub] are recorded exactly *)
+  Alcotest.(check int) "small values exact" 3
+    (Observe.Histogram.percentile h 1.);
+  Observe.Histogram.reset h;
+  Alcotest.(check bool) "reset empties" true (Observe.Histogram.is_empty h)
+
+let hist_merge () =
+  let a = Observe.Histogram.create () and b = Observe.Histogram.create () in
+  List.iter (Observe.Histogram.record a) [ 10; 20 ];
+  List.iter (Observe.Histogram.record b) [ 30_000 ];
+  Observe.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Observe.Histogram.count a);
+  Alcotest.(check int) "merged max" 30_000 (Observe.Histogram.max_value a)
+
+(* ---- Registry ------------------------------------------------------------- *)
+
+let registry_find_or_create () =
+  let r = Observe.Registry.create ~name:"t" () in
+  let c1 = Observe.Registry.counter r "a.b" in
+  incr c1;
+  let c2 = Observe.Registry.counter r "a.b" in
+  Alcotest.(check bool) "same ref" true (c1 == c2);
+  Alcotest.(check int) "value visible through both" 1 !c2;
+  let h1 = Observe.Registry.histogram r "a.lat" in
+  Alcotest.(check bool) "same histogram" true
+    (h1 == Observe.Registry.histogram r "a.lat");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Registry t: a.b is a counter, not a histogram")
+    (fun () -> ignore (Observe.Registry.histogram r "a.b"))
+
+let registry_reset_and_gauges () =
+  let r = Observe.Registry.create ~name:"t" () in
+  let c = Observe.Registry.counter r "n" in
+  c := 42;
+  let level = ref 7 in
+  Observe.Registry.gauge r "depth" (fun () -> !level);
+  Observe.Histogram.record (Observe.Registry.histogram r "lat") 100;
+  Observe.Registry.reset r;
+  Alcotest.(check int) "counter zeroed" 0 !c;
+  Alcotest.(check bool) "histogram zeroed" true
+    (Observe.Histogram.is_empty (Observe.Registry.histogram r "lat"));
+  level := 9;
+  (match Observe.Registry.snapshot r with
+  | l -> (
+      match List.assoc "depth" l with
+      | Observe.Registry.Level v ->
+          Alcotest.(check int) "gauge samples live state" 9 v
+      | _ -> Alcotest.fail "depth should be a gauge"));
+  let names = List.map fst (Observe.Registry.snapshot r) in
+  Alcotest.(check (list string)) "snapshot sorted" [ "depth"; "lat"; "n" ] names
+
+let registry_json () =
+  let r = Observe.Registry.create ~name:"t" () in
+  Observe.Registry.counter r {|weird"name|} := 3;
+  let j = Observe.Registry.to_json r in
+  Alcotest.(check bool) "escapes quotes" true (contains j {|weird\"name|});
+  Alcotest.(check bool) "value present" true (contains j ": 3")
+
+(* ---- Trace ring ------------------------------------------------------------ *)
+
+let mk_span at event = { Observe.Trace.at_ns = at; event }
+let msg i = Observe.Trace.Message { scope = "t"; text = string_of_int i }
+
+let ring_wraps () =
+  let ring = Observe.Trace.Ring.create ~capacity:4 () in
+  for i = 1 to 7 do
+    Observe.Trace.Ring.push ring (mk_span i (msg i))
+  done;
+  Alcotest.(check int) "length capped" 4 (Observe.Trace.Ring.length ring);
+  Alcotest.(check int) "overwrites counted" 3
+    (Observe.Trace.Ring.dropped ring);
+  let ats =
+    List.map (fun s -> s.Observe.Trace.at_ns) (Observe.Trace.Ring.to_list ring)
+  in
+  Alcotest.(check (list int)) "oldest first" [ 4; 5; 6; 7 ] ats;
+  Observe.Trace.Ring.clear ring;
+  Alcotest.(check int) "clear" 0 (Observe.Trace.Ring.length ring)
+
+(* ---- Zero-cost disabled tracing -------------------------------------------- *)
+
+(* The property the satellite fix is about: when tracing is off, [emit]'s
+   arguments are consumed without being rendered — a %a pretty-printer in
+   the argument list is never invoked. *)
+let trace_disabled_zero_cost =
+  QCheck.Test.make ~name:"disabled emit never invokes %a printers"
+    QCheck.(int_bound 1_000_000)
+    (fun v ->
+      let calls = ref 0 in
+      let pp ppf x =
+        incr calls;
+        Fmt.int ppf x
+      in
+      Sim.Trace.enabled := false;
+      Sim.Trace.set_sink Observe.Trace.Null;
+      Sim.Trace.emit (us 1) "v=%a" pp v;
+      let off_calls = !calls in
+      let seen = ref 0 in
+      Sim.Trace.set_sink (Observe.Trace.Fn (fun _ -> incr seen));
+      Sim.Trace.emit (us 1) "v=%a" pp v;
+      Sim.Trace.set_sink Observe.Trace.Null;
+      off_calls = 0 && !calls = 1 && !seen = 1)
+
+(* ---- Dispatcher spans ------------------------------------------------------- *)
+
+(* The acceptance scenario: a keyed UDP delivery crosses ether -> ip ->
+   udp; the ring must contain the full span path in order, and each
+   layer's run histogram must agree with its event's raise count. *)
+let span_path_reconstruction () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let kernel_b = Netsim.Host.kernel (Plexus.Stack.host p.Experiments.Common.b) in
+  let ring = Observe.Trace.Ring.create ~capacity:4096 () in
+  Observe.Trace.set_sink (Spin.Kernel.trace kernel_b) (Observe.Trace.Ring ring);
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  let bind_exn udp ~owner ~port =
+    match Plexus.Udp_mgr.bind udp ~owner ~port with
+    | Ok ep -> ep
+    | Error _ -> Alcotest.fail "bind failed"
+  in
+  let server = bind_exn udp_b ~owner:"srv" ~port:7 in
+  let delivered = ref 0 in
+  let (_ : unit -> unit) =
+    Plexus.Udp_mgr.install_recv udp_b server (fun _ -> incr delivered)
+  in
+  let client = bind_exn udp_a ~owner:"cli" ~port:5000 in
+  let sends = 5 in
+  for i = 1 to sends do
+    Plexus.Udp_mgr.send udp_a client ~dst:(Experiments.Common.ip_b, 7)
+      (Printf.sprintf "m%d" i)
+  done;
+  Sim.Engine.run p.Experiments.Common.engine;
+  Alcotest.(check int) "all datagrams delivered" sends !delivered;
+  let spans = Observe.Trace.Ring.to_list ring in
+  Alcotest.(check int) "nothing overwritten" 0 (Observe.Trace.Ring.dropped ring);
+  let is_ether e = contains e "ethernet" in
+  (* one packet's path, as (predicate, description) subsequence steps *)
+  let open Observe.Trace in
+  let steps =
+    [
+      ( "raise ether",
+        function Raise r -> is_ether r.event | _ -> false );
+      ( "guard hit ip@ether",
+        function
+        | Guard_eval g -> is_ether g.event && g.label = "ip" && g.hit
+        | _ -> false );
+      ( "run ip@ether",
+        function
+        | Handler_run h -> is_ether h.event && h.label = "ip" | _ -> false );
+      ("raise ip", function Raise r -> r.event = "ip.PacketRecv" | _ -> false);
+      ( "index lookup ip",
+        function
+        | Index_lookup i -> i.event = "ip.PacketRecv" | _ -> false );
+      ( "guard hit udp@ip",
+        function
+        | Guard_eval g -> g.event = "ip.PacketRecv" && g.label = "udp" && g.hit
+        | _ -> false );
+      ( "run udp@ip",
+        function
+        | Handler_run h -> h.event = "ip.PacketRecv" && h.label = "udp"
+        | _ -> false );
+      ( "raise udp",
+        function
+        | Raise r -> r.event = "udp.PacketRecv" && r.indexed | _ -> false );
+      ( "index lookup udp",
+        function
+        | Index_lookup i -> i.event = "udp.PacketRecv" | _ -> false );
+      ( "guard hit srv@udp",
+        function
+        | Guard_eval g ->
+            g.event = "udp.PacketRecv" && g.label = "srv" && g.hit
+        | _ -> false );
+      ( "run srv@udp",
+        function
+        | Handler_run h -> h.event = "udp.PacketRecv" && h.label = "srv"
+        | _ -> false );
+    ]
+  in
+  let rec walk steps spans =
+    match steps with
+    | [] -> ()
+    | (desc, pred) :: rest -> (
+        match spans with
+        | [] -> Alcotest.fail ("span path incomplete: missing " ^ desc)
+        | s :: tail ->
+            if pred s.Observe.Trace.event then walk rest tail
+            else walk steps tail)
+  in
+  walk steps spans;
+  (* per-handler histogram counts must match the raise counts *)
+  let reg = Spin.Kernel.registry kernel_b in
+  let counter name =
+    match Observe.Registry.find reg name with
+    | Some (Observe.Registry.Counter c) -> !c
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  let hist_n name =
+    match Observe.Registry.find reg name with
+    | Some (Observe.Registry.Hist h) -> Observe.Histogram.count h
+    | _ -> Alcotest.fail ("missing histogram " ^ name)
+  in
+  Alcotest.(check int) "udp raises" sends (counter "spin.udp.PacketRecv.raises");
+  Alcotest.(check int) "srv runs = udp raises" sends
+    (hist_n "spin.udp.PacketRecv.srv.run_ns");
+  Alcotest.(check int) "udp runs = ip raises" sends
+    (hist_n "spin.ip.PacketRecv.udp.run_ns");
+  Alcotest.(check int) "udp raises all indexed" sends
+    (counter "spin.udp.PacketRecv.indexed_raises");
+  (* durations in the spans must equal what the histograms recorded *)
+  let span_runs =
+    List.filter_map
+      (fun s ->
+        match s.Observe.Trace.event with
+        | Handler_run h when h.event = "udp.PacketRecv" && h.label = "srv" ->
+            Some h.duration_ns
+        | _ -> None)
+      spans
+  in
+  Alcotest.(check int) "one run span per datagram" sends (List.length span_runs);
+  List.iter
+    (fun d -> Alcotest.(check bool) "positive duration" true (d > 0))
+    span_runs
+
+(* A budget-starved EPHEMERAL handler must surface as a [Terminated]
+   span (and count under spin.eph.terminated). *)
+let ephemeral_terminated_span () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~name:"c" in
+  let registry = Observe.Registry.create ~name:"t" () in
+  let trace = Observe.Trace.create () in
+  let ring = Observe.Trace.Ring.create () in
+  Observe.Trace.set_sink trace (Observe.Trace.Ring ring);
+  let d =
+    Spin.Dispatcher.create ~registry ~trace ~cpu
+      ~costs:Spin.Dispatcher.default_costs ()
+  in
+  let ev = Spin.Dispatcher.event d "e" in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install_ephemeral ev ~label:"eph" ~budget:(us 7) (fun () ->
+        List.init 4 (fun _ ->
+            Spin.Ephemeral.work ~label:"w" ~cost:(us 5) ignore))
+  in
+  Spin.Dispatcher.raise ev ();
+  Sim.Engine.run engine;
+  let term =
+    List.filter_map
+      (fun s ->
+        match s.Observe.Trace.event with
+        | Observe.Trace.Terminated { label; committed; total; _ } ->
+            Some (label, committed, total)
+        | _ -> None)
+      (Observe.Trace.Ring.to_list ring)
+  in
+  match term with
+  | [ (label, committed, total) ] ->
+      Alcotest.(check string) "labelled" "eph" label;
+      Alcotest.(check int) "committed prefix" 1 committed;
+      Alcotest.(check int) "of total" 4 total;
+      Alcotest.(check int) "terminated counted" 1
+        !(Observe.Registry.counter registry "spin.eph.terminated");
+      Alcotest.(check int) "dispatcher agrees" 1 (Spin.Dispatcher.terminations d)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 Terminated span, got %d" (List.length l))
+
+(* A commit within budget emits [Ephemeral_commit] instead. *)
+let ephemeral_commit_span () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~name:"c" in
+  let trace = Observe.Trace.create () in
+  let ring = Observe.Trace.Ring.create () in
+  Observe.Trace.set_sink trace (Observe.Trace.Ring ring);
+  let d =
+    Spin.Dispatcher.create ~trace ~cpu ~costs:Spin.Dispatcher.default_costs ()
+  in
+  let ev = Spin.Dispatcher.event d "e" in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install_ephemeral ev ~label:"eph" ~budget:(us 50) (fun () ->
+        List.init 3 (fun _ ->
+            Spin.Ephemeral.work ~label:"w" ~cost:(us 5) ignore))
+  in
+  Spin.Dispatcher.raise ev ();
+  Sim.Engine.run engine;
+  let commits =
+    List.filter_map
+      (fun s ->
+        match s.Observe.Trace.event with
+        | Observe.Trace.Ephemeral_commit { committed; duration_ns; _ } ->
+            Some (committed, duration_ns)
+        | _ -> None)
+      (Observe.Trace.Ring.to_list ring)
+  in
+  match commits with
+  | [ (committed, duration_ns) ] ->
+      Alcotest.(check int) "all actions committed" 3 committed;
+      Alcotest.(check int) "duration is the consumed budget" 15_000 duration_ns
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 commit span, got %d" (List.length l))
+
+(* ---- Introspection ---------------------------------------------------------- *)
+
+let dispatcher_dump () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~name:"c" in
+  let d =
+    Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs ()
+  in
+  let ev = Spin.Dispatcher.event d "e" in
+  Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~label:"keyed" ~key:3
+      ~guard:(fun x -> x = 3)
+      ~cost:Sim.Stime.zero
+      (fun _ -> ())
+  in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev ~cost:Sim.Stime.zero (fun _ -> ())
+  in
+  Spin.Dispatcher.raise ev 3;
+  Sim.Engine.run engine;
+  match Spin.Dispatcher.dump d with
+  | [ ei ] ->
+      Alcotest.(check string) "event name" "e" ei.Spin.Dispatcher.ei_name;
+      Alcotest.(check bool) "indexed" true ei.Spin.Dispatcher.ei_indexed;
+      (match ei.Spin.Dispatcher.ei_handlers with
+      | [ keyed; linear ] ->
+          Alcotest.(check string) "label" "keyed" keyed.Spin.Dispatcher.hi_label;
+          Alcotest.(check (option int)) "key" (Some 3) keyed.Spin.Dispatcher.hi_key;
+          Alcotest.(check int) "keyed hit" 1 keyed.Spin.Dispatcher.hi_guard_hits;
+          Alcotest.(check int) "keyed ran" 1 keyed.Spin.Dispatcher.hi_runs;
+          Alcotest.(check string) "default label" "h1"
+            linear.Spin.Dispatcher.hi_label;
+          Alcotest.(check (option int)) "linear key" None
+            linear.Spin.Dispatcher.hi_key;
+          Alcotest.(check int) "linear ran too" 1 linear.Spin.Dispatcher.hi_runs
+      | l -> Alcotest.fail (Printf.sprintf "expected 2 handlers, got %d" (List.length l)))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length l))
+
+let kernel_introspect () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let k = Netsim.Host.kernel (Plexus.Stack.host p.Experiments.Common.a) in
+  let s = Spin.Kernel.introspect k in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("introspect mentions " ^ affix) true
+        (contains s affix))
+    [ "ip.PacketRecv"; "udp"; "tcp"; "arp" ]
+
+(* Metrics compatibility shim: the refs are the registry's counters. *)
+let metrics_shim () =
+  Metrics.reset ();
+  Metrics.count_copy 100;
+  (match Observe.Registry.find Metrics.registry "packet.copies" with
+  | Some (Observe.Registry.Counter c) ->
+      Alcotest.(check bool) "same cell" true (c == Metrics.copies);
+      Alcotest.(check int) "count visible" 1 !c
+  | _ -> Alcotest.fail "packet.copies not registered");
+  Metrics.reset ();
+  Alcotest.(check int) "reset via shim zeroes registry" 0 !(Metrics.copies)
+
+let suite =
+  [
+    ( "observe.histogram",
+      [
+        prop hist_bucket_error;
+        prop hist_vs_series;
+        tc "exact bookkeeping" hist_exact_counts;
+        tc "merge" hist_merge;
+      ] );
+    ( "observe.registry",
+      [
+        tc "find-or-create and kind safety" registry_find_or_create;
+        tc "reset and gauges" registry_reset_and_gauges;
+        tc "json escaping" registry_json;
+        tc "metrics shim" metrics_shim;
+      ] );
+    ( "observe.trace",
+      [ tc "ring wraps" ring_wraps; prop trace_disabled_zero_cost ] );
+    ( "observe.spans",
+      [
+        tc "udp span path reconstruction" span_path_reconstruction;
+        tc "ephemeral termination span" ephemeral_terminated_span;
+        tc "ephemeral commit span" ephemeral_commit_span;
+      ] );
+    ( "observe.introspection",
+      [ tc "dispatcher dump" dispatcher_dump; tc "kernel introspect" kernel_introspect ] );
+  ]

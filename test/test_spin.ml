@@ -233,7 +233,7 @@ let ephemeral_budget_prefix =
 let mk_dispatcher () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e ~name:"cpu" in
-  (e, cpu, Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs)
+  (e, cpu, Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs ())
 
 let dispatcher_basic_raise () =
   let e, _, d = mk_dispatcher () in
@@ -436,7 +436,7 @@ let dispatcher_install_model =
     (fun ops ->
       let e = Sim.Engine.create () in
       let cpu = Sim.Cpu.create e ~name:"c" in
-      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
       let ev = Spin.Dispatcher.event d "m" in
       let installed : (int, int ref * (unit -> unit)) Hashtbl.t =
         Hashtbl.create 8
@@ -478,7 +478,7 @@ let suite =
 let ephemeral_in_thread_mode () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create e ~name:"c" in
-  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
   let ev = Spin.Dispatcher.event d ~mode:Spin.Dispatcher.Thread "t" in
   let committed = ref 0 in
   let (_ : unit -> unit) =
@@ -624,7 +624,7 @@ let keyed_install_model =
     (fun ops ->
       let e = Sim.Engine.create () in
       let cpu = Sim.Cpu.create e ~name:"c" in
-      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs in
+      let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
       let ev = Spin.Dispatcher.event d "m" in
       Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
       let installed : (int, int ref * (unit -> unit)) Hashtbl.t =
