@@ -84,7 +84,11 @@ let run_stats () =
    handlers with live counters), the metrics registries (table or JSON)
    and optionally the tail of the span ring. *)
 let run_observe json trace_n =
-  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  (* flow cache on, so the path_cache counters and cache_hit spans show
+     up in the output alongside the graph-dispatch metrics *)
+  let p =
+    Experiments.Common.plexus_pair ~flowcache:true (Netsim.Costs.ethernet ())
+  in
   let kernels =
     List.map
       (fun stack -> Netsim.Host.kernel (Plexus.Stack.host stack))

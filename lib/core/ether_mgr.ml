@@ -32,6 +32,11 @@ let create graph dev =
      interrupt.  It immediately raises the protocol event. *)
   Netsim.Dev.set_rx dev (fun pkt ->
       Spin.Dispatcher.raise (Graph.recv_event node) (Pctx.make dev pkt));
+  (* Coalesced receive: one batched raise for frames delivered in one
+     interrupt, amortizing the per-raise accounting. *)
+  Netsim.Dev.set_rx_batch dev (fun pkts ->
+      Spin.Dispatcher.raise_batch (Graph.recv_event node)
+        (List.map (Pctx.make dev) pkts));
   t
 
 let dev t = t.dev
@@ -56,11 +61,13 @@ let prio t =
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 
-(* Trusted install used by in-kernel protocol managers (IP, ARP). *)
-let install_protocol t ~child ~guard ?key ?dyncost ~cost fn =
+(* Trusted install used by in-kernel protocol managers (IP, ARP).
+   [cacheable] asserts the guard is a pure function of the frame's flow
+   signature (EtherType, MAC, protocol, addresses, ports). *)
+let install_protocol t ~child ~guard ?key ?dyncost ?cacheable ~cost fn =
   Graph.add_edge t.graph ~parent:t.node ~child ~label:"guard";
   Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?key ?dyncost
-    ~label:child ~cost fn
+    ?cacheable ~label:child ~cost fn
 
 let etype_guard etype ctx =
   match Proto.Ether.parse (Pctx.view ctx) with
@@ -92,7 +99,7 @@ let install_handler t ~owner ~etype ?(cost = Sim.Stime.us 4) fn =
     Ok
       (Spin.Dispatcher.install (Graph.recv_event t.node)
          ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype)
-         ~label:owner ~cost fn)
+         ~cacheable:true ~label:owner ~cost fn)
   end
 
 (* Send a frame: charge the Ethernet output cost, write the header — the

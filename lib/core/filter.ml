@@ -228,6 +228,109 @@ let dispatch_key t =
   | t' ->
       Option.map key_code (List.find_map key_of_conjunct (flat_and t' []))
 
+(* ---- Flow demux extraction --------------------------------------------- *)
+
+(* The demultiplexing fields of a raw frame, read once.  This is the one
+   shared extractor behind both the index's context keys (EtherType) and
+   the dispatcher's flow signatures: every field the steady-state demux
+   decision can depend on, and nothing else.  [-1] marks an absent
+   field. *)
+type demux = {
+  dst_mac : int;  (** 48-bit destination MAC, or [-1] on a runt frame *)
+  ether_type : int;
+  ip_proto : int;
+  src_addr : int;
+  dst_addr : int;
+  src_port : int;
+  dst_port : int;
+  fragment : bool;
+      (** the frame is an IPv4 fragment (or carries a non-20-byte IP
+          header): the L4 ports are not where the fast path expects
+          them, so flow signatures must refuse it *)
+}
+
+let frame_ether_type v =
+  if View.length v >= Proto.Ether.header_len then View.get_u16 v 12 else -1
+
+let frame_demux v =
+  let len = View.length v in
+  let dst_mac =
+    if len >= 6 then (View.get_u16 v 0 lsl 32) lor View.get_u32 v 2 else -1
+  in
+  let ether_type = frame_ether_type v in
+  if
+    ether_type = Proto.Ether.etype_ip
+    && len >= Proto.Ether.header_len + Proto.Ipv4.header_len
+  then begin
+    let l3 = Proto.Ether.header_len in
+    (* Treat a non-standard IHL like a fragment: the port slots below
+       would be header bytes, not L4 ports. *)
+    let fragment =
+      let frag = View.get_u16 v (l3 + 6) in
+      frag land 0x3fff <> 0 || View.get_u8 v l3 <> 0x45
+    in
+    let ip_proto = View.get_u8 v (l3 + 9) in
+    let ports =
+      (not fragment)
+      && (ip_proto = Proto.Ipv4.proto_udp || ip_proto = Proto.Ipv4.proto_tcp)
+      && len >= l3 + Proto.Ipv4.header_len + 4
+    in
+    {
+      dst_mac;
+      ether_type;
+      ip_proto;
+      src_addr = View.get_u32 v (l3 + 12);
+      dst_addr = View.get_u32 v (l3 + 16);
+      src_port = (if ports then View.get_u16 v (l3 + 20) else -1);
+      dst_port = (if ports then View.get_u16 v (l3 + 22) else -1);
+      fragment;
+    }
+  end
+  else
+    {
+      dst_mac;
+      ether_type;
+      ip_proto = -1;
+      src_addr = -1;
+      dst_addr = -1;
+      src_port = -1;
+      dst_port = -1;
+      fragment = false;
+    }
+
+(* 22-byte packed key: dst MAC, EtherType, IP proto, src/dst address,
+   src/dst port, and a presence byte so absent fields cannot collide
+   with real zero/0xffff values.  Compared by string equality — no
+   hashing unsoundness. *)
+let signature_of_demux d =
+  let b = Bytes.create 22 in
+  Bytes.set_uint16_be b 0 ((d.dst_mac lsr 32) land 0xffff);
+  Bytes.set_int32_be b 2 (Int32.of_int (d.dst_mac land 0xffffffff));
+  Bytes.set_uint16_be b 6 (d.ether_type land 0xffff);
+  Bytes.set_uint8 b 8 (d.ip_proto land 0xff);
+  Bytes.set_int32_be b 9 (Int32.of_int (d.src_addr land 0xffffffff));
+  Bytes.set_int32_be b 13 (Int32.of_int (d.dst_addr land 0xffffffff));
+  Bytes.set_uint16_be b 17 (d.src_port land 0xffff);
+  Bytes.set_uint16_be b 19 (d.dst_port land 0xffff);
+  Bytes.set_uint8 b 21
+    ((if d.dst_mac >= 0 then 1 else 0)
+    lor (if d.ether_type >= 0 then 2 else 0)
+    lor (if d.ip_proto >= 0 then 4 else 0)
+    lor if d.src_port >= 0 then 8 else 0);
+  Bytes.unsafe_to_string b
+
+(* Only a *fresh* context — cursor at 0, nothing parsed yet — is a raw
+   frame whose bytes the signature can describe.  A reassembled datagram
+   or a mid-graph context re-raised as a root would alias unrelated
+   bytes into the demux fields, so it is refused (cache bypass), as are
+   fragments. *)
+let flow_signature ctx =
+  match (ctx.Pctx.l2, ctx.Pctx.ip) with
+  | None, None when ctx.Pctx.off = 0 && ctx.Pctx.src_port < 0 ->
+      let d = frame_demux (View.ro (Mbuf.view ctx.Pctx.pkt)) in
+      if d.fragment then None else Some (signature_of_demux d)
+  | _ -> None
+
 (* The dispatch keys a packet context *presents*, one per demux
    dimension that is available at the current layer.  The complement of
    [dispatch_key]: a filter keyed on dimension D with value v evaluates
@@ -251,9 +354,8 @@ let context_keys ctx =
     | Some h -> ip_proto_key h.Proto.Ipv4.proto :: keys
     | None -> keys
   in
-  let v = View.ro (Mbuf.view ctx.Pctx.pkt) in
-  if View.length v >= 14 then ether_type_key (View.get_u16 v 12) :: keys
-  else keys
+  let et = frame_ether_type (View.ro (Mbuf.view ctx.Pctx.pkt)) in
+  if et >= 0 then ether_type_key et :: keys else keys
 
 (* ---- Compilation ------------------------------------------------------- *)
 

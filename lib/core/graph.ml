@@ -43,6 +43,11 @@ let node t name =
          presents at its current layer (EtherType, IP protocol, ports).
          Managers that know their guard's literal install with ~key. *)
       Spin.Dispatcher.set_keyfn recv Filter.context_keys;
+      (* ... and one flow-signature extractor, so any node can serve as
+         a flow-path cache root when the kernel enables caching.  Only
+         fresh, unfragmented frames are signable; everything else
+         bypasses the cache (Filter.flow_signature). *)
+      Spin.Dispatcher.set_sigfn recv Filter.flow_signature;
       let n = { node_name = name; recv } in
       t.nodes <- t.nodes @ [ n ];
       n

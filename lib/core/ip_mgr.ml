@@ -121,10 +121,12 @@ let attach t ether arp ~net ~mask_bits =
     Ether_mgr.etype_guard Proto.Ether.etype_ip ctx
     && mac_guard (Ether_mgr.dev ether) ctx
   in
+  (* Cacheable: the guard reads only the EtherType and destination MAC,
+     both part of the flow signature. *)
   let (_ : unit -> unit) =
     Ether_mgr.install_protocol ether ~child:"ip" ~guard
       ~key:(Filter.ether_type_key Proto.Ether.etype_ip)
-      ~cost:t.costs.Netsim.Costs.layer.ip_in (rx t)
+      ~cacheable:true ~cost:t.costs.Netsim.Costs.layer.ip_in (rx t)
   in
   ()
 

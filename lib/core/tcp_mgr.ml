@@ -206,7 +206,10 @@ let create graph ip =
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:(proto_guard t)
       ~key:(Filter.ip_proto_key Proto.Ipv4.proto_tcp)
-      ~label:"tcp" ~cost:costs.Netsim.Costs.layer.tcp_in
+      (* cacheable: the guard reads the protocol number and ports
+         (flow-signature fields) plus the excluded lists — changing those
+         touches the event's generation below *)
+      ~cacheable:true ~label:"tcp" ~cost:costs.Netsim.Costs.layer.tcp_in
       ~dyncost:(fun ctx ->
         if Pctx.data_touched_by_device ctx then Sim.Stime.zero
         else
@@ -219,8 +222,15 @@ let create graph ip =
 let node t = t.node
 let counters t = t.counters
 
-let exclude_ports t ports = t.excluded <- ports
-let exclude_src_ports t ports = t.excluded_src <- ports
+(* The guard reads these mutable lists, so changing them invalidates any
+   cached flow paths through the IP event. *)
+let exclude_ports t ports =
+  t.excluded <- ports;
+  Spin.Dispatcher.touch (Graph.recv_event (Ip_mgr.node t.ip))
+
+let exclude_src_ports t ports =
+  t.excluded_src <- ports;
+  Spin.Dispatcher.touch (Graph.recv_event (Ip_mgr.node t.ip))
 
 type error = [ `Port_in_use of int ]
 

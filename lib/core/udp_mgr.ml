@@ -124,7 +124,10 @@ let create graph ip =
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:(fun ctx -> proto_guard t ctx)
       ~key:(Filter.ip_proto_key Proto.Ipv4.proto_udp)
-      ~label:"udp" ~cost:costs.Netsim.Costs.layer.udp_in
+      (* cacheable: the guard reads the IP protocol number and UDP ports
+         (flow-signature fields) plus [t.excluded] — [exclude_ports]
+         touches the event's generation when that list changes *)
+      ~cacheable:true ~label:"udp" ~cost:costs.Netsim.Costs.layer.udp_in
       ~dyncost:(fun ctx ->
         (* checksum verification touches the payload — unless the PIO
            device already did (integrated layer processing) *)
@@ -142,8 +145,12 @@ let set_spoof_policy t p = t.spoof_policy <- p
 
 (* Multiple implementations of UDP (paper section 3.1): this manager's
    guard stops matching the given destination ports, ceding them to an
-   alternative implementation's own guarded handler on ip.PacketRecv. *)
-let exclude_ports t ports = t.excluded <- ports
+   alternative implementation's own guarded handler on ip.PacketRecv.
+   The guard reads this mutable list, so changing it must invalidate any
+   cached flow paths through the IP event. *)
+let exclude_ports t ports =
+  t.excluded <- ports;
+  Spin.Dispatcher.touch (Graph.recv_event (Ip_mgr.node t.ip))
 
 let bind t ~owner ~port =
   if Hashtbl.mem t.binds port then Error (`Port_in_use port)
@@ -171,7 +178,7 @@ let install_recv t ep ?cost fn =
     ~label:(Printf.sprintf "port=%d" (Endpoint.port ep));
   Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~label:(Endpoint.owner ep) ~cost fn
+    ~cacheable:true ~label:(Endpoint.owner ep) ~cost fn
 
 (* The same handler without a dispatch key: every raise scans its guard
    linearly.  Exists for the guard-scaling ablation — this is what every
@@ -182,7 +189,7 @@ let install_recv_linear t ep ?cost fn =
     ~child:(Endpoint.owner ep)
     ~label:(Printf.sprintf "port=%d(linear)" (Endpoint.port ep));
   Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
-    ~label:(Endpoint.owner ep) ~cost fn
+    ~cacheable:true ~label:(Endpoint.owner ep) ~cost fn
 
 (* Receive handler demultiplexed by an *interpreted* packet filter
    (see Filter): the manager conjoins the endpoint's port guard — the

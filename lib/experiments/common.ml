@@ -18,7 +18,7 @@ type plexus_pair = {
   b : Plexus.Stack.t;
 }
 
-let plexus_pair ?costs ?observe params =
+let plexus_pair ?costs ?observe ?(flowcache = false) params =
   let engine = Sim.Engine.create () in
   let ea, eb =
     Netsim.Network.pair ?costs ?observe engine params ~a:("hostA", ip_a)
@@ -27,6 +27,10 @@ let plexus_pair ?costs ?observe params =
   let a = Plexus.Stack.build ea.Netsim.Network.host in
   let b = Plexus.Stack.build eb.Netsim.Network.host in
   Plexus.Stack.prime_arp a b;
+  if flowcache then begin
+    Spin.Dispatcher.set_flow_cache (Plexus.Graph.dispatcher (Plexus.Stack.graph a)) true;
+    Spin.Dispatcher.set_flow_cache (Plexus.Graph.dispatcher (Plexus.Stack.graph b)) true
+  end;
   { engine; a; b }
 
 type du_pair = {

@@ -16,9 +16,11 @@ type plexus_pair = {
 }
 
 val plexus_pair :
-  ?costs:Netsim.Costs.t -> ?observe:bool -> Netsim.Costs.device -> plexus_pair
+  ?costs:Netsim.Costs.t -> ?observe:bool -> ?flowcache:bool ->
+  Netsim.Costs.device -> plexus_pair
 (** Two hosts with full Plexus stacks, ARP primed.  [observe] (default
-    true) controls per-kernel metrics registries. *)
+    true) controls per-kernel metrics registries; [flowcache] (default
+    false) enables the dispatchers' per-flow fast-path cache. *)
 
 type du_pair = {
   du_engine : Sim.Engine.t;

@@ -27,6 +27,8 @@ type t = {
       (* shared with the peer on half-duplex media *)
   mutable txq : int;
   mutable rx_handler : (Mbuf.ro Mbuf.t -> unit) option;
+  mutable rx_batch : (Mbuf.ro Mbuf.t list -> unit) option;
+      (* coalesced receive: one upcall for a burst of frames *)
   mutable rx_pool : Pool.t option;
       (* receive ring: buffers held from wire arrival to interrupt
          service; exhaustion drops frames like a full NIC ring *)
@@ -45,6 +47,7 @@ let create engine ~cpu ~name ~mac params =
     wire_busy_until = ref Sim.Stime.zero;
     txq = 0;
     rx_handler = None;
+    rx_batch = None;
     rx_pool = None;
     loss_prob = 0.;
     counters =
@@ -75,6 +78,7 @@ let connect a b =
 (* Install the receive path — only the kernel (trusted driver top half)
    does this; applications go through protocol managers. *)
 let set_rx t h = t.rx_handler <- Some h
+let set_rx_batch t h = t.rx_batch <- Some h
 
 let set_rx_pool t pool = t.rx_pool <- Some pool
 let rx_pool t = t.rx_pool
@@ -133,6 +137,63 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
                 (Sim.Engine.now peer.engine)
                 "%s: rx %d bytes" peer.name len;
             h pkt)
+
+(* Inject a burst of frames that arrived back to back as one coalesced
+   receive interrupt: one slot reservation ([Pool.reserve_n]), one fixed
+   interrupt charge for the whole burst (interrupt coalescing; per-byte
+   PIO still scales with the payload), and one upcall — the batch
+   handler when one is installed, the per-frame handler otherwise.
+   Frames beyond the ring budget drop exactly as in [deliver_to]. *)
+let deliver_batch peer pkts =
+  match pkts with
+  | [] -> ()
+  | pkts ->
+      let n = List.length pkts in
+      let granted =
+        match peer.rx_pool with
+        | None -> n
+        | Some pool -> Pool.reserve_n pool n
+      in
+      let rec split i = function
+        | pkt :: rest when i < granted ->
+            let kept, dropped = split (i + 1) rest in
+            (pkt :: kept, dropped)
+        | rest -> ([], rest)
+      in
+      let kept, dropped = split 0 pkts in
+      if dropped <> [] then begin
+        peer.counters.rx_drops <- peer.counters.rx_drops + List.length dropped;
+        if Sim.Trace.on () then
+          Sim.Trace.drop (Sim.Engine.now peer.engine) ~scope:peer.name
+            ~reason:"rx_ring_full";
+        List.iter Mbuf.free dropped
+      end;
+      if kept <> [] then begin
+        let bytes = List.fold_left (fun acc p -> acc + Mbuf.length p) 0 kept in
+        let cost =
+          Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer bytes)
+        in
+        Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
+            (match peer.rx_pool with
+            | Some pool -> Pool.release_n pool granted
+            | None -> ());
+            let deliver upcall =
+              peer.counters.rx_packets <- peer.counters.rx_packets + granted;
+              peer.counters.rx_bytes <- peer.counters.rx_bytes + bytes;
+              if Sim.Trace.on () then
+                Sim.Trace.emit
+                  (Sim.Engine.now peer.engine)
+                  "%s: rx batch of %d (%d bytes)" peer.name granted bytes;
+              upcall ()
+            in
+            match peer.rx_batch with
+            | Some h -> deliver (fun () -> h kept)
+            | None -> (
+                match peer.rx_handler with
+                | Some h -> deliver (fun () -> List.iter h kept)
+                | None ->
+                    peer.counters.rx_drops <- peer.counters.rx_drops + granted))
+      end
 
 let transmit t ?(prio = Sim.Cpu.Thread) pkt =
   let len = Mbuf.length pkt in

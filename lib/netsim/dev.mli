@@ -27,6 +27,18 @@ val connect : t -> t -> unit
 val set_rx : t -> (Mbuf.ro Mbuf.t -> unit) -> unit
 (** Install the driver's receive upcall (trusted kernel code only). *)
 
+val set_rx_batch : t -> (Mbuf.ro Mbuf.t list -> unit) -> unit
+(** Install the coalesced receive upcall, invoked by {!deliver_batch}
+    with a whole burst at once.  Devices without one fall back to the
+    per-frame {!set_rx} handler for each frame of the burst. *)
+
+val deliver_batch : t -> Mbuf.ro Mbuf.t list -> unit
+(** Inject a burst of frames arriving back to back at this device, as
+    one coalesced receive interrupt: one ring-slot reservation
+    ({!Pool.reserve_n}), one fixed interrupt charge for the burst (PIO
+    still per byte), one upcall.  Frames beyond the ring budget drop as
+    in normal delivery. *)
+
 val set_rx_pool : t -> Pool.t -> unit
 (** Bound the receive ring: frames hold a pool {e slot} from wire arrival
     until their interrupt is serviced; exhaustion drops at the ring.  The

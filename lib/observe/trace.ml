@@ -37,6 +37,8 @@ type event =
       total : int;
       duration_ns : int;
     }
+  | Cache_hit of { event : string; hops : int; handlers : int }
+  | Cache_invalidate of { event : string; reason : string }
   | Drop of { scope : string; reason : string }
   | Message of { scope : string; text : string }
 
@@ -49,6 +51,8 @@ let kind = function
   | Handler_run _ -> "handler_run"
   | Ephemeral_commit _ -> "ephemeral_commit"
   | Terminated _ -> "terminated"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_invalidate _ -> "cache_invalidate"
   | Drop _ -> "drop"
   | Message _ -> "message"
 
@@ -60,7 +64,9 @@ let scope = function
   | Guard_eval { event; _ }
   | Handler_run { event; _ }
   | Ephemeral_commit { event; _ }
-  | Terminated { event; _ } ->
+  | Terminated { event; _ }
+  | Cache_hit { event; _ }
+  | Cache_invalidate { event; _ } ->
       event
   | Drop { scope; _ } | Message { scope; _ } -> scope
 
@@ -88,6 +94,10 @@ let pp_event ppf = function
   | Terminated { event; hid; label; committed; total; duration_ns } ->
       Fmt.pf ppf "terminated %s %s(h%d) after %d/%d actions at budget %a"
         event label hid committed total pp_ns duration_ns
+  | Cache_hit { event; hops; handlers } ->
+      Fmt.pf ppf "cache_hit %s hops=%d handlers=%d" event hops handlers
+  | Cache_invalidate { event; reason } ->
+      Fmt.pf ppf "cache_invalidate %s reason=%s" event reason
   | Drop { scope; reason } -> Fmt.pf ppf "drop %s reason=%s" scope reason
   | Message { scope; text } -> Fmt.pf ppf "%s: %s" scope text
 

@@ -40,6 +40,13 @@ type event =
       total : int;
       duration_ns : int;  (** the expired budget *)
     }  (** an ephemeral program hit its budget and was cut off *)
+  | Cache_hit of { event : string; hops : int; handlers : int }
+      (** a raise was served from the flow-path cache: [hops] recorded
+          raises were replayed delivering [handlers] handlers, with no
+          demux or guard evaluation *)
+  | Cache_invalidate of { event : string; reason : string }
+      (** a cached flow path was discarded (stale generation, divergent
+          replay, or a discarded recording) *)
   | Drop of { scope : string; reason : string }
   | Message of { scope : string; text : string }
       (** freeform text (the legacy [Sim.Trace] printf route) *)

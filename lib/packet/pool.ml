@@ -54,6 +54,18 @@ let reserve t =
     true
   end
 
+(* Batched slot accounting: one bounds check and one counter update for
+   [n] frames arriving back to back.  Grants as many of the [n] slots as
+   the budget allows and counts the remainder as failures. *)
+let reserve_n t n =
+  if n < 0 then invalid_arg "Pool.reserve_n: negative count";
+  let granted = min n (t.capacity - t.live) in
+  t.live <- t.live + granted;
+  t.allocations <- t.allocations + granted;
+  if t.live > t.peak then t.peak <- t.live;
+  if granted < n then t.failures <- t.failures + (n - granted);
+  granted
+
 let release t =
   if t.live = 0 then begin
     (* an underflow means a slot was given back twice — a double free.
@@ -62,6 +74,14 @@ let release t =
     invalid_arg (t.name ^ ": pool slot released twice (double free)")
   end;
   t.live <- t.live - 1
+
+let release_n t n =
+  if n < 0 then invalid_arg "Pool.release_n: negative count";
+  if t.live < n then begin
+    t.underflows <- t.underflows + 1;
+    invalid_arg (t.name ^ ": pool slots released twice (double free)")
+  end;
+  t.live <- t.live - n
 
 let alloc t ?headroom len =
   if reserve t then Some (Mbuf.alloc ?headroom len) else None

@@ -20,6 +20,17 @@ val release : t -> unit
     @raise Invalid_argument on underflow (a slot released twice — the
     double free is also counted, see {!underflows}). *)
 
+val reserve_n : t -> int -> int
+(** [reserve_n t n] claims up to [n] slots with one bounds check and one
+    counter update, returning how many were granted; the shortfall is
+    counted as failures.  Batched receive paths use this to amortize
+    slot accounting across a burst.
+    @raise Invalid_argument if [n < 0]. *)
+
+val release_n : t -> int -> unit
+(** Give [n] slots back at once.
+    @raise Invalid_argument on underflow or [n < 0]. *)
+
 val alloc : t -> ?headroom:int -> int -> Mbuf.rw Mbuf.t option
 (** [None] when the pool is exhausted (counted as a failure). *)
 

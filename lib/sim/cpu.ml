@@ -24,6 +24,9 @@ type t = {
   mutable preemptive : bool;
   mutable current : (work * prio * Stime.t * Engine.handle) option;
       (* item in service: work, priority, start time, completion event *)
+  mutable reserved_until : Stime.t;
+      (* CPU time charged inline via [charge], with no work item of its
+         own: service of queued work is pushed past this instant *)
   mutable busy_ns : Stime.t;         (* accumulated service time *)
   mutable window_start : Stime.t;    (* start of the accounting window *)
   mutable window_busy : Stime.t;     (* busy time within the window *)
@@ -40,6 +43,7 @@ let create engine ~name =
     busy = false;
     preemptive = false;
     current = None;
+    reserved_until = Stime.zero;
     busy_ns = Stime.zero;
     window_start = Stime.zero;
     window_busy = Stime.zero;
@@ -78,8 +82,10 @@ let rec service t =
   | Some (w, prio) ->
       t.busy <- true;
       let started = Engine.now t.engine in
+      (* an outstanding inline charge delays service of queued work *)
+      let wait = Stime.max Stime.zero (Stime.sub t.reserved_until started) in
       let handle =
-        Engine.schedule_in t.engine ~delay:w.cost (fun () ->
+        Engine.schedule_in t.engine ~delay:(Stime.add wait w.cost) (fun () ->
             t.current <- None;
             t.busy_ns <- Stime.add t.busy_ns w.cost;
             t.window_busy <- Stime.add t.window_busy w.cost;
@@ -103,6 +109,18 @@ let preempt t =
       t.current <- None;
       service t
   | _ -> ()
+
+(* Account CPU work performed inline by the caller, with no work item and
+   no engine event: the CPU is reserved until now + cost, so pending and
+   future work items are served only after the reservation elapses.  Used
+   by the dispatcher's flow-path replay, which runs a whole cached chain
+   synchronously and charges its modelled cost in one step. *)
+let charge t ~cost =
+  let now = Engine.now t.engine in
+  let base = Stime.max now t.reserved_until in
+  t.reserved_until <- Stime.add base cost;
+  t.busy_ns <- Stime.add t.busy_ns cost;
+  t.window_busy <- Stime.add t.window_busy cost
 
 let run t ?(prio = Thread) ~cost k =
   let q = match prio with Interrupt -> t.intr_q | Thread -> t.thread_q in

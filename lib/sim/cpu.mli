@@ -24,6 +24,13 @@ val run : t -> ?prio:prio -> cost:Stime.t -> (unit -> unit) -> unit
     work completes.  Two-level priority service, non-preemptive by
     default (see {!set_preemptive}). *)
 
+val charge : t -> cost:Stime.t -> unit
+(** Account [cost] of CPU time performed inline by the caller, without a
+    work item or an engine event: the CPU is reserved until [now + cost]
+    (stacking with any outstanding reservation), and pending or future
+    {!run} work is served only after the reservation elapses.  Busy-time
+    and utilization accounting include the charge. *)
+
 val set_preemptive : t -> bool -> unit
 (** When enabled, an interrupt-priority arrival suspends in-service
     thread-priority work; the remainder resumes after interrupts drain.

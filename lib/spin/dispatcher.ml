@@ -64,6 +64,82 @@ let default_costs =
     thread_spawn = Sim.Stime.us 12;
   }
 
+(* --- flow-path cache ---------------------------------------------------
+   The protocol graph is mostly static between install/uninstall events,
+   so the handler chain a steady-state packet takes is identical for
+   every packet of its flow.  The dispatcher exploits that: a root raise
+   whose event carries a signature extractor ([set_sigfn]) summarizes
+   the frame into a compact flow signature; on a miss the delivery walks
+   the graph normally while *recording* the sequence of (event, accepted
+   handlers) hops; on a hit the recorded chain is *replayed* directly —
+   one signature lookup, no demux, no guard evaluation, the guards
+   replaced by the signature match.
+
+   Soundness rests on three mechanisms:
+   - a hop is recorded only if every candidate handler (accepting or
+     rejecting) was installed with [~cacheable:true], the installer's
+     assertion that its guard is a pure function of the flow-signature
+     fields — so skipping those guards on replay cannot change the
+     accepted set;
+   - each event carries a generation counter, bumped on every install,
+     uninstall, mode/keyfn change and explicit [touch]; a hop remembers
+     the generation it saw and a hit validates every hop in O(hops)
+     before running anything;
+   - recordings commit only when the delivery fully drains
+     ([rec_pending] reaches zero) and every hop's generation is *still*
+     current — a handler that installs or uninstalls during delivery
+     discards the in-flight recording instead of committing a stale
+     entry (re-entrancy safety).
+
+   Replay runs the whole chain inside one interrupt work item: hop 0 is
+   scheduled with its modelled handler cost, nested raises consume their
+   recorded hops synchronously, and the accumulated cost of the inner
+   hops is charged as a single trailing work item.  A replayed raise
+   that diverges from the recording (different event, stale generation,
+   more raises than recorded) drops the entry and falls back to normal
+   graph dispatch mid-chain, so delivery is correct even when the cache
+   is wrong about the future. *)
+
+type hop = {
+  hop_uid : int;  (* the event the recorded raise targeted *)
+  hop_gen : int ref;  (* that event's live generation cell *)
+  hop_gen_at : int;  (* generation when recorded *)
+  hop_hids : int list;  (* accepting handlers, delivery order *)
+}
+
+type recording = {
+  rec_ename : string;  (* root event name, for spans *)
+  rec_commit : hop array -> unit;  (* store into the root event's table *)
+  mutable rec_hops : hop list;  (* reversed *)
+  mutable rec_pending : int;  (* scheduled continuations not yet drained *)
+  mutable rec_ok : bool;  (* false once any hop was uncacheable *)
+}
+
+type replay = {
+  rp_hops : hop array;
+  mutable rp_claim : int;  (* next hop a nested raise should claim *)
+  mutable rp_cost : Sim.Stime.t;  (* accumulated handler + index cost *)
+  mutable rp_live : bool;  (* false once the chain has diverged *)
+  rp_pending : (unit -> Sim.Stime.t) Queue.t;
+      (* claimed hops awaiting execution, in raise order: running them
+         FIFO after the claiming hop finishes reproduces graph
+         dispatch's work-queue (hop-major) delivery order *)
+  rp_drop : unit -> unit;  (* remove the entry on divergence *)
+}
+
+(* The dispatcher's dynamic delivery context.  Set only around the
+   synchronous execution of handler bodies (and captured into scheduled
+   continuations), so a nested [raise] knows whether it is being
+   recorded or replayed. *)
+type flow = No_flow | Recording of recording | Replaying of replay
+
+let hop_valid hop = !(hop.hop_gen) = hop.hop_gen_at
+let entry_valid hops = Array.for_all hop_valid hops
+
+(* Per-event entry tables are bounded; on overflow the table is simply
+   reset (steady-state flows re-record on their next packet). *)
+let max_entries_per_event = 4096
+
 (* Introspection views (see [dump]). *)
 type handler_info = {
   hi_id : int;
@@ -79,6 +155,8 @@ type event_info = {
   ei_name : string;
   ei_mode : delivery;
   ei_indexed : bool;          (* has a key extractor *)
+  ei_generation : int;        (* invalidation generation *)
+  ei_cache_entries : int;     (* live flow-path cache entries *)
   ei_handlers : handler_info list;
 }
 
@@ -96,6 +174,12 @@ type t = {
   eph_commits : int ref;
   eph_actions : int ref;       (* committed ephemeral actions *)
   eph_terminated : int ref;    (* budget overruns *)
+  pc_hits : int ref;           (* flow-path cache *)
+  pc_misses : int ref;
+  pc_invalidations : int ref;
+  mutable fcache : bool;       (* flow-path cache enabled *)
+  mutable flow : flow;         (* dynamic delivery context *)
+  mutable next_uid : int;      (* event uids, for hop identity *)
   mutable introspectors : (unit -> event_info) list; (* newest first *)
 }
 
@@ -117,6 +201,12 @@ let create ?registry ?trace ~cpu ~costs () =
     eph_commits = mkref registry "spin.eph.commits";
     eph_actions = mkref registry "spin.eph.committed_actions";
     eph_terminated = mkref registry "spin.eph.terminated";
+    pc_hits = mkref registry "spin.path_cache.hits";
+    pc_misses = mkref registry "spin.path_cache.misses";
+    pc_invalidations = mkref registry "spin.path_cache.invalidations";
+    fcache = false;
+    flow = No_flow;
+    next_uid = 0;
     introspectors = [];
   }
 
@@ -130,6 +220,11 @@ let index_lookups t = Sim.Stats.Counter.get t.index_lookups
 let invocations t = Sim.Stats.Counter.get t.invocations
 let terminations t = Sim.Stats.Counter.get t.terminations
 let faults t = Sim.Stats.Counter.get t.faults
+let path_cache_hits t = !(t.pc_hits)
+let path_cache_misses t = !(t.pc_misses)
+let path_cache_invalidations t = !(t.pc_invalidations)
+let set_flow_cache t on = t.fcache <- on
+let flow_cache_enabled t = t.fcache
 
 let now_ns t = Sim.Stime.to_ns (Sim.Engine.now (Sim.Cpu.engine t.cpu))
 
@@ -159,6 +254,7 @@ type 'a handler = {
   guard : 'a -> bool;
   gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
   hkey : int option;    (* dispatch key this handler is indexed under *)
+  cacheable : bool;     (* guard is a pure function of the flow signature *)
   kind : 'a kind;
   hs : hstats;
 }
@@ -166,16 +262,21 @@ type 'a handler = {
 type 'a event = {
   disp : t;
   ename : string;
+  uid : int;                                  (* hop identity across events *)
+  gen : int ref;                              (* bumped on any churn *)
   mutable mode : delivery;
   table : (int, 'a handler) Hashtbl.t;       (* hid -> handler; the registry *)
   mutable linear : int list;                  (* unkeyed hids, newest first *)
   buckets : (int, int list ref) Hashtbl.t;    (* key -> hids, newest first *)
   mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
+  mutable sigfn : ('a -> string option) option; (* flow signature, roots only *)
+  entries : (string, hop array) Hashtbl.t;    (* flow signature -> chain *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
   ev_raises : int ref;
   ev_indexed : int ref;   (* raises served through the demux index *)
   ev_linear : int ref;    (* raises that scanned every live guard *)
+  ev_cached : int ref;    (* root raises served from the flow-path cache *)
 }
 
 let info_of_event ev =
@@ -197,24 +298,33 @@ let info_of_event ev =
     ei_name = ev.ename;
     ei_mode = ev.mode;
     ei_indexed = ev.keyfn <> None;
+    ei_generation = !(ev.gen);
+    ei_cache_entries = Hashtbl.length ev.entries;
     ei_handlers = handlers;
   }
 
 let event disp ?(mode = Interrupt) ename =
+  let uid = disp.next_uid in
+  disp.next_uid <- uid + 1;
   let ev =
     {
       disp;
       ename;
+      uid;
+      gen = ref 0;
       mode;
       table = Hashtbl.create 8;
       linear = [];
       buckets = Hashtbl.create 8;
       keyfn = None;
+      sigfn = None;
+      entries = Hashtbl.create 8;
       nkeyed = 0;
       next_hid = 0;
       ev_raises = mkref disp.reg ("spin." ^ ename ^ ".raises");
       ev_indexed = mkref disp.reg ("spin." ^ ename ^ ".indexed_raises");
       ev_linear = mkref disp.reg ("spin." ^ ename ^ ".linear_raises");
+      ev_cached = mkref disp.reg ("spin." ^ ename ^ ".cached_raises");
     }
   in
   disp.introspectors <- (fun () -> info_of_event ev) :: disp.introspectors;
@@ -224,8 +334,23 @@ let dump t = List.rev_map (fun f -> f ()) t.introspectors
 
 let name ev = ev.ename
 let mode ev = ev.mode
-let set_mode ev m = ev.mode <- m
-let set_keyfn ev kf = ev.keyfn <- Some kf
+
+(* Anything that can change what a raise would deliver — or what a guard
+   along a cached path would answer — bumps the event's generation,
+   invalidating every cached chain that runs through it. *)
+let touch ev = incr ev.gen
+
+let set_mode ev m =
+  ev.mode <- m;
+  touch ev
+
+let set_keyfn ev kf =
+  ev.keyfn <- Some kf;
+  touch ev
+
+let set_sigfn ev sf = ev.sigfn <- Some sf
+let generation ev = !(ev.gen)
+let cache_entries ev = Hashtbl.length ev.entries
 let handler_count ev = Hashtbl.length ev.table
 let indexed_count ev = ev.nkeyed
 let linear_count ev = Hashtbl.length ev.table - ev.nkeyed
@@ -235,6 +360,7 @@ let remove_hid ev hid =
   | None -> ()
   | Some h ->
       Hashtbl.remove ev.table hid;
+      touch ev;
       (match h.hkey with
       | Some _ -> ev.nkeyed <- ev.nkeyed - 1
       | None -> ())
@@ -251,14 +377,21 @@ let hstats_for disp ev label =
       | None -> None);
   }
 
-let add_handler ev ?label guard gcost key kind =
+let add_handler ev ?label ~cacheable guard gcost key kind =
   let hid = ev.next_hid in
   ev.next_hid <- hid + 1;
   let label =
     match label with Some l -> l | None -> "h" ^ string_of_int hid
   in
   let hs = hstats_for ev.disp ev label in
-  Hashtbl.replace ev.table hid { hid; label; guard; gcost; hkey = key; kind; hs };
+  (* Ephemeral handlers are never replayed: their budget accounting and
+     transactional termination are per-invocation dispatcher work. *)
+  let cacheable =
+    match kind with Eph _ -> false | Plain _ -> cacheable
+  in
+  Hashtbl.replace ev.table hid
+    { hid; label; guard; gcost; hkey = key; cacheable; kind; hs };
+  touch ev;
   (match key with
   | None -> ev.linear <- hid :: ev.linear
   | Some k ->
@@ -271,12 +404,12 @@ let add_handler ev ?label guard gcost key kind =
 let no_guard _ = true
 
 let install ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero) ?dyncost
-    ?label ~cost fn =
-  add_handler ev ?label guard gcost key (Plain { cost; dyncost; fn })
+    ?(cacheable = false) ?label ~cost fn =
+  add_handler ev ?label ~cacheable guard gcost key (Plain { cost; dyncost; fn })
 
 let install_ephemeral ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero)
     ?label ?budget fn =
-  add_handler ev ?label guard gcost key (Eph { budget; fn })
+  add_handler ev ?label ~cacheable:false guard gcost key (Eph { budget; fn })
 
 (* Live handlers behind a hid list, pruning uninstalled ids in place. *)
 let prune ev ids =
@@ -327,7 +460,39 @@ let still_installed ev h = Hashtbl.mem ev.table h.hid
 let emit_span d event =
   Observe.Trace.emit d.trace { Observe.Trace.at_ns = now_ns d; event }
 
-let deliver ev v h =
+(* --- recording bookkeeping --------------------------------------------
+   A recording commits only once the delivery has fully drained: every
+   scheduled continuation (demux and handler runs, including nested
+   raises) holds a [rec_pending] reference, and the last one out
+   finalizes.  Finalization re-validates every hop's generation — an
+   install/uninstall that landed *during* the delivery discards the
+   recording instead of committing a chain the churn already
+   invalidated. *)
+
+let rec_finish d r =
+  if r.rec_ok then begin
+    let hops = List.rev r.rec_hops in
+    if List.for_all hop_valid hops then r.rec_commit (Array.of_list hops)
+    else begin
+      incr d.pc_invalidations;
+      if Observe.Trace.active d.trace then
+        emit_span d
+          (Observe.Trace.Cache_invalidate
+             { event = r.rec_ename; reason = "churn-during-recording" })
+    end
+  end
+
+let flow_enter = function
+  | Recording r -> r.rec_pending <- r.rec_pending + 1
+  | No_flow | Replaying _ -> ()
+
+let flow_leave d = function
+  | Recording r ->
+      r.rec_pending <- r.rec_pending - 1;
+      if r.rec_pending = 0 then rec_finish d r
+  | No_flow | Replaying _ -> ()
+
+let deliver ev v h flow =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.invocations;
   let prio =
@@ -346,76 +511,84 @@ let deliver ev v h =
         | Some f -> Sim.Stime.add cost (f v)
       in
       let total = Sim.Stime.add spawn cost in
+      flow_enter flow;
       Sim.Cpu.run d.cpu ~prio ~cost:total (fun () ->
           (* skip if uninstalled while this invocation was queued *)
-          if still_installed ev h then begin
-            contain ev h (fun () -> fn v);
-            incr h.hs.h_runs;
-            (match h.hs.h_lat with
-            | Some hist -> Observe.Histogram.record hist (Sim.Stime.to_ns total)
-            | None -> ());
-            if Observe.Trace.active d.trace then
-              emit_span d
-                (Observe.Trace.Handler_run
-                   {
-                     event = ev.ename;
-                     hid = h.hid;
-                     label = h.label;
-                     duration_ns = Sim.Stime.to_ns total;
-                   })
-          end)
+          (if still_installed ev h then begin
+             d.flow <- flow;
+             contain ev h (fun () -> fn v);
+             d.flow <- No_flow;
+             incr h.hs.h_runs;
+             (match h.hs.h_lat with
+             | Some hist ->
+                 Observe.Histogram.record hist (Sim.Stime.to_ns total)
+             | None -> ());
+             if Observe.Trace.active d.trace then
+               emit_span d
+                 (Observe.Trace.Handler_run
+                    {
+                      event = ev.ename;
+                      hid = h.hid;
+                      label = h.label;
+                      duration_ns = Sim.Stime.to_ns total;
+                    })
+           end);
+          flow_leave d flow)
   | Eph { budget; fn } -> (
       match (try Some (Ephemeral.plan ?budget (fn v)) with _ -> None) with
       | None -> fault ev h
       | Some plan ->
           let r = Ephemeral.planned plan in
+          flow_enter flow;
           Sim.Cpu.run d.cpu ~prio
             ~cost:(Sim.Stime.add spawn r.Ephemeral.consumed)
             (fun () ->
-              if still_installed ev h then
-                contain ev h (fun () ->
-                    let r = Ephemeral.commit plan in
-                    incr h.hs.h_runs;
-                    incr d.eph_commits;
-                    d.eph_actions := !(d.eph_actions) + r.Ephemeral.committed;
-                    (match h.hs.h_lat with
-                    | Some hist ->
-                        Observe.Histogram.record hist
-                          (Sim.Stime.to_ns r.Ephemeral.consumed)
-                    | None -> ());
-                    if r.Ephemeral.terminated then begin
-                      Sim.Stats.Counter.incr d.terminations;
-                      incr d.eph_terminated
-                    end;
-                    if Observe.Trace.active d.trace then
-                      emit_span d
-                        (if r.Ephemeral.terminated then
-                           Observe.Trace.Terminated
-                             {
-                               event = ev.ename;
-                               hid = h.hid;
-                               label = h.label;
-                               committed = r.Ephemeral.committed;
-                               total = r.Ephemeral.total;
-                               duration_ns =
-                                 Sim.Stime.to_ns r.Ephemeral.consumed;
-                             }
-                         else
-                           Observe.Trace.Ephemeral_commit
-                             {
-                               event = ev.ename;
-                               hid = h.hid;
-                               label = h.label;
-                               committed = r.Ephemeral.committed;
-                               total = r.Ephemeral.total;
-                               duration_ns =
-                                 Sim.Stime.to_ns r.Ephemeral.consumed;
-                             }))))
+              (if still_installed ev h then
+                 contain ev h (fun () ->
+                     let r = Ephemeral.commit plan in
+                     incr h.hs.h_runs;
+                     incr d.eph_commits;
+                     d.eph_actions := !(d.eph_actions) + r.Ephemeral.committed;
+                     (match h.hs.h_lat with
+                     | Some hist ->
+                         Observe.Histogram.record hist
+                           (Sim.Stime.to_ns r.Ephemeral.consumed)
+                     | None -> ());
+                     if r.Ephemeral.terminated then begin
+                       Sim.Stats.Counter.incr d.terminations;
+                       incr d.eph_terminated
+                     end;
+                     if Observe.Trace.active d.trace then
+                       emit_span d
+                         (if r.Ephemeral.terminated then
+                            Observe.Trace.Terminated
+                              {
+                                event = ev.ename;
+                                hid = h.hid;
+                                label = h.label;
+                                committed = r.Ephemeral.committed;
+                                total = r.Ephemeral.total;
+                                duration_ns =
+                                  Sim.Stime.to_ns r.Ephemeral.consumed;
+                              }
+                          else
+                            Observe.Trace.Ephemeral_commit
+                              {
+                                event = ev.ename;
+                                hid = h.hid;
+                                label = h.label;
+                                committed = r.Ephemeral.committed;
+                                total = r.Ephemeral.total;
+                                duration_ns =
+                                  Sim.Stime.to_ns r.Ephemeral.consumed;
+                              })));
+              flow_leave d flow))
 
-let raise ev v =
+(* Normal graph dispatch of one raise, optionally recording the hop.
+   [raises]/[ev_raises] are the caller's job (so batch entry points can
+   amortize them). *)
+let raise_core ev v flow =
   let d = ev.disp in
-  Sim.Stats.Counter.incr d.raises;
-  incr ev.ev_raises;
   let cands = candidates ev v in
   let n_guards = List.length cands in
   Sim.Stats.Counter.add d.guard_evals n_guards;
@@ -452,9 +625,23 @@ let raise ev v =
   let prio =
     match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
   in
+  flow_enter flow;
   Sim.Cpu.run d.cpu ~prio ~cost:demux_cost (fun () ->
       (* Demultiplex against the *current* registry: a handler uninstalled
          while this raise was queued no longer fires. *)
+      let cands = candidates ev v in
+      (* A hop is recordable only when *every* candidate — accepting or
+         rejecting — opted into cacheability, because replay skips all
+         of their guards; one interrupt-mode exception or one
+         flow-dependent guard poisons the whole chain. *)
+      (match flow with
+      | Recording r ->
+          if
+            ev.mode <> Interrupt
+            || not (List.for_all (fun h -> h.cacheable) cands)
+          then r.rec_ok <- false
+      | No_flow | Replaying _ -> ());
+      let accepted_rev = ref [] in
       List.iter
         (fun h ->
           (* a faulting guard is contained the same way *)
@@ -465,16 +652,236 @@ let raise ev v =
               (Observe.Trace.Guard_eval
                  { event = ev.ename; hid = h.hid; label = h.label;
                    hit = accepted });
-          if accepted then deliver ev v h)
-        (candidates ev v))
+          if accepted then begin
+            accepted_rev := h.hid :: !accepted_rev;
+            deliver ev v h flow
+          end)
+        cands;
+      (match flow with
+      | Recording r ->
+          if r.rec_ok then
+            r.rec_hops <-
+              {
+                hop_uid = ev.uid;
+                hop_gen = ev.gen;
+                hop_gen_at = !(ev.gen);
+                hop_hids = List.rev !accepted_rev;
+              }
+              :: r.rec_hops
+      | No_flow | Replaying _ -> ());
+      flow_leave d flow)
+
+(* --- replay ----------------------------------------------------------- *)
+
+let cache_invalidate_span d ename reason =
+  if Observe.Trace.active d.trace then
+    emit_span d (Observe.Trace.Cache_invalidate { event = ename; reason })
+
+(* Run a recorded hop's handlers directly: no demux, no guards (the
+   signature match stands in for them).  Invocation stats, run counters
+   and latency histograms are preserved; per-handler [Handler_run]
+   spans are not emitted — the single [Cache_hit] span at the root
+   carries the chain's hop and handler counts, which is the amortized
+   per-packet trace bookkeeping the fast path promises.  Runs
+   synchronously in the caller's interrupt context and returns the
+   hop's modelled handler cost, which the caller accounts. *)
+let run_hop ev v hids =
+  let d = ev.disp in
+  List.fold_left
+    (fun acc hid ->
+      match Hashtbl.find_opt ev.table hid with
+      | Some ({ kind = Plain { cost; dyncost; fn }; _ } as h) ->
+          Sim.Stats.Counter.incr d.invocations;
+          contain ev h (fun () -> fn v);
+          incr h.hs.h_runs;
+          let total =
+            match dyncost with
+            | None -> cost
+            | Some f -> Sim.Stime.add cost (f v)
+          in
+          (match h.hs.h_lat with
+          | Some hist -> Observe.Histogram.record hist (Sim.Stime.to_ns total)
+          | None -> ());
+          Sim.Stime.add acc total
+      | _ -> acc)
+    Sim.Stime.zero hids
+
+(* Dispatch a raise through the graph while a replay is in progress:
+   graph work must not see the replay flow (its demux is queued and runs
+   later), so clear it for the call and restore it after. *)
+let graph_escape d rp ev v =
+  d.flow <- No_flow;
+  raise_core ev v No_flow;
+  d.flow <- Replaying rp
+
+(* A nested raise while replaying: claim the next recorded hop if it
+   matches this event and is still current, deferring its execution to
+   the root driver's FIFO — graph dispatch queues the nested demux
+   behind the current hop's remaining deliveries, so running claimed
+   hops after the claiming hop finishes reproduces its hop-major
+   delivery order exactly.  On a mismatch the chain has diverged: drop
+   the entry and send this raise (and any later ones) through graph
+   dispatch.  Deliveries already made stand — they were valid when
+   made. *)
+let replay_step ev v rp =
+  let d = ev.disp in
+  let pos = rp.rp_claim in
+  if
+    rp.rp_live
+    && pos < Array.length rp.rp_hops
+    && rp.rp_hops.(pos).hop_uid = ev.uid
+    && hop_valid rp.rp_hops.(pos)
+  then begin
+    let hop = rp.rp_hops.(pos) in
+    rp.rp_claim <- pos + 1;
+    Queue.push
+      (fun () ->
+        (* An earlier pending hop's handler may have churned the graph
+           between claim and run: fall back for this raise if so. *)
+        if rp.rp_live && hop_valid hop then run_hop ev v hop.hop_hids
+        else begin
+          if rp.rp_live then begin
+            rp.rp_live <- false;
+            rp.rp_drop ();
+            incr d.pc_invalidations;
+            cache_invalidate_span d ev.ename "divergent-replay"
+          end;
+          graph_escape d rp ev v;
+          Sim.Stime.zero
+        end)
+      rp.rp_pending
+  end
+  else begin
+    if rp.rp_live then begin
+      rp.rp_live <- false;
+      rp.rp_drop ();
+      incr d.pc_invalidations;
+      cache_invalidate_span d ev.ename "divergent-replay"
+    end;
+    graph_escape d rp ev v
+  end
+
+(* A root hit: the whole chain runs synchronously, right now, in the
+   caller's context (the device's receive-interrupt work item on the
+   steady-state path) — zero scheduled work items of its own.  Nested
+   raises claim their hops via [replay_step]; claimed hops run here in
+   FIFO order after the hop that raised them finishes, matching graph
+   dispatch's work-queue delivery order.  The chain's modelled cost
+   accumulates in [rp_cost] and is charged in one [Cpu.charge] at the
+   end, which reserves the CPU so queued and subsequent work (a reply
+   the handlers sent, the next frame's interrupt) still waits out the
+   chain's cost.  Relative to graph dispatch, handler side effects land
+   earlier in wall-clock model time (at the raise instant rather than
+   after each hop's work item) — per-flow delivery order, counters and
+   total charged CPU time are unchanged, which is the equivalence the
+   cache promises.  Entry validity needs no upfront re-check: nothing
+   can intervene between the lookup and this synchronous run, and
+   [replay_step] re-checks each hop as it claims and runs it (a handler
+   itself may churn the graph mid-chain). *)
+let replay_start ev v sg hops =
+  let d = ev.disp in
+  incr d.pc_hits;
+  incr ev.ev_cached;
+  if Observe.Trace.active d.trace then begin
+    let handlers =
+      Array.fold_left (fun n hop -> n + List.length hop.hop_hids) 0 hops
+    in
+    emit_span d
+      (Observe.Trace.Cache_hit
+         { event = ev.ename; hops = Array.length hops; handlers })
+  end;
+  let hop0 = hops.(0) in
+  let rp =
+    {
+      rp_hops = hops;
+      rp_claim = 1;
+      rp_cost = d.costs.index;
+      rp_live = true;
+      rp_pending = Queue.create ();
+      rp_drop = (fun () -> Hashtbl.remove ev.entries sg);
+    }
+  in
+  d.flow <- Replaying rp;
+  rp.rp_cost <- Sim.Stime.add rp.rp_cost (run_hop ev v hop0.hop_hids);
+  while not (Queue.is_empty rp.rp_pending) do
+    let job = Queue.pop rp.rp_pending in
+    rp.rp_cost <- Sim.Stime.add rp.rp_cost (job ())
+  done;
+  d.flow <- No_flow;
+  Sim.Cpu.charge d.cpu ~cost:rp.rp_cost
+
+let record_raise ev v sg =
+  let r =
+    {
+      rec_ename = ev.ename;
+      rec_commit =
+        (fun hops ->
+          if Hashtbl.length ev.entries >= max_entries_per_event then
+            Hashtbl.reset ev.entries;
+          Hashtbl.replace ev.entries sg hops);
+      rec_hops = [];
+      rec_pending = 0;
+      rec_ok = true;
+    }
+  in
+  raise_core ev v (Recording r)
+
+(* One raise, flow-cache aware.  [raises]/[ev_raises] already counted by
+   the caller. *)
+let dispatch ev v =
+  let d = ev.disp in
+  match d.flow with
+  | Replaying rp -> replay_step ev v rp
+  | Recording _ as flow -> raise_core ev v flow
+  | No_flow -> (
+      if not (d.fcache && ev.mode = Interrupt) then raise_core ev v No_flow
+      else
+        match ev.sigfn with
+        | None -> raise_core ev v No_flow
+        | Some sigfn -> (
+            match sigfn v with
+            | None -> raise_core ev v No_flow (* unsignable: cache bypass *)
+            | Some sg -> (
+                match Hashtbl.find_opt ev.entries sg with
+                | Some hops when entry_valid hops -> replay_start ev v sg hops
+                | Some _ ->
+                    Hashtbl.remove ev.entries sg;
+                    incr d.pc_invalidations;
+                    cache_invalidate_span d ev.ename "stale-generation";
+                    incr d.pc_misses;
+                    record_raise ev v sg
+                | None ->
+                    incr d.pc_misses;
+                    record_raise ev v sg)))
+
+let raise ev v =
+  let d = ev.disp in
+  Sim.Stats.Counter.incr d.raises;
+  incr ev.ev_raises;
+  dispatch ev v
+
+(* Back-to-back frames: one raise-counter update for the whole batch
+   instead of per frame; each frame still dispatches (and hits or
+   records the flow cache) individually. *)
+let raise_batch ev vs =
+  match vs with
+  | [] -> ()
+  | [ v ] -> raise ev v
+  | vs ->
+      let d = ev.disp in
+      let n = List.length vs in
+      Sim.Stats.Counter.add d.raises n;
+      ev.ev_raises := !(ev.ev_raises) + n;
+      List.iter (fun v -> dispatch ev v) vs
 
 (* --- introspection rendering ------------------------------------------ *)
 
 let pp_event_info ppf ei =
-  Fmt.pf ppf "%s [%s%s] %d handler(s)@." ei.ei_name
+  Fmt.pf ppf "%s [%s%s] %d handler(s) gen=%d cache=%d@." ei.ei_name
     (match ei.ei_mode with Interrupt -> "interrupt" | Thread -> "thread")
     (if ei.ei_indexed then ", indexed" else "")
-    (List.length ei.ei_handlers);
+    (List.length ei.ei_handlers)
+    ei.ei_generation ei.ei_cache_entries;
   List.iter
     (fun hi ->
       Fmt.pf ppf "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d@." hi.hi_id

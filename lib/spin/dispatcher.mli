@@ -74,6 +74,44 @@ val set_keyfn : 'a event -> ('a -> int list) -> unit
     handler's guard must reject any payload that does not present its
     key, so the index only ever skips guards that would refuse. *)
 
+(** {1 Flow-path cache}
+
+    The steady-state datapath: a root raise on an event with a signature
+    extractor summarizes the payload into a compact flow signature.  On
+    a miss, the delivery walks the graph normally while recording the
+    chain of (event, accepted handlers) hops; on a hit the recorded
+    chain replays directly — one signature lookup, zero intermediate
+    demux, guards replaced by the signature match.  Every event carries
+    a generation counter bumped on install/uninstall/{!set_mode}/
+    {!set_keyfn}/{!touch}; a hit validates every hop's generation in
+    O(hops), and a stale or divergent chain falls back to graph
+    dispatch, so cached delivery is observably equivalent to uncached.
+    Disabled by default ({!set_flow_cache}). *)
+
+val set_flow_cache : t -> bool -> unit
+(** Enable or disable flow-path caching for root raises on this
+    dispatcher.  Existing entries are retained but ignored while
+    disabled (generation checks keep them sound if re-enabled). *)
+
+val flow_cache_enabled : t -> bool
+
+val set_sigfn : 'a event -> ('a -> string option) -> unit
+(** Declare the event's flow-signature extractor, making it a caching
+    root.  [None] from the extractor means "this payload cannot be
+    summarized by its flow fields" (fragments, non-frame contexts) and
+    bypasses the cache for that raise.  Soundness contract: two payloads
+    with equal signatures must be indistinguishable to every
+    [~cacheable] guard along any chain the raise can take. *)
+
+val touch : _ event -> unit
+(** Bump the event's invalidation generation without structural change —
+    managers call this when mutable state their installed guards consult
+    (beyond the flow signature) changes, e.g. a port-exclusion list. *)
+
+val generation : _ event -> int
+val cache_entries : _ event -> int
+(** Live flow-path cache entries rooted at this event. *)
+
 val handler_count : _ event -> int
 val indexed_count : _ event -> int
 (** Handlers installed with a dispatch key. *)
@@ -83,15 +121,19 @@ val linear_count : _ event -> int
 
 val install :
   'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
-  ?dyncost:('a -> Sim.Stime.t) -> ?label:string -> cost:Sim.Stime.t ->
-  ('a -> unit) -> unit -> unit
+  ?dyncost:('a -> Sim.Stime.t) -> ?cacheable:bool -> ?label:string ->
+  cost:Sim.Stime.t -> ('a -> unit) -> unit -> unit
 (** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
     raise whose [guard] accepts the payload, charging [cost] (plus
     [dyncost payload] for data-touching work) of CPU.  [gcost] adds
     per-evaluation guard cost on top of the dispatcher's base guard
     charge (interpreted packet filters).  [key] places the handler in the
-    event's dispatch index under that key (see {!set_keyfn}).  [label]
-    names the handler in spans, metrics
+    event's dispatch index under that key (see {!set_keyfn}).
+    [cacheable] (default [false]) asserts that [guard]'s verdict is a
+    pure function of the payload's flow-signature fields, allowing the
+    flow-path cache to skip it on replay; a single non-cacheable
+    candidate on an event keeps every chain through that event out of
+    the cache.  [label] names the handler in spans, metrics
     ([spin.<event>.<label>.guard_hits|guard_misses|runs|run_ns]) and
     {!dump} output; it defaults to ["h<id>"].  Returns the uninstaller
     (O(1)). *)
@@ -108,12 +150,27 @@ val raise : 'a event -> 'a -> unit
 (** Raise the event: evaluate the candidate guards (the matching index
     buckets plus the linear fallback on indexed events; every installed
     guard otherwise), charging demux cost, and deliver to each accepting
-    handler according to the event's mode. *)
+    handler according to the event's mode.  With the flow-path cache
+    enabled and a signature extractor installed, a signable root raise
+    is served from (or recorded into) the cache instead. *)
+
+val raise_batch : 'a event -> 'a list -> unit
+(** Raise the event once per payload, back to back, amortizing the
+    raise-counter updates across the batch.  Each payload still
+    dispatches (and hits or records the flow cache) individually. *)
 
 (** {1 Counters} *)
 
 val raises : t -> int
 val guard_evals : t -> int
+
+val path_cache_hits : t -> int
+val path_cache_misses : t -> int
+
+val path_cache_invalidations : t -> int
+(** Cached chains discarded: stale generation at lookup or run, replay
+    divergence, or a recording invalidated by churn during its own
+    delivery. *)
 
 val index_lookups : t -> int
 (** Raises that consulted a dispatch index instead of scanning. *)
@@ -142,6 +199,8 @@ type event_info = {
   ei_name : string;
   ei_mode : delivery;
   ei_indexed : bool;  (** the event has a demux-key extractor *)
+  ei_generation : int;  (** invalidation generation (see {!touch}) *)
+  ei_cache_entries : int;  (** live flow-path cache entries *)
   ei_handlers : handler_info list;  (** in install order *)
 }
 
