@@ -869,6 +869,61 @@ let run_observe ~check =
         Printf.eprintf "FAIL: missing estimates for the observe subjects\n%!";
         exit 1
 
+(* The fault/overload acceptance record.  Unlike the timing sections,
+   these numbers are simulated (deterministic): goodput with admission
+   control off vs. on at 2x offered overload, plus a chaos-soak summary.
+   The [--check] gate requires mitigated goodput >= 2x unmitigated and a
+   clean soak. *)
+let run_faults ~check =
+  let p = Experiments.Overload.print () in
+  let soak = Experiments.Chaos.print ~seeds:20 () in
+  let ratio = Experiments.Overload.ratio p in
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"datagrams_per_s\",\n\
+    \  \"offered_pps\": %d,\n\
+    \  \"unmitigated_goodput\": %.1f,\n\
+    \  \"mitigated_goodput\": %.1f,\n\
+    \  \"ratio\": %s,\n\
+    \  \"chaos\": {\n\
+    \    \"seeds\": %d,\n\
+    \    \"udp_failures\": %d,\n\
+    \    \"frag_failures\": %d,\n\
+    \    \"tcp_failures\": %d,\n\
+    \    \"cache_divergences\": %d\n\
+    \  },\n\
+    \  \"gate\": \"mitigated >= 2x unmitigated at 2x overload, soak clean\"\n\
+     }\n"
+    p.Experiments.Overload.offered_pps p.Experiments.Overload.unmitigated_goodput
+    p.Experiments.Overload.mitigated_goodput
+    (if ratio = infinity then "\"inf\"" else Printf.sprintf "%.2f" ratio)
+    soak.Experiments.Chaos.seeds soak.Experiments.Chaos.udp_failures
+    soak.Experiments.Chaos.frag_failures soak.Experiments.Chaos.tcp_failures
+    soak.Experiments.Chaos.cache_divergences;
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_faults.json (goodput ratio: %s)\n%!"
+    (if ratio = infinity then "inf" else Printf.sprintf "%.2fx" ratio);
+  if check then begin
+    let mitigation_ok =
+      p.Experiments.Overload.mitigated_goodput
+      >= 2. *. p.Experiments.Overload.unmitigated_goodput
+      && p.Experiments.Overload.mitigated_goodput > 0.
+    in
+    if not mitigation_ok then begin
+      Printf.eprintf
+        "FAIL: mitigated goodput %.1f/s not >= 2x unmitigated %.1f/s\n%!"
+        p.Experiments.Overload.mitigated_goodput
+        p.Experiments.Overload.unmitigated_goodput;
+      exit 1
+    end;
+    if not (Experiments.Chaos.soak_ok soak) then begin
+      Printf.eprintf "FAIL: chaos soak reported invariant failures\n%!";
+      exit 1
+    end;
+    Printf.printf "  faults check passed (>= 2x goodput, soak clean)\n%!"
+  end
+
 (* ---- Part 2: paper reproduction --------------------------------------- *)
 
 let () =
@@ -876,6 +931,7 @@ let () =
   let datapath_only = Array.mem "--datapath-only" Sys.argv in
   let flowcache_only = Array.mem "--flowcache-only" Sys.argv in
   let observe_only = Array.mem "--observe-only" Sys.argv in
+  let faults_only = Array.mem "--faults-only" Sys.argv in
   let check = Array.mem "--check" Sys.argv in
   if dispatch_only then begin
     let results = run_bechamel (dispatch_tests @ filter_tests) in
@@ -887,11 +943,13 @@ let () =
   end
   else if flowcache_only then run_flowcache ~check
   else if observe_only then run_observe ~check
+  else if faults_only then run_faults ~check
   else begin
     let results = run_bechamel (micro_tests @ datapath_tests) in
     write_dispatch_json "BENCH_dispatch.json" results;
     write_datapath_json "BENCH_datapath.json" results;
     run_observe ~check:false;
+    run_faults ~check:false;
     ignore (Experiments.Fig5.print ~iters:200 ());
     ignore (Experiments.Tput.print ~bytes:2_000_000 ());
     ignore (Experiments.Fig6.print ());

@@ -31,6 +31,21 @@ let run_motivate () = Experiments.Motivate.print ()
 
 let run_http iters = ignore (Experiments.Http_bench.print ~iters ())
 
+let run_chaos verbose seeds base_seed =
+  let s =
+    Experiments.Chaos.print ~verbose ~seeds ~base_seed ()
+  in
+  if not (Experiments.Chaos.soak_ok s) then exit 1
+
+let run_overload offered_pps =
+  let p = Experiments.Overload.print ~offered_pps () in
+  if
+    not
+      (p.Experiments.Overload.mitigated_goodput
+       >= 2. *. p.Experiments.Overload.unmitigated_goodput
+      && p.Experiments.Overload.mitigated_goodput > 0.)
+  then exit 1
+
 (* A mixed workload (UDP echo + TCP transfer + a misdirected datagram),
    then the full diagnostics report of both hosts. *)
 let run_stats () =
@@ -228,6 +243,37 @@ let http_cmd =
     (Cmd.info "http" ~doc:"HTTP GET latency: Plexus extension vs. DU process")
     Term.(const run_http $ iters)
 
+let chaos_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-seed outcomes.")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to sweep.")
+  in
+  let base_seed =
+    Arg.(value & opt int 1000 & info [ "base-seed" ] ~doc:"First seed.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos soak: UDP/fragmented/TCP flows through randomized fault \
+          plans; exits non-zero on any invariant failure")
+    Term.(const run_chaos $ verbose $ seeds $ base_seed)
+
+let overload_cmd =
+  let offered_pps =
+    Arg.(
+      value
+      & opt int Experiments.Overload.default_offered_pps
+      & info [ "offered-pps" ] ~doc:"Offered load in packets per second.")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Goodput under overload with admission control off vs. on; exits \
+          non-zero unless mitigation achieves 2x")
+    Term.(const run_overload $ offered_pps)
+
 let ablate_cmd =
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablations: guards, spoof policy, checksum variant")
@@ -284,6 +330,8 @@ let () =
             livelock_cmd;
             motivate_cmd;
             http_cmd;
+            chaos_cmd;
+            overload_cmd;
             ablate_cmd;
             stats_cmd;
             observe_cmd;

@@ -4,6 +4,7 @@
 type t = {
   ether : Ether_mgr.t;
   ip : Proto.Ipaddr.t;
+  trace : Observe.Trace.t;
   cache : Proto.Arp.Cache.t;
   engine : Sim.Engine.t;
   retry_interval : Sim.Stime.t;
@@ -12,6 +13,7 @@ type t = {
   mutable requests_sent : int;
   mutable replies_sent : int;
   mutable resolution_failures : int;
+  mutable waiters_dropped : int;
 }
 
 let send_arp t msg =
@@ -29,6 +31,7 @@ let create ?(retry_interval = Sim.Stime.s 1) ?(max_retries = 3) graph ether
     {
       ether;
       ip;
+      trace = Graph.trace graph;
       cache = Proto.Arp.Cache.create ();
       engine = Netsim.Host.engine host;
       retry_interval;
@@ -37,6 +40,7 @@ let create ?(retry_interval = Sim.Stime.s 1) ?(max_retries = 3) graph ether
       requests_sent = 0;
       replies_sent = 0;
       resolution_failures = 0;
+      waiters_dropped = 0;
     }
   in
   let costs = Netsim.Host.costs host in
@@ -69,6 +73,8 @@ let cache t = t.cache
 let requests_sent t = t.requests_sent
 let replies_sent t = t.replies_sent
 let resolution_failures t = t.resolution_failures
+let waiters_dropped t = t.waiters_dropped
+let pending_count t = Hashtbl.length t.pending
 
 let send_request t dst =
   t.requests_sent <- t.requests_sent + 1;
@@ -77,7 +83,10 @@ let send_request t dst =
        ~target_ip:dst)
 
 (* Retransmit unanswered requests; after [max_retries] the resolution is
-   abandoned (queued packets for it are dropped, like a BSD arp stall). *)
+   abandoned (queued packets for it are dropped, like a BSD arp stall).
+   Abandonment also cancels the continuations queued on the cache: if it
+   did not, a reply arriving after the budget was spent would fire them
+   and transmit packets the sender gave up on long ago. *)
 let rec arm_retry t dst =
   ignore
     (Sim.Engine.schedule_in t.engine ~delay:t.retry_interval (fun () ->
@@ -86,7 +95,18 @@ let rec arm_retry t dst =
          | Some tries ->
              if tries >= t.max_retries then begin
                Hashtbl.remove t.pending dst;
-               t.resolution_failures <- t.resolution_failures + 1
+               t.resolution_failures <- t.resolution_failures + 1;
+               let dropped = Proto.Arp.Cache.cancel_waiters t.cache dst in
+               t.waiters_dropped <- t.waiters_dropped + dropped;
+               if Observe.Trace.active t.trace then
+                 Observe.Trace.emit t.trace
+                   {
+                     Observe.Trace.at_ns =
+                       Sim.Stime.to_ns (Sim.Engine.now t.engine);
+                     event =
+                       Observe.Trace.Drop
+                         { scope = "arp"; reason = "resolution_failed" };
+                   }
              end
              else begin
                Hashtbl.replace t.pending dst (tries + 1);

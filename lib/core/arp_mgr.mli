@@ -18,4 +18,13 @@ val requests_sent : t -> int
 val replies_sent : t -> int
 
 val resolution_failures : t -> int
-(** Resolutions abandoned after the retry budget (unreachable hosts). *)
+(** Resolutions abandoned after the retry budget (unreachable hosts).
+    Abandonment cancels the continuations queued for the address, so a
+    reply arriving later cannot fire them. *)
+
+val waiters_dropped : t -> int
+(** Continuations cancelled by abandoned resolutions — each is a queued
+    packet that was dropped, BSD-stall style. *)
+
+val pending_count : t -> int
+(** Resolutions currently awaiting a reply (with live retry timers). *)

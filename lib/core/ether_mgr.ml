@@ -37,6 +37,14 @@ let create graph dev =
   Netsim.Dev.set_rx_batch dev (fun pkts ->
       Spin.Dispatcher.raise_batch (Graph.recv_event node)
         (List.map (Pctx.make dev) pkts));
+  (* Polled receive (admission control): frames past the interrupt
+     budget enter the graph at thread priority, and the override sticks
+     down the whole walk — this is what keeps the livelock mitigation
+     from re-escalating at the first nested interrupt-mode event. *)
+  Netsim.Dev.set_rx_deferred dev (fun pkts ->
+      Spin.Dispatcher.raise_batch ~prio:Sim.Cpu.Thread
+        (Graph.recv_event node)
+        (List.map (Pctx.make dev) pkts));
   t
 
 let dev t = t.dev

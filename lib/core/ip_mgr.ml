@@ -25,6 +25,7 @@ type t = {
   costs : Netsim.Costs.t;
   mutable routes : route list;
   frag : Proto.Ip_frag.t;
+  mutable frag_timer : Sim.Engine.handle option;
   mutable next_id : int;
   counters : counters;
 }
@@ -38,6 +39,7 @@ let create graph =
     costs = Netsim.Host.costs host;
     routes = [];
     frag = Proto.Ip_frag.create ();
+    frag_timer = None;
     next_id = 1;
     counters =
       {
@@ -58,6 +60,48 @@ let engine t = Netsim.Host.engine t.host
 let cpu t = Netsim.Host.cpu t.host
 
 let raise_recv t ctx = Spin.Dispatcher.raise (Graph.recv_event t.node) ctx
+
+let frag_state t = t.frag
+
+(* Scheduled reassembly expiry.  [Ip_frag.input] only expires lazily —
+   when *another* fragment arrives — so under loss a half-delivered
+   fragment train would pin its chunk buffers forever.  A one-shot timer
+   armed at the earliest pending deadline bounds that: it fires, expires
+   what is stale, and re-arms only while reassemblies remain pending.
+   It is cancelled the moment nothing is pending — never a standing
+   tick, which would keep the event-driven engine from draining (or
+   stretch every fragmented run out to the 30 s reassembly timeout). *)
+let rec ensure_frag_timer t =
+  if t.frag_timer = None then
+    match Proto.Ip_frag.next_deadline t.frag with
+    | None -> ()
+    | Some deadline ->
+        let now = Sim.Engine.now (engine t) in
+        (* [expire] drops contexts strictly past their deadline; fire
+           1 ns after it. *)
+        let delay =
+          if Sim.Stime.compare deadline now > 0 then
+            Sim.Stime.add (Sim.Stime.sub deadline now) (Sim.Stime.ns 1)
+          else Sim.Stime.ns 1
+        in
+        t.frag_timer <-
+          Some
+            (Sim.Engine.schedule_in (engine t) ~delay (fun () ->
+                 t.frag_timer <- None;
+                 let (_ : int) =
+                   Proto.Ip_frag.expire t.frag
+                     ~now:(Sim.Engine.now (engine t))
+                 in
+                 ensure_frag_timer t))
+
+let settle_frag_timer t =
+  if Proto.Ip_frag.pending_count t.frag = 0 then (
+    match t.frag_timer with
+    | Some h ->
+        Sim.Engine.cancel h;
+        t.frag_timer <- None
+    | None -> ())
+  else ensure_frag_timer t
 
 (* Receive path: one handler per attached device, installed on the
    device node's event with an EtherType+address guard. *)
@@ -85,8 +129,9 @@ let rx t ctx =
           match
             Proto.Ip_frag.input t.frag ~now:(Sim.Engine.now (engine t)) h payload
           with
-          | None -> ()
+          | None -> ensure_frag_timer t
           | Some datagram ->
+              settle_frag_timer t;
               t.counters.reassembled <- t.counters.reassembled + 1;
               t.counters.delivered <- t.counters.delivered + 1;
               let pkt = Mbuf.ro datagram in

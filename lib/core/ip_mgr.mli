@@ -26,6 +26,13 @@ val node : t -> Graph.node
 val counters : t -> counters
 val host_ip : t -> Proto.Ipaddr.t
 
+val frag_state : t -> Proto.Ip_frag.t
+(** The reassembly state — pending/reassembled/timeout counts for tests
+    and introspection.  Expiry is scheduled: a one-shot timer armed at
+    the earliest pending deadline (re-armed only while reassemblies are
+    pending) guarantees a stalled fragment train times out and releases
+    its buffers even if no further fragment ever arrives. *)
+
 val send :
   t -> ?prio:Sim.Cpu.prio -> proto:int -> dst:Proto.Ipaddr.t ->
   Mbuf.rw Mbuf.t -> unit

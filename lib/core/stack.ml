@@ -175,18 +175,19 @@ let report t =
        uc.Udp_mgr.no_port uc.Udp_mgr.unreachable_sent);
   let tcpc = Tcp_mgr.counters t.tcp in
   Buffer.add_string b
-    (Printf.sprintf "  tcp: rx=%d accepted=%d no_match=%d\n" tcpc.Tcp_mgr.rx
-       tcpc.Tcp_mgr.accepted tcpc.Tcp_mgr.no_match);
+    (Printf.sprintf "  tcp: rx=%d accepted=%d no_match=%d bad_cksum=%d\n"
+       tcpc.Tcp_mgr.rx tcpc.Tcp_mgr.accepted tcpc.Tcp_mgr.no_match
+       tcpc.Tcp_mgr.bad_checksum);
   List.iter
     (fun e ->
       let dev = Ether_mgr.dev e in
       let c = Netsim.Dev.counters dev in
       Buffer.add_string b
         (Printf.sprintf
-           "  %s: tx=%d/%dB rx=%d/%dB drops(tx=%d rx=%d)\n"
+           "  %s: tx=%d/%dB rx=%d/%dB drops(tx=%d rx=%d wire=%d)\n"
            (Netsim.Dev.name dev) c.Netsim.Dev.tx_packets c.Netsim.Dev.tx_bytes
            c.Netsim.Dev.rx_packets c.Netsim.Dev.rx_bytes c.Netsim.Dev.tx_drops
-           c.Netsim.Dev.rx_drops))
+           c.Netsim.Dev.rx_drops c.Netsim.Dev.wire_drops))
     t.ethers;
   Buffer.contents b
 

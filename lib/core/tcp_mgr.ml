@@ -12,6 +12,7 @@
 
 type counters = {
   mutable rx : int;
+  mutable bad_checksum : int;
   mutable no_match : int;
   mutable accepted : int;
 }
@@ -152,6 +153,16 @@ let register t conn ~remote:(rip, rport) remote_ip_ref =
 let fresh_iss t =
   Proto.Tcp_wire.Seq.of_int (Sim.Rng.int (Sim.Engine.rng t.engine) 0x0fffffff)
 
+let drop_span graph ~reason =
+  let tr = Graph.trace graph in
+  if Observe.Trace.active tr then
+    Observe.Trace.emit tr
+      {
+        Observe.Trace.at_ns =
+          Sim.Stime.to_ns (Spin.Kernel.now (Graph.kernel graph));
+        event = Observe.Trace.Drop { scope = "tcp"; reason };
+      }
+
 let rx t ctx =
   t.counters.rx <- t.counters.rx + 1;
   let v = Pctx.view ctx in
@@ -159,6 +170,21 @@ let rx t ctx =
   | None -> t.counters.no_match <- t.counters.no_match + 1
   | Some (h, _) ->
       let iph = Pctx.ip_exn ctx in
+      (* Verify before demultiplexing: the engine re-checks established
+         connections, but a corrupted segment must never select a
+         connection by its (possibly corrupted) ports, and a corrupted
+         SYN must never reach a listener (the engine skips verification
+         in Listen, where the peer address is not yet known).  The
+         dyncost on the install already charges for this pass. *)
+      if
+        not
+          (Proto.Tcp_wire.valid ~src:iph.Proto.Ipv4.src ~dst:iph.Proto.Ipv4.dst
+             v)
+      then begin
+        t.counters.bad_checksum <- t.counters.bad_checksum + 1;
+        drop_span t.graph ~reason:"bad_checksum"
+      end
+      else
       let key =
         ( Proto.Ipaddr.to_int iph.Proto.Ipv4.src,
           h.Proto.Tcp_wire.src_port,
@@ -197,7 +223,7 @@ let create graph ip =
       excluded = [];
       excluded_src = [];
       next_ephemeral = 32768;
-      counters = { rx = 0; no_match = 0; accepted = 0 };
+      counters = { rx = 0; bad_checksum = 0; no_match = 0; accepted = 0 };
     }
   in
   Graph.add_edge graph ~parent:(Ip_mgr.node ip) ~child:"tcp" ~label:"proto=6";

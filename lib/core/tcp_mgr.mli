@@ -9,6 +9,10 @@ type error = [ `Port_in_use of int ]
 
 type counters = {
   mutable rx : int;
+  mutable bad_checksum : int;
+      (** Segments rejected by pseudo-header checksum verification before
+          demultiplexing — a corrupted segment never selects a connection
+          (or reaches a listener) by its possibly-corrupted ports. *)
   mutable no_match : int;
   mutable accepted : int;
 }

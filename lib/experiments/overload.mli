@@ -1,0 +1,21 @@
+(** Overload resilience: UDP goodput under a 2x blast, with and without
+    the device's interrupt admission control (receive-livelock
+    mitigation). *)
+
+type point = {
+  offered_pps : int;
+  unmitigated_goodput : float;
+  mitigated_goodput : float;
+}
+
+val ratio : point -> float
+(** [mitigated /. unmitigated]; [infinity] when the unmitigated victim
+    livelocked completely. *)
+
+val default_offered_pps : int
+(** 2x the victim's per-datagram service capacity. *)
+
+val run : ?offered_pps:int -> unit -> point
+
+val print : ?offered_pps:int -> unit -> point
+(** {!run} with a human-readable report on stdout. *)

@@ -5,7 +5,29 @@
    onto the wire at the link's bit rate, and delivers to the peer device
    after propagation.  Reception costs an interrupt at interrupt priority
    on the receiving CPU, after which the registered handler — the bottom
-   of the protocol graph — runs. *)
+   of the protocol graph — runs.
+
+   Two robustness layers live here:
+
+   - Fault injection.  A [Faults.t] plan attached with [set_faults]
+     renders a verdict for every frame as it leaves the wire: drop
+     (Bernoulli or Gilbert–Elliott burst loss, link-down windows),
+     corrupt (one byte XORed in flight, so checksum verification up the
+     stack is exercised for real), duplicate, or delay past later
+     frames.  The legacy [set_loss] knob is kept as the plain Bernoulli
+     fast path.  Every injected drop is counted in [wire_drops] —
+     deliberately separate from [tx_drops], which counts only
+     transmit-queue overflow.
+
+   - Overload protection.  With [set_admission], receive interrupts are
+     budgeted per window: frames beyond the budget are queued (still
+     holding their ring slot) and serviced in batches at *thread*
+     priority, so a flood cannot starve application work — the classic
+     receive-livelock mitigation.  When the deferred queue itself fills,
+     frames are shed at the cheapest point, before any interrupt cost.
+     Ring-pool pressure (watermarks, see [Pool.set_pressure]) forces
+     deferral early so the ring degrades gracefully instead of dropping
+     silently at exhaustion. *)
 
 type counters = {
   mutable tx_packets : int;
@@ -14,6 +36,24 @@ type counters = {
   mutable rx_bytes : int;
   mutable tx_drops : int;
   mutable rx_drops : int;
+  mutable wire_drops : int;
+  mutable rx_deferred : int;
+  mutable rx_shed : int;
+}
+
+(* Interrupt admission control: at most [budget] frames take the
+   interrupt path per [window]; the rest wait in [q] (each still holding
+   its receive-ring slot) for the thread-priority poller. *)
+type admission = {
+  budget : int;
+  window : Sim.Stime.t;
+  defer_limit : int;
+  poll_batch : int;
+  mutable window_start : Sim.Stime.t;
+  mutable served : int;
+  mutable forced_defer : bool; (* ring pool above its high watermark *)
+  q : Mbuf.ro Mbuf.t Queue.t;
+  mutable draining : bool;
 }
 
 type t = {
@@ -29,10 +69,15 @@ type t = {
   mutable rx_handler : (Mbuf.ro Mbuf.t -> unit) option;
   mutable rx_batch : (Mbuf.ro Mbuf.t list -> unit) option;
       (* coalesced receive: one upcall for a burst of frames *)
+  mutable rx_deferred_handler : (Mbuf.ro Mbuf.t list -> unit) option;
+      (* polled receive: bursts drained past the interrupt budget *)
   mutable rx_pool : Pool.t option;
       (* receive ring: buffers held from wire arrival to interrupt
          service; exhaustion drops frames like a full NIC ring *)
   mutable loss_prob : float; (* fault injection: drop on the wire *)
+  mutable faults : Faults.t option;
+  mutable admission : admission option;
+  mutable otrace : Observe.Trace.t option;
   counters : counters;
 }
 
@@ -48,8 +93,12 @@ let create engine ~cpu ~name ~mac params =
     txq = 0;
     rx_handler = None;
     rx_batch = None;
+    rx_deferred_handler = None;
     rx_pool = None;
     loss_prob = 0.;
+    faults = None;
+    admission = None;
+    otrace = None;
     counters =
       {
         tx_packets = 0;
@@ -58,6 +107,9 @@ let create engine ~cpu ~name ~mac params =
         rx_bytes = 0;
         tx_drops = 0;
         rx_drops = 0;
+        wire_drops = 0;
+        rx_deferred = 0;
+        rx_shed = 0;
       };
   }
 
@@ -79,17 +131,71 @@ let connect a b =
    does this; applications go through protocol managers. *)
 let set_rx t h = t.rx_handler <- Some h
 let set_rx_batch t h = t.rx_batch <- Some h
+let set_rx_deferred t h = t.rx_deferred_handler <- Some h
 
 let set_rx_pool t pool = t.rx_pool <- Some pool
 let rx_pool t = t.rx_pool
 
 (* Fault injection: drop outgoing frames on the wire with the given
-   probability (deterministic via the engine's random stream). *)
+   probability (deterministic via the engine's random stream).  The full
+   closed interval is accepted: [set_loss t 1.0] is a blackout, which
+   the ARP/TCP give-up paths need to be testable at all. *)
 let set_loss t p =
-  if p < 0. || p >= 1. then invalid_arg "Dev.set_loss";
+  if p < 0. || p > 1. then invalid_arg "Dev.set_loss";
   t.loss_prob <- p
 
+let set_faults t plan = t.faults <- Some plan
+let faults t = t.faults
+let set_trace t tr = t.otrace <- Some tr
+
+let set_admission ?(budget = 8) ?(window = Sim.Stime.ms 1) ?(defer_limit = 256)
+    ?poll_batch t =
+  if budget <= 0 then invalid_arg "Dev.set_admission: budget";
+  if defer_limit <= 0 then invalid_arg "Dev.set_admission: defer_limit";
+  if not (Sim.Stime.is_positive window) then
+    invalid_arg "Dev.set_admission: window";
+  let poll_batch =
+    match poll_batch with
+    | Some n -> if n <= 0 then invalid_arg "Dev.set_admission: poll_batch" else n
+    | None -> budget
+  in
+  let ac =
+    {
+      budget;
+      window;
+      defer_limit;
+      poll_batch;
+      window_start = Sim.Engine.now t.engine;
+      served = 0;
+      forced_defer = false;
+      q = Queue.create ();
+      draining = false;
+    }
+  in
+  (* Ring-pool watermarks force deferral before the ring is exhausted:
+     the pool tells us to back off while slots remain, so overload turns
+     into polled servicing, not silent ring drops. *)
+  (match t.rx_pool with
+  | Some pool -> Pool.set_pressure pool (fun high -> ac.forced_defer <- high)
+  | None -> ());
+  t.admission <- Some ac
+
+let clear_admission t = t.admission <- None
+
+let admission_backlog t =
+  match t.admission with None -> 0 | Some ac -> Queue.length ac.q
+
 let pio_cost t len = Costs.per_byte t.params.Costs.pio_ns_per_byte len
+
+let fault_span t ~fault ~detail =
+  match t.otrace with
+  | Some tr when Observe.Trace.active tr ->
+      Observe.Trace.emit tr
+        {
+          Observe.Trace.at_ns = Sim.Stime.to_ns (Sim.Engine.now t.engine);
+          event = Observe.Trace.Wire_fault { link = t.name; fault; detail };
+        }
+  | _ -> ()
 
 (* Queue depths and drop counts as sampling gauges — read at registry
    snapshot time only, nothing on the per-frame path. *)
@@ -98,10 +204,96 @@ let register t reg =
   g "txq" (fun () -> t.txq);
   g "tx_drops" (fun () -> t.counters.tx_drops);
   g "rx_drops" (fun () -> t.counters.rx_drops);
+  g "wire_drops" (fun () -> t.counters.wire_drops);
+  g "rx_deferred" (fun () -> t.counters.rx_deferred);
+  g "rx_shed" (fun () -> t.counters.rx_shed);
   g "ring.live" (fun () ->
       match t.rx_pool with Some p -> Pool.live p | None -> 0);
   g "ring.failures" (fun () ->
-      match t.rx_pool with Some p -> Pool.failures p | None -> 0)
+      match t.rx_pool with Some p -> Pool.failures p | None -> 0);
+  (* Fault-plan injection counters; the closures read [t.faults] at
+     snapshot time, so a plan attached after registration still shows. *)
+  g "faults.drops" (fun () ->
+      match t.faults with Some p -> Faults.drops p | None -> 0);
+  g "faults.corruptions" (fun () ->
+      match t.faults with Some p -> Faults.corruptions p | None -> 0);
+  g "faults.duplicates" (fun () ->
+      match t.faults with Some p -> Faults.duplicates p | None -> 0);
+  g "faults.delays" (fun () ->
+      match t.faults with Some p -> Faults.delays p | None -> 0)
+
+(* Interrupt service for one admitted frame: fixed driver cost plus PIO
+   read for devices that make the CPU pull bytes off the adapter. *)
+let interrupt_service peer len pkt =
+  let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer len) in
+  Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
+      (match peer.rx_pool with
+      | Some pool -> Pool.release pool
+      | None -> ());
+      match peer.rx_handler with
+      | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
+      | Some h ->
+          peer.counters.rx_packets <- peer.counters.rx_packets + 1;
+          peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
+          if Sim.Trace.on () then
+            Sim.Trace.emit
+              (Sim.Engine.now peer.engine)
+              "%s: rx %d bytes" peer.name len;
+          h pkt)
+
+(* The poller: drain the deferred queue in batches at thread priority.
+   One fixed charge per batch (cheaper per frame than interrupts —
+   that's the point of polling), and between batches the CPU's FIFO lets
+   application work at the same priority interleave, so the drain cannot
+   itself become a livelock. *)
+let rec drain_deferred peer ac =
+  let n = min ac.poll_batch (Queue.length ac.q) in
+  if n = 0 then ac.draining <- false
+  else begin
+    let pkts = List.init n (fun _ -> Queue.pop ac.q) in
+    let bytes = List.fold_left (fun acc p -> acc + Mbuf.length p) 0 pkts in
+    let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer bytes) in
+    Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Thread ~cost (fun () ->
+        (match peer.rx_pool with
+        | Some pool -> Pool.release_n pool n
+        | None -> ());
+        let deliver upcall =
+          peer.counters.rx_packets <- peer.counters.rx_packets + n;
+          peer.counters.rx_bytes <- peer.counters.rx_bytes + bytes;
+          if Sim.Trace.on () then
+            Sim.Trace.emit
+              (Sim.Engine.now peer.engine)
+              "%s: polled rx batch of %d (%d bytes)" peer.name n bytes;
+          upcall ()
+        in
+        (match peer.rx_deferred_handler with
+        | Some h -> deliver (fun () -> h pkts)
+        | None -> (
+            match peer.rx_batch with
+            | Some h -> deliver (fun () -> h pkts)
+            | None -> (
+                match peer.rx_handler with
+                | Some h -> deliver (fun () -> List.iter h pkts)
+                | None ->
+                    peer.counters.rx_drops <- peer.counters.rx_drops + n;
+                    List.iter Mbuf.free pkts)));
+        drain_deferred peer ac)
+  end
+
+(* Roll the admission window lazily and decide whether this frame may
+   take the interrupt path. *)
+let admitted ac now =
+  if Sim.Stime.compare (Sim.Stime.sub now ac.window_start) ac.window >= 0
+  then begin
+    ac.window_start <- now;
+    ac.served <- 0
+  end;
+  if ac.forced_defer then false
+  else if ac.served < ac.budget then begin
+    ac.served <- ac.served + 1;
+    true
+  end
+  else false
 
 let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
   let len = Mbuf.length pkt in
@@ -120,30 +312,39 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
     Mbuf.free pkt
   end
   else
-    (* Receive interrupt: fixed driver cost plus PIO read for devices
-       that make the CPU pull bytes off the adapter. *)
-    let cost = Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer len) in
-    Sim.Cpu.run peer.cpu ~prio:Sim.Cpu.Interrupt ~cost (fun () ->
-        (match peer.rx_pool with
-        | Some pool -> Pool.release pool
-        | None -> ());
-        match peer.rx_handler with
-        | None -> peer.counters.rx_drops <- peer.counters.rx_drops + 1
-        | Some h ->
-            peer.counters.rx_packets <- peer.counters.rx_packets + 1;
-            peer.counters.rx_bytes <- peer.counters.rx_bytes + len;
-            if Sim.Trace.on () then
-              Sim.Trace.emit
-                (Sim.Engine.now peer.engine)
-                "%s: rx %d bytes" peer.name len;
-            h pkt)
+    match peer.admission with
+    | Some ac when not (admitted ac (Sim.Engine.now peer.engine)) ->
+        if Queue.length ac.q >= ac.defer_limit then begin
+          (* Shed at the cheapest point: before any interrupt cost, so
+             overload past the deferred queue costs next to nothing. *)
+          (match peer.rx_pool with
+          | Some pool -> Pool.release pool
+          | None -> ());
+          peer.counters.rx_drops <- peer.counters.rx_drops + 1;
+          peer.counters.rx_shed <- peer.counters.rx_shed + 1;
+          if Sim.Trace.on () then
+            Sim.Trace.drop (Sim.Engine.now peer.engine) ~scope:peer.name
+              ~reason:"admission_shed";
+          Mbuf.free pkt
+        end
+        else begin
+          Queue.push pkt ac.q;
+          peer.counters.rx_deferred <- peer.counters.rx_deferred + 1;
+          if not ac.draining then begin
+            ac.draining <- true;
+            drain_deferred peer ac
+          end
+        end
+    | _ -> interrupt_service peer len pkt
 
 (* Inject a burst of frames that arrived back to back as one coalesced
    receive interrupt: one slot reservation ([Pool.reserve_n]), one fixed
    interrupt charge for the whole burst (interrupt coalescing; per-byte
    PIO still scales with the payload), and one upcall — the batch
    handler when one is installed, the per-frame handler otherwise.
-   Frames beyond the ring budget drop exactly as in [deliver_to]. *)
+   Frames beyond the ring budget drop exactly as in [deliver_to].
+   Admission control does not apply: a coalesced burst is already the
+   batched, bounded-interrupt service model. *)
 let deliver_batch peer pkts =
   match pkts with
   | [] -> ()
@@ -195,6 +396,51 @@ let deliver_batch peer pkts =
                     peer.counters.rx_drops <- peer.counters.rx_drops + granted))
       end
 
+(* Apply a fault-plan verdict to a frame leaving the wire.  The plan
+   only decides; ownership is handled here: dropped frames are freed,
+   duplicated frames are deep-copied before either copy is consumed,
+   corruption copies-on-write so a shared chain is never scribbled on. *)
+let apply_faults t peer plan frame ~len ~now =
+  match Faults.verdict plan ~now ~len with
+  | Faults.Drop why ->
+      t.counters.wire_drops <- t.counters.wire_drops + 1;
+      if Sim.Trace.on () then
+        Sim.Trace.drop now ~scope:t.name ~reason:("wire_" ^ why);
+      fault_span t ~fault:why ~detail:"";
+      Mbuf.free frame
+  | Faults.Deliver copies ->
+      let frames =
+        match copies with
+        | [ d ] -> [ (d, frame) ]
+        | ds ->
+            let dup = List.map (fun d -> (d, Mbuf.ro (Mbuf.copy_rw frame))) ds in
+            Mbuf.free frame;
+            fault_span t ~fault:"duplicate" ~detail:"";
+            dup
+      in
+      List.iter
+        (fun (d, f) ->
+          let f =
+            match d.Faults.corrupt_at with
+            | None -> f
+            | Some off ->
+                let c = Mbuf.copy_rw f in
+                let v = Mbuf.view c in
+                View.set_u8 v off (View.get_u8 v off lxor d.Faults.xor_mask);
+                Mbuf.free f;
+                fault_span t ~fault:"corrupt"
+                  ~detail:(Printf.sprintf "off=%d mask=%#x" off d.Faults.xor_mask);
+                Mbuf.ro c
+          in
+          if Sim.Stime.is_positive d.Faults.extra_delay then
+            fault_span t ~fault:"delay"
+              ~detail:(Sim.Stime.to_string d.Faults.extra_delay);
+          let delay = Sim.Stime.add t.params.Costs.prop_delay d.Faults.extra_delay in
+          ignore
+            (Sim.Engine.schedule_in t.engine ~delay (fun () ->
+                 deliver_to peer f)))
+        frames
+
 let transmit t ?(prio = Sim.Cpu.Thread) pkt =
   let len = Mbuf.length pkt in
   if len > t.params.Costs.mtu + Proto.Ether.header_len then
@@ -237,21 +483,30 @@ let transmit t ?(prio = Sim.Cpu.Thread) pkt =
                | Some peer ->
                    if
                      t.loss_prob > 0.
-                     && Sim.Rng.float (Sim.Engine.rng t.engine) 1.0
-                        < t.loss_prob
+                     && (t.loss_prob >= 1.
+                        || Sim.Rng.float (Sim.Engine.rng t.engine) 1.0
+                           < t.loss_prob)
                    then begin
-                     t.counters.tx_drops <- t.counters.tx_drops + 1;
+                     (* Wire loss is fault injection, not queue overflow:
+                        counted apart from [tx_drops]. *)
+                     t.counters.wire_drops <- t.counters.wire_drops + 1;
                      if Sim.Trace.on () then
                        Sim.Trace.drop
                          (Sim.Engine.now t.engine)
                          ~scope:t.name ~reason:"wire_loss";
+                     fault_span t ~fault:"loss" ~detail:"";
                      Mbuf.free frame
                    end
                    else
-                     ignore
-                       (Sim.Engine.schedule_in t.engine
-                          ~delay:t.params.Costs.prop_delay (fun () ->
-                            deliver_to peer frame))))
+                     match t.faults with
+                     | None ->
+                         ignore
+                           (Sim.Engine.schedule_in t.engine
+                              ~delay:t.params.Costs.prop_delay (fun () ->
+                                deliver_to peer frame))
+                     | Some plan ->
+                         apply_faults t peer plan frame ~len
+                           ~now:(Sim.Engine.now t.engine)))
       end)
 
 (* Raw wire occupancy for a packet of [len] bytes — used by experiments to

@@ -4,7 +4,13 @@
     devices like the Fore TCA-100), serializes frames on the wire at the
     device bit rate, and delivers to the peer after propagation; reception
     charges an interrupt on the peer CPU and invokes the installed receive
-    handler — the bottom of the Plexus protocol graph. *)
+    handler — the bottom of the Plexus protocol graph.
+
+    Devices also host the adversarial machinery: a per-link fault plan
+    ({!set_faults}) applied as frames leave the wire, and interrupt
+    admission control ({!set_admission}) that bounds interrupt servicing
+    and drains overload at thread priority — the receive-livelock
+    mitigation. *)
 
 type t
 
@@ -13,8 +19,18 @@ type counters = {
   mutable rx_packets : int;
   mutable tx_bytes : int;
   mutable rx_bytes : int;
-  mutable tx_drops : int;   (** transmit-queue overflows *)
-  mutable rx_drops : int;   (** frames with no receive handler *)
+  mutable tx_drops : int;   (** transmit-queue overflows, nothing else *)
+  mutable rx_drops : int;
+      (** receive-side drops: ring overflow, no handler, admission shed *)
+  mutable wire_drops : int;
+      (** frames lost on the wire by fault injection ([set_loss] or a
+          fault plan) — kept apart from [tx_drops] so queue overflow and
+          injected loss can't be conflated *)
+  mutable rx_deferred : int;
+      (** frames routed past the interrupt budget to the polled path *)
+  mutable rx_shed : int;
+      (** frames dropped at admission because the deferred queue was
+          full (also counted in [rx_drops]) *)
 }
 
 val create :
@@ -32,25 +48,63 @@ val set_rx_batch : t -> (Mbuf.ro Mbuf.t list -> unit) -> unit
     with a whole burst at once.  Devices without one fall back to the
     per-frame {!set_rx} handler for each frame of the burst. *)
 
+val set_rx_deferred : t -> (Mbuf.ro Mbuf.t list -> unit) -> unit
+(** Install the polled receive upcall: batches drained from the deferred
+    queue at {e thread} priority when admission control is active.
+    Without one, the poller falls back to the batch handler, then the
+    per-frame handler (whose own downstream work may then re-escalate to
+    interrupt priority — install this to keep the whole path demoted). *)
+
 val deliver_batch : t -> Mbuf.ro Mbuf.t list -> unit
 (** Inject a burst of frames arriving back to back at this device, as
     one coalesced receive interrupt: one ring-slot reservation
     ({!Pool.reserve_n}), one fixed interrupt charge for the burst (PIO
     still per byte), one upcall.  Frames beyond the ring budget drop as
-    in normal delivery. *)
+    in normal delivery.  Admission control does not apply — a coalesced
+    burst is already the batched service model. *)
 
 val set_rx_pool : t -> Pool.t -> unit
 (** Bound the receive ring: frames hold a pool {e slot} from wire arrival
     until their interrupt is serviced; exhaustion drops at the ring.  The
     frame's mbuf chain is handed to the handler as-is — the ring bounds
-    buffers without copying them. *)
+    buffers without copying them.  Install the pool {e before}
+    {!set_admission} so the ring's pressure watermarks can force early
+    deferral. *)
 
 val rx_pool : t -> Pool.t option
 
 val set_loss : t -> float -> unit
 (** Fault injection: drop transmitted frames on the wire with the given
-    probability (counted as tx drops).  @raise Invalid_argument outside
-    [0, 1). *)
+    probability, counted in [wire_drops].  The closed interval [0, 1] is
+    accepted — [1.0] is a blackout.  @raise Invalid_argument outside
+    [0, 1]. *)
+
+val set_faults : t -> Faults.t -> unit
+(** Attach a fault plan, applied to every frame as it leaves the wire
+    (after the legacy {!set_loss} Bernoulli check).  Drops count in
+    [wire_drops]; corruption/duplication copy the frame so shared chains
+    are never scribbled on; delays add to propagation, reordering the
+    frame behind later ones. *)
+
+val faults : t -> Faults.t option
+
+val set_admission :
+  ?budget:int -> ?window:Sim.Stime.t -> ?defer_limit:int -> ?poll_batch:int ->
+  t -> unit
+(** Enable interrupt admission control: at most [budget] frames (default
+    8) take the receive-interrupt path per [window] (default 1 ms);
+    the excess queues — each frame still holding its ring slot — and is
+    drained in [poll_batch]-sized batches (default [budget]) at thread
+    priority, one fixed driver charge per batch.  When the deferred
+    queue holds [defer_limit] frames (default 256) further frames are
+    shed before any interrupt cost ([rx_shed]).  If a ring pool is
+    installed, its pressure watermarks force deferral early.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val clear_admission : t -> unit
+
+val admission_backlog : t -> int
+(** Frames currently parked in the deferred queue. *)
 
 val transmit : t -> ?prio:Sim.Cpu.prio -> Mbuf.rw Mbuf.t -> unit
 (** Send a frame.  The driver {e consumes} the mbuf ({!Mbuf.take}): the
@@ -66,8 +120,13 @@ val counters : t -> counters
 
 val register : t -> Observe.Registry.t -> unit
 (** Publish the device's queue depths and drop counts as sampling gauges
-    ([dev.<name>.txq|tx_drops|rx_drops|ring.live|ring.failures]) — read
-    only when the registry is snapshotted. *)
+    ([dev.<name>.txq|tx_drops|rx_drops|wire_drops|rx_deferred|rx_shed|
+    ring.live|ring.failures|faults.*]) — read only when the registry is
+    snapshotted. *)
+
+val set_trace : t -> Observe.Trace.t -> unit
+(** Route injected-fault spans ({!Observe.Trace.Wire_fault}) to this
+    endpoint; wired to the host kernel's trace by {!Host.add_device}. *)
 
 val wire_time : t -> int -> Sim.Stime.t
 (** Wire occupancy of a packet of the given length (framing included). *)

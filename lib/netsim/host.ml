@@ -39,7 +39,10 @@ let add_device ?mac t params =
       ~mac params
   in
   t.devs <- t.devs @ [ dev ];
-  if t.observe then Dev.register dev (Spin.Kernel.registry t.kernel);
+  if t.observe then begin
+    Dev.register dev (Spin.Kernel.registry t.kernel);
+    Dev.set_trace dev (Spin.Kernel.trace t.kernel)
+  end;
   dev
 
 let utilization t = Sim.Cpu.utilization (cpu t)

@@ -13,6 +13,24 @@ let pair ?costs ?observe engine params ~a:(aname, aip) ~b:(bname, bip) =
   Dev.connect da db;
   ({ host = ha; dev = da }, { host = hb; dev = db })
 
+(* Attach a fresh fault plan to one direction of an endpoint's link.
+   The plan draws from its own split of the engine stream (or the given
+   seed), so enabling faults on one link never perturbs the draws of
+   another, and its injection counters land in the host registry under
+   [faults.<dev>.*]. *)
+let install_faults ?seed { host; dev } =
+  let rng =
+    match seed with
+    | Some s -> Sim.Rng.create s
+    | None -> Sim.Rng.split (Sim.Engine.rng (Host.engine host))
+  in
+  let plan = Faults.create ~name:("faults." ^ Dev.name dev) ~rng () in
+  Dev.set_faults dev plan;
+  Faults.register plan
+    (Spin.Kernel.registry (Host.kernel host))
+    ~prefix:("faults." ^ Dev.name dev);
+  plan
+
 (* client -- middle -- server: the middle host has two devices (one per
    segment), as the load-balancing forwarder of section 5.2 requires. *)
 let line3 ?costs ?observe engine params ~client:(cn, cip) ~middle:(mn, mip)

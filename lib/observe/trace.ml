@@ -40,6 +40,7 @@ type event =
   | Cache_hit of { event : string; hops : int; handlers : int }
   | Cache_invalidate of { event : string; reason : string }
   | Drop of { scope : string; reason : string }
+  | Wire_fault of { link : string; fault : string; detail : string }
   | Message of { scope : string; text : string }
 
 type span = { at_ns : int; event : event }
@@ -54,6 +55,7 @@ let kind = function
   | Cache_hit _ -> "cache_hit"
   | Cache_invalidate _ -> "cache_invalidate"
   | Drop _ -> "drop"
+  | Wire_fault _ -> "wire_fault"
   | Message _ -> "message"
 
 (* The event (or scope) a span belongs to — protocol-graph spans carry
@@ -69,6 +71,7 @@ let scope = function
   | Cache_invalidate { event; _ } ->
       event
   | Drop { scope; _ } | Message { scope; _ } -> scope
+  | Wire_fault { link; _ } -> link
 
 let pp_ns ppf t =
   if t < 1_000 then Fmt.pf ppf "%dns" t
@@ -99,6 +102,9 @@ let pp_event ppf = function
   | Cache_invalidate { event; reason } ->
       Fmt.pf ppf "cache_invalidate %s reason=%s" event reason
   | Drop { scope; reason } -> Fmt.pf ppf "drop %s reason=%s" scope reason
+  | Wire_fault { link; fault; detail } ->
+      Fmt.pf ppf "wire_fault %s %s%s" link fault
+        (if detail = "" then "" else " " ^ detail)
   | Message { scope; text } -> Fmt.pf ppf "%s: %s" scope text
 
 let pp_span ppf s = Fmt.pf ppf "[%a] %a" pp_ns s.at_ns pp_event s.event

@@ -48,6 +48,10 @@ type event =
       (** a cached flow path was discarded (stale generation, divergent
           replay, or a discarded recording) *)
   | Drop of { scope : string; reason : string }
+  | Wire_fault of { link : string; fault : string; detail : string }
+      (** an injected link fault fired: [fault] is the fault class
+          (["loss"], ["burst_loss"], ["corrupt"], ["duplicate"],
+          ["delay"], ["down"]), [link] the transmitting device *)
   | Message of { scope : string; text : string }
       (** freeform text (the legacy [Sim.Trace] printf route) *)
 

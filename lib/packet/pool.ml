@@ -20,6 +20,15 @@ type t = {
   mutable failures : int;
   mutable peak : int;
   mutable underflows : int;
+  (* backpressure watermarks: when occupancy crosses [hi_mark] the pool
+     is "pressured" and the subscriber is told to slow down; it stays
+     pressured until occupancy falls back to [lo_mark] (hysteresis, so a
+     consumer hovering at the boundary doesn't flap). *)
+  mutable hi_mark : int;
+  mutable lo_mark : int;
+  mutable pressured : bool;
+  mutable pressure_events : int;
+  mutable on_pressure : (bool -> unit) option;
 }
 
 let create ?(name = "pool") ~capacity () =
@@ -32,6 +41,11 @@ let create ?(name = "pool") ~capacity () =
     failures = 0;
     peak = 0;
     underflows = 0;
+    hi_mark = capacity + 1;
+    lo_mark = 0;
+    pressured = false;
+    pressure_events = 0;
+    on_pressure = None;
   }
 
 let name t = t.name
@@ -42,6 +56,29 @@ let failures t = t.failures
 let peak t = t.peak
 let underflows t = t.underflows
 
+let set_pressure t ?(hi = 0.75) ?(lo = 0.5) f =
+  if hi <= 0. || hi > 1. || lo < 0. || lo > hi then
+    invalid_arg "Pool.set_pressure: watermarks";
+  t.hi_mark <- max 1 (int_of_float (ceil (hi *. float_of_int t.capacity)));
+  t.lo_mark <- int_of_float (floor (lo *. float_of_int t.capacity));
+  t.on_pressure <- Some f
+
+let pressured t = t.pressured
+let pressure_events t = t.pressure_events
+
+let[@inline] check_rise t =
+  if (not t.pressured) && t.live >= t.hi_mark then begin
+    t.pressured <- true;
+    t.pressure_events <- t.pressure_events + 1;
+    match t.on_pressure with Some f -> f true | None -> ()
+  end
+
+let[@inline] check_fall t =
+  if t.pressured && t.live <= t.lo_mark then begin
+    t.pressured <- false;
+    match t.on_pressure with Some f -> f false | None -> ()
+  end
+
 let reserve t =
   if t.live >= t.capacity then begin
     t.failures <- t.failures + 1;
@@ -51,6 +88,7 @@ let reserve t =
     t.live <- t.live + 1;
     t.allocations <- t.allocations + 1;
     if t.live > t.peak then t.peak <- t.live;
+    check_rise t;
     true
   end
 
@@ -63,6 +101,7 @@ let reserve_n t n =
   t.live <- t.live + granted;
   t.allocations <- t.allocations + granted;
   if t.live > t.peak then t.peak <- t.live;
+  if granted > 0 then check_rise t;
   if granted < n then t.failures <- t.failures + (n - granted);
   granted
 
@@ -73,7 +112,8 @@ let release t =
     t.underflows <- t.underflows + 1;
     invalid_arg (t.name ^ ": pool slot released twice (double free)")
   end;
-  t.live <- t.live - 1
+  t.live <- t.live - 1;
+  check_fall t
 
 let release_n t n =
   if n < 0 then invalid_arg "Pool.release_n: negative count";
@@ -81,7 +121,8 @@ let release_n t n =
     t.underflows <- t.underflows + 1;
     invalid_arg (t.name ^ ": pool slots released twice (double free)")
   end;
-  t.live <- t.live - n
+  t.live <- t.live - n;
+  check_fall t
 
 let alloc t ?headroom len =
   if reserve t then Some (Mbuf.alloc ?headroom len) else None
@@ -103,7 +144,9 @@ let register t reg ~prefix =
   Observe.Registry.gauge reg (prefix ^ ".live") (fun () -> t.live);
   Observe.Registry.gauge reg (prefix ^ ".peak") (fun () -> t.peak);
   Observe.Registry.gauge reg (prefix ^ ".failures") (fun () -> t.failures);
-  Observe.Registry.gauge reg (prefix ^ ".underflows") (fun () -> t.underflows)
+  Observe.Registry.gauge reg (prefix ^ ".underflows") (fun () -> t.underflows);
+  Observe.Registry.gauge reg (prefix ^ ".pressure_events") (fun () ->
+      t.pressure_events)
 
 let pp ppf t =
   Fmt.pf ppf "%s: %d/%d live (peak %d, %d allocs, %d failures, %d underflows)"

@@ -53,6 +53,22 @@ val peak : t -> int
 val underflows : t -> int
 (** Number of detected double frees / slot underflows. *)
 
+val set_pressure : t -> ?hi:float -> ?lo:float -> (bool -> unit) -> unit
+(** Subscribe to occupancy watermarks: the callback fires with [true]
+    when live occupancy first reaches [hi] (fraction of capacity,
+    default 0.75) and with [false] once it falls back to [lo] (default
+    0.5).  The gap is hysteresis — a consumer hovering at one boundary
+    sees one notification, not a flap per frame.  Receive paths use this
+    to start shedding {e before} the pool is exhausted and would drop
+    silently.  @raise Invalid_argument unless [0 <= lo <= hi <= 1] and
+    [hi > 0]. *)
+
+val pressured : t -> bool
+(** Currently above the high watermark (and not yet back below low). *)
+
+val pressure_events : t -> int
+(** How many times the pool entered the pressured state. *)
+
 val register : t -> Observe.Registry.t -> prefix:string -> unit
 (** Publish the pool's occupancy as sampling gauges
     ([<prefix>.live|peak|failures|underflows]) — read at snapshot time

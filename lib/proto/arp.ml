@@ -95,6 +95,21 @@ module Cache = struct
     let ks = Option.value (Hashtbl.find_opt t.waiting ip) ~default:[] in
     Hashtbl.replace t.waiting ip (k :: ks)
 
+  (* Abandoning a resolution must drop its queued continuations, or a
+     reply arriving long after the retry budget is spent would fire them
+     — transmitting packets the sender gave up on ages ago. *)
+  let cancel_waiters t ip =
+    match Hashtbl.find_opt t.waiting ip with
+    | None -> 0
+    | Some ks ->
+        Hashtbl.remove t.waiting ip;
+        List.length ks
+
+  let waiting_count t ip =
+    match Hashtbl.find_opt t.waiting ip with
+    | None -> 0
+    | Some ks -> List.length ks
+
   let size t = Hashtbl.length t.entries
 end
 

@@ -31,6 +31,15 @@ module Cache : sig
   val wait : t -> Ipaddr.t -> (Ether.Mac.t -> unit) -> unit
   (** Queue a continuation until the address resolves. *)
 
+  val cancel_waiters : t -> Ipaddr.t -> int
+  (** Drop every continuation queued for [ip], returning how many were
+      dropped.  Called when a resolution is abandoned, so that a reply
+      arriving after the retry budget is spent cannot fire stale
+      continuations (and transmit packets the sender gave up on). *)
+
+  val waiting_count : t -> Ipaddr.t -> int
+  (** Continuations currently queued for [ip]. *)
+
   val size : t -> int
 end
 

@@ -65,7 +65,23 @@ let expire t ~now =
     (fun k ->
       Hashtbl.remove t.pending k;
       t.timeouts <- t.timeouts + 1)
-    stale
+    stale;
+  List.length stale
+
+(* The earliest deadline among pending reassemblies — what a periodic
+   expirer should arm its next one-shot timer at.  [None] when nothing
+   is pending, so the expirer can go quiet instead of ticking forever
+   (a perpetual timer would keep the event-driven engine from ever
+   draining). *)
+let next_deadline t =
+  Hashtbl.fold
+    (fun _ ctx acc ->
+      match acc with
+      | None -> Some ctx.deadline
+      | Some d ->
+          if Sim.Stime.compare ctx.deadline d < 0 then Some ctx.deadline
+          else acc)
+    t.pending None
 
 (* Assemble completed chunks into a fresh contiguous datagram: each
    payload byte is copied exactly once, here. *)
@@ -87,7 +103,7 @@ let input t ~now (h : Ipv4.header) (payload : _ View.t) :
   if (not h.more_fragments) && h.frag_offset = 0 then
     Some (assemble (View.length payload) [ (0, payload) ])
   else begin
-    expire t ~now;
+    ignore (expire t ~now : int);
     let key = { src = h.src; dst = h.dst; proto = h.proto; id = h.id } in
     let ctx =
       match Hashtbl.find_opt t.pending key with

@@ -22,6 +22,18 @@ val input : t -> now:Sim.Stime.t -> Ipv4.header -> _ View.t -> Mbuf.rw Mbuf.t op
     remain valid that long (the receive path keeps arriving frames
     alive).  Stale contexts are expired lazily against [now]. *)
 
+val expire : t -> now:Sim.Stime.t -> int
+(** Drop every pending reassembly whose deadline has passed, returning
+    how many were expired (also counted in {!timeout_count}).  Called
+    lazily by {!input}; callers that must bound how long a stalled
+    fragment train pins its buffers (the chunks reference arriving
+    frames) schedule it from a timer — see [Ip_mgr]. *)
+
+val next_deadline : t -> Sim.Stime.t option
+(** The earliest deadline among pending reassemblies, or [None] when
+    nothing is pending — the instant a periodic expirer should arm its
+    next one-shot timer for. *)
+
 val pending_count : t -> int
 val reassembled_count : t -> int
 val timeout_count : t -> int

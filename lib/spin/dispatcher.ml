@@ -179,6 +179,12 @@ type t = {
   pc_invalidations : int ref;
   mutable fcache : bool;       (* flow-path cache enabled *)
   mutable flow : flow;         (* dynamic delivery context *)
+  mutable prio_override : Sim.Cpu.prio option;
+      (* sticky delivery-priority demotion: set around handler bodies of
+         an overridden raise so nested raises inherit it — the polled
+         (deferred) receive path uses this to keep the *whole* protocol
+         graph walk at thread priority instead of re-escalating at the
+         first nested interrupt-mode event *)
   mutable next_uid : int;      (* event uids, for hop identity *)
   mutable introspectors : (unit -> event_info) list; (* newest first *)
 }
@@ -206,6 +212,7 @@ let create ?registry ?trace ~cpu ~costs () =
     pc_invalidations = mkref registry "spin.path_cache.invalidations";
     fcache = false;
     flow = No_flow;
+    prio_override = None;
     next_uid = 0;
     introspectors = [];
   }
@@ -492,12 +499,20 @@ let flow_leave d = function
       if r.rec_pending = 0 then rec_finish d r
   | No_flow | Replaying _ -> ()
 
-let deliver ev v h flow =
+(* The priority a raise runs at: the event's delivery mode unless an
+   override is in force (the demoted polled path). *)
+let prio_of ev over =
+  match over with
+  | Some p -> p
+  | None -> (
+      match ev.mode with
+      | Interrupt -> Sim.Cpu.Interrupt
+      | Thread -> Sim.Cpu.Thread)
+
+let deliver ev v h flow over =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.invocations;
-  let prio =
-    match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
-  in
+  let prio = prio_of ev over in
   let spawn =
     match ev.mode with
     | Interrupt -> Sim.Stime.zero
@@ -516,7 +531,9 @@ let deliver ev v h flow =
           (* skip if uninstalled while this invocation was queued *)
           (if still_installed ev h then begin
              d.flow <- flow;
+             d.prio_override <- over;
              contain ev h (fun () -> fn v);
+             d.prio_override <- None;
              d.flow <- No_flow;
              incr h.hs.h_runs;
              (match h.hs.h_lat with
@@ -543,7 +560,8 @@ let deliver ev v h flow =
           Sim.Cpu.run d.cpu ~prio
             ~cost:(Sim.Stime.add spawn r.Ephemeral.consumed)
             (fun () ->
-              (if still_installed ev h then
+              (if still_installed ev h then begin
+                 d.prio_override <- over;
                  contain ev h (fun () ->
                      let r = Ephemeral.commit plan in
                      incr h.hs.h_runs;
@@ -581,13 +599,15 @@ let deliver ev v h flow =
                                 total = r.Ephemeral.total;
                                 duration_ns =
                                   Sim.Stime.to_ns r.Ephemeral.consumed;
-                              })));
+                              }));
+                 d.prio_override <- None
+               end);
               flow_leave d flow))
 
 (* Normal graph dispatch of one raise, optionally recording the hop.
    [raises]/[ev_raises] are the caller's job (so batch entry points can
    amortize them). *)
-let raise_core ev v flow =
+let raise_core ?over ev v flow =
   let d = ev.disp in
   let cands = candidates ev v in
   let n_guards = List.length cands in
@@ -622,9 +642,7 @@ let raise_core ev v flow =
             (if indexed then d.costs.index else Sim.Stime.zero)
             (Sim.Stime.mul d.costs.guard n_guards)))
   in
-  let prio =
-    match ev.mode with Interrupt -> Sim.Cpu.Interrupt | Thread -> Sim.Cpu.Thread
-  in
+  let prio = prio_of ev over in
   flow_enter flow;
   Sim.Cpu.run d.cpu ~prio ~cost:demux_cost (fun () ->
       (* Demultiplex against the *current* registry: a handler uninstalled
@@ -637,7 +655,7 @@ let raise_core ev v flow =
       (match flow with
       | Recording r ->
           if
-            ev.mode <> Interrupt
+            ev.mode <> Interrupt || over <> None
             || not (List.for_all (fun h -> h.cacheable) cands)
           then r.rec_ok <- false
       | No_flow | Replaying _ -> ());
@@ -654,7 +672,7 @@ let raise_core ev v flow =
                    hit = accepted });
           if accepted then begin
             accepted_rev := h.hid :: !accepted_rev;
-            deliver ev v h flow
+            deliver ev v h flow over
           end)
         cands;
       (match flow with
@@ -827,14 +845,21 @@ let record_raise ev v sg =
   raise_core ev v (Recording r)
 
 (* One raise, flow-cache aware.  [raises]/[ev_raises] already counted by
-   the caller. *)
-let dispatch ev v =
+   the caller.  [prio] (or a sticky override left by an overridden
+   handler body) demotes the raise and everything it delivers; demoted
+   raises bypass the flow cache entirely — replay charges its cost
+   synchronously in the raiser's context, which is exactly what the
+   demoted path must avoid, and a demoted walk must not record either
+   (its chain would replay at interrupt priority later). *)
+let dispatch ?prio ev v =
   let d = ev.disp in
+  let over = match prio with Some _ -> prio | None -> d.prio_override in
   match d.flow with
   | Replaying rp -> replay_step ev v rp
-  | Recording _ as flow -> raise_core ev v flow
+  | Recording _ as flow -> raise_core ?over ev v flow
   | No_flow -> (
-      if not (d.fcache && ev.mode = Interrupt) then raise_core ev v No_flow
+      if over <> None || not (d.fcache && ev.mode = Interrupt) then
+        raise_core ?over ev v No_flow
       else
         match ev.sigfn with
         | None -> raise_core ev v No_flow
@@ -854,25 +879,25 @@ let dispatch ev v =
                     incr d.pc_misses;
                     record_raise ev v sg)))
 
-let raise ev v =
+let raise ?prio ev v =
   let d = ev.disp in
   Sim.Stats.Counter.incr d.raises;
   incr ev.ev_raises;
-  dispatch ev v
+  dispatch ?prio ev v
 
 (* Back-to-back frames: one raise-counter update for the whole batch
    instead of per frame; each frame still dispatches (and hits or
    records the flow cache) individually. *)
-let raise_batch ev vs =
+let raise_batch ?prio ev vs =
   match vs with
   | [] -> ()
-  | [ v ] -> raise ev v
+  | [ v ] -> raise ?prio ev v
   | vs ->
       let d = ev.disp in
       let n = List.length vs in
       Sim.Stats.Counter.add d.raises n;
       ev.ev_raises := !(ev.ev_raises) + n;
-      List.iter (fun v -> dispatch ev v) vs
+      List.iter (fun v -> dispatch ?prio ev v) vs
 
 (* --- introspection rendering ------------------------------------------ *)
 

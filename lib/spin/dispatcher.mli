@@ -146,18 +146,28 @@ val install_ephemeral :
     limited to [budget] of CPU per invocation (overruns are terminated
     between actions).  Returns the uninstaller. *)
 
-val raise : 'a event -> 'a -> unit
+val raise : ?prio:Sim.Cpu.prio -> 'a event -> 'a -> unit
 (** Raise the event: evaluate the candidate guards (the matching index
     buckets plus the linear fallback on indexed events; every installed
     guard otherwise), charging demux cost, and deliver to each accepting
     handler according to the event's mode.  With the flow-path cache
     enabled and a signature extractor installed, a signable root raise
-    is served from (or recorded into) the cache instead. *)
+    is served from (or recorded into) the cache instead.
 
-val raise_batch : 'a event -> 'a list -> unit
+    [?prio] overrides the delivery priority for this raise, {e stickily}:
+    nested raises made from the delivered handler bodies inherit the
+    override, so a demoted raise keeps the whole graph walk demoted (the
+    polled receive path under admission control relies on this — without
+    it the first nested interrupt-mode event would re-escalate).
+    Overridden raises bypass the flow-path cache: replay charges the
+    chain synchronously in the raiser's context and a recording would
+    replay at interrupt priority later, both wrong for a demoted walk. *)
+
+val raise_batch : ?prio:Sim.Cpu.prio -> 'a event -> 'a list -> unit
 (** Raise the event once per payload, back to back, amortizing the
     raise-counter updates across the batch.  Each payload still
-    dispatches (and hits or records the flow cache) individually. *)
+    dispatches (and hits or records the flow cache) individually.
+    [?prio] as in {!raise}. *)
 
 (** {1 Counters} *)
 
