@@ -924,6 +924,124 @@ let run_faults ~check =
     Printf.printf "  faults check passed (>= 2x goodput, soak clean)\n%!"
   end
 
+(* The steady-state scale record: host cost per simulated packet with 1k
+   vs. 100k live flows parked across the server farm (Experiments.Farm).
+   The two probe workloads are sim-identical — same topology, same
+   probe count, same deterministic schedule (their simulated p50/p99
+   match exactly) — so the host-time ratio isolates what connection
+   population costs the implementation: flow-table lookups, timer-wheel
+   occupancy, path-cache pressure, allocator/GC footprint.  Timed like
+   the other percent-level sections: Gc.full_major before every round,
+   interleaved rounds, each subject reporting its minimum (the noise
+   floor).  [--check] gates the ratio at 1.3x — the sharded-table and
+   timer-wheel acceptance criterion. *)
+let scale_flows_lo = 1_000
+let scale_flows_hi = 100_000
+let scale_ratio_limit = 1.3
+
+let run_scale ~check =
+  Experiments.Common.print_header
+    "Steady-state scale: host ns per simulated packet vs. live flows";
+  let clients = 8 and probes = 500 in
+  let setup live =
+    Printf.printf "  establishing %d live flows...\n%!" live;
+    Experiments.Farm.scale_setup ~clients ~live_flows:live ~probes ()
+  in
+  let lo_run = setup scale_flows_lo in
+  let hi_run = setup scale_flows_hi in
+  let time_round run =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let p = run () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (p, dt *. 1e9 /. float_of_int p.Experiments.Farm.packets)
+  in
+  (* warm both before any measured round *)
+  ignore (time_round lo_run);
+  ignore (time_round hi_run);
+  let rounds = 5 in
+  let measure run =
+    let probe = ref None and best = ref infinity in
+    let tick () =
+      let p, ns = time_round run in
+      probe := Some p;
+      if ns < !best then best := ns
+    in
+    (probe, best, tick)
+  in
+  let lo_probe, lo_best, lo_tick = measure lo_run in
+  let hi_probe, hi_best, hi_tick = measure hi_run in
+  for r = 0 to rounds - 1 do
+    if r mod 2 = 0 then begin lo_tick (); hi_tick () end
+    else begin hi_tick (); lo_tick () end
+  done;
+  let lo = Option.get !lo_probe and hi = Option.get !hi_probe in
+  let row label (p : Experiments.Farm.probe) ns =
+    Printf.printf
+      "  %-18s %10.0f ns/pkt %9.2f Mb/s goodput %8.1f us p50 %8.1f us p99\n%!"
+      label ns p.Experiments.Farm.probe_goodput_mbps
+      p.Experiments.Farm.probe_p50_us p.Experiments.Farm.probe_p99_us
+  in
+  row (Printf.sprintf "%d live flows" scale_flows_lo) lo !lo_best;
+  row (Printf.sprintf "%d live flows" scale_flows_hi) hi !hi_best;
+  let ratio = !hi_best /. !lo_best in
+  let oc = open_out "BENCH_scale.json" in
+  let emit_row (p : Experiments.Farm.probe) ns =
+    Printf.sprintf
+      "    { \"live_flows\": %d, \"established\": %d, \"probes\": %d, \
+       \"packets\": %d, \"ns_per_packet\": %.1f, \"goodput_mbps\": %.2f, \
+       \"p50_us\": %.1f, \"p99_us\": %.1f, \"probe_errors\": %d }"
+      p.Experiments.Farm.live_flows p.Experiments.Farm.established
+      p.Experiments.Farm.probes p.Experiments.Farm.packets ns
+      p.Experiments.Farm.probe_goodput_mbps p.Experiments.Farm.probe_p50_us
+      p.Experiments.Farm.probe_p99_us p.Experiments.Farm.probe_errors
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"host_ns_per_simulated_packet\",\n\
+    \  \"clients\": %d,\n\
+    \  \"rows\": [\n%s,\n%s\n  ],\n\
+    \  \"ratio\": %.3f,\n\
+    \  \"gate\": \"per-packet cost at %dk live flows <= %.1fx the %dk-flow \
+     cost\"\n\
+     }\n"
+    clients
+    (emit_row lo !lo_best)
+    (emit_row hi !hi_best)
+    ratio (scale_flows_hi / 1000) scale_ratio_limit (scale_flows_lo / 1000);
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_scale.json (cost ratio %dk/%dk: %.2fx)\n%!"
+    (scale_flows_hi / 1000) (scale_flows_lo / 1000) ratio;
+  if check then begin
+    let population_ok =
+      lo.Experiments.Farm.established = scale_flows_lo
+      && hi.Experiments.Farm.established = scale_flows_hi
+    in
+    if not population_ok then begin
+      Printf.eprintf "FAIL: flow population incomplete (%d/%d, %d/%d)\n%!"
+        lo.Experiments.Farm.established scale_flows_lo
+        hi.Experiments.Farm.established scale_flows_hi;
+      exit 1
+    end;
+    if lo.Experiments.Farm.probe_errors > 0 || hi.Experiments.Farm.probe_errors > 0
+    then begin
+      Printf.eprintf "FAIL: probe errors (%d at %dk, %d at %dk)\n%!"
+        lo.Experiments.Farm.probe_errors (scale_flows_lo / 1000)
+        hi.Experiments.Farm.probe_errors (scale_flows_hi / 1000);
+      exit 1
+    end;
+    if ratio > scale_ratio_limit then begin
+      Printf.eprintf
+        "FAIL: per-packet cost at %dk live flows is %.2fx the %dk cost \
+         (limit %.1fx)\n%!"
+        (scale_flows_hi / 1000) ratio (scale_flows_lo / 1000) scale_ratio_limit;
+      exit 1
+    end;
+    Printf.printf "  scale check passed (%.2fx <= %.1fx, populations full, \
+                   no probe errors)\n%!"
+      ratio scale_ratio_limit
+  end
+
 (* ---- Part 2: paper reproduction --------------------------------------- *)
 
 let () =
@@ -932,6 +1050,7 @@ let () =
   let flowcache_only = Array.mem "--flowcache-only" Sys.argv in
   let observe_only = Array.mem "--observe-only" Sys.argv in
   let faults_only = Array.mem "--faults-only" Sys.argv in
+  let scale_only = Array.mem "--scale-only" Sys.argv in
   let check = Array.mem "--check" Sys.argv in
   if dispatch_only then begin
     let results = run_bechamel (dispatch_tests @ filter_tests) in
@@ -944,6 +1063,7 @@ let () =
   else if flowcache_only then run_flowcache ~check
   else if observe_only then run_observe ~check
   else if faults_only then run_faults ~check
+  else if scale_only then run_scale ~check
   else begin
     let results = run_bechamel (micro_tests @ datapath_tests) in
     write_dispatch_json "BENCH_dispatch.json" results;
@@ -959,6 +1079,7 @@ let () =
     ignore (Experiments.Livelock.print ());
     Experiments.Motivate.print ();
     ignore (Experiments.Http_bench.print ());
+    ignore (Experiments.Farm.print ());
     Experiments.Ablate.print ();
     print_newline ()
   end

@@ -37,6 +37,12 @@ let run_chaos verbose seeds base_seed =
   in
   if not (Experiments.Chaos.soak_ok s) then exit 1
 
+let run_farm clients requests mean_gap_us shape seed =
+  let r =
+    Experiments.Farm.print ~clients ~requests ~mean_gap_us ~shape ~seed ()
+  in
+  if r.Experiments.Farm.errors > 0 then exit 1
+
 let run_overload offered_pps =
   let p = Experiments.Overload.print ~offered_pps () in
   if
@@ -274,6 +280,40 @@ let overload_cmd =
           non-zero unless mitigation achieves 2x")
     Term.(const run_overload $ offered_pps)
 
+let farm_cmd =
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~doc:"Client chains (each behind its own forwarder).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 400
+      & info [ "requests" ] ~doc:"Measured request completions (post-warmup).")
+  in
+  let mean_gap =
+    Arg.(
+      value & opt float 400.
+      & info [ "mean-gap-us" ]
+          ~doc:"Mean Poisson think time per client, microseconds.")
+  in
+  let shape =
+    Arg.(
+      value & opt float 1.2
+      & info [ "shape" ] ~doc:"Pareto shape of the response-size draw.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Server farm: N clients behind per-client forwarders hammering one \
+          HTTP server with a heavy-tailed (Pareto sizes, Poisson arrivals) \
+          workload; reports goodput and p50/p99 latency, exits non-zero on \
+          any request failure")
+    Term.(const run_farm $ clients $ requests $ mean_gap $ shape $ seed)
+
 let ablate_cmd =
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablations: guards, spoof policy, checksum variant")
@@ -332,6 +372,7 @@ let () =
             http_cmd;
             chaos_cmd;
             overload_cmd;
+            farm_cmd;
             ablate_cmd;
             stats_cmd;
             observe_cmd;

@@ -8,7 +8,8 @@ let get stack ~dst ~path k =
   match
     Plexus.Tcp_mgr.connect (Plexus.Stack.tcp stack) ~owner:"http-client" ~dst ()
   with
-  | Error (`Port_in_use _) -> invalid_arg "Http_client.get: no free port"
+  | Error (`Port_in_use _) | Error `Ephemeral_exhausted ->
+      invalid_arg "Http_client.get: no free port"
   | Ok conn ->
       let buf = Buffer.create 256 in
       Plexus.Tcp_mgr.on_established conn (fun () ->

@@ -67,7 +67,8 @@ let export_interfaces kernel t =
       | Ok conn ->
           Tcp_mgr.on_established conn (fun () -> on_established (conn_ops conn));
           Ok ()
-      | Error (`Port_in_use p) -> Error (Printf.sprintf "port %d in use" p));
+      | Error (`Port_in_use p) -> Error (Printf.sprintf "port %d in use" p)
+      | Error `Ephemeral_exhausted -> Error "ephemeral ports exhausted");
   (* "There is also a kernel domain that contains the interface for
      allocating packet buffers (most extensions have access to this
      domain)." *)

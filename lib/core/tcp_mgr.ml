@@ -15,6 +15,7 @@ type counters = {
   mutable bad_checksum : int;
   mutable no_match : int;
   mutable accepted : int;
+  mutable eph_exhausted : int;
 }
 
 type conn = {
@@ -22,6 +23,7 @@ type conn = {
   ep : Endpoint.t;
   tcp : Proto.Tcp.t;
   mutable key : (int * int * int) option; (* remote ip, remote port, local port *)
+  mutable owns_port : bool; (* explicit src_port bind, released on close *)
   mutable user_rx : string -> unit;
   mutable user_established : unit -> unit;
   mutable user_peer_close : unit -> unit;
@@ -42,14 +44,27 @@ and t = {
   node : Graph.node;
   costs : Netsim.Costs.t;
   engine : Sim.Engine.t;
-  conns : (int * int * int, conn) Hashtbl.t;
+  conns : (int * int * int, conn) Spin.Sharded.Table.t;
   listeners : (int, listener) Hashtbl.t;
-  mutable bound : int list;          (* ports owned by this implementation *)
+  bound : (int, int) Hashtbl.t;      (* port -> live bind refcount
+                                        (listeners and explicit connects) *)
   mutable excluded : int list;       (* dst ports ceded to an alternative impl *)
   mutable excluded_src : int list;   (* src ports ceded (reverse direction) *)
   mutable next_ephemeral : int;
   counters : counters;
 }
+
+let bind_port t p =
+  Hashtbl.replace t.bound p
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.bound p))
+
+let release_port t p =
+  match Hashtbl.find_opt t.bound p with
+  | None -> ()
+  | Some n when n <= 1 -> Hashtbl.remove t.bound p
+  | Some n -> Hashtbl.replace t.bound p (n - 1)
+
+let port_bound t p = Hashtbl.mem t.bound p
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 
@@ -112,8 +127,14 @@ let make_env t conn_ref remote_ip_ref =
     on_close =
       (fun () ->
         (match !conn_ref with
-        | Some c -> (
-            match c.key with Some k -> Hashtbl.remove t.conns k | None -> ())
+        | Some c ->
+            (match c.key with
+            | Some k -> Spin.Sharded.Table.remove t.conns k
+            | None -> ());
+            if c.owns_port then begin
+              c.owns_port <- false;
+              release_port t (Endpoint.port c.ep)
+            end
         | None -> ());
         Sim.Cpu.run (cpu t) ~prio:(prio t) ~cost:Sim.Stime.zero (fun () ->
             match !conn_ref with Some c -> c.user_close () | None -> ()));
@@ -134,6 +155,7 @@ let make_conn t ~owner ~cfg ~local_port =
           ~port:local_port ~owner;
       tcp;
       key = None;
+      owns_port = false;
       user_rx = ignore;
       user_established = ignore;
       user_peer_close = ignore;
@@ -148,7 +170,7 @@ let register t conn ~remote:(rip, rport) remote_ip_ref =
   remote_ip_ref := rip;
   let key = (Proto.Ipaddr.to_int rip, rport, Endpoint.port conn.ep) in
   conn.key <- Some key;
-  Hashtbl.replace t.conns key conn
+  Spin.Sharded.Table.replace t.conns key conn
 
 let fresh_iss t =
   Proto.Tcp_wire.Seq.of_int (Sim.Rng.int (Sim.Engine.rng t.engine) 0x0fffffff)
@@ -190,7 +212,7 @@ let rx t ctx =
           h.Proto.Tcp_wire.src_port,
           h.Proto.Tcp_wire.dst_port )
       in
-      (match Hashtbl.find_opt t.conns key with
+      (match Spin.Sharded.Table.find_opt t.conns key with
       | Some conn -> Proto.Tcp.input conn.tcp v
       | None -> (
           match Hashtbl.find_opt t.listeners h.Proto.Tcp_wire.dst_port with
@@ -208,6 +230,9 @@ let rx t ctx =
               Proto.Tcp.input conn.tcp v
           | _ -> t.counters.no_match <- t.counters.no_match + 1))
 
+let ephemeral_lo = 32768
+let ephemeral_hi = 60999
+
 let create graph ip =
   let costs = Netsim.Host.costs (Graph.host graph) in
   let t =
@@ -217,15 +242,24 @@ let create graph ip =
       node = Graph.node graph "tcp";
       costs;
       engine = Netsim.Host.engine (Graph.host graph);
-      conns = Hashtbl.create 16;
+      conns = Spin.Sharded.Table.create ~shards:16 ~hash:Hashtbl.hash ();
       listeners = Hashtbl.create 8;
-      bound = [];
+      bound = Hashtbl.create 8;
       excluded = [];
       excluded_src = [];
-      next_ephemeral = 32768;
-      counters = { rx = 0; bad_checksum = 0; no_match = 0; accepted = 0 };
+      next_ephemeral = ephemeral_lo;
+      counters =
+        { rx = 0; bad_checksum = 0; no_match = 0; accepted = 0;
+          eph_exhausted = 0 };
     }
   in
+  let reg = Graph.registry graph in
+  Observe.Registry.gauge reg "tcp.conns.occupancy" (fun () ->
+      Spin.Sharded.Table.length t.conns);
+  Observe.Registry.gauge reg "tcp.conns.max_shard" (fun () ->
+      Spin.Sharded.Table.max_shard_size t.conns);
+  Observe.Registry.gauge reg "tcp.ephemeral.exhausted" (fun () ->
+      t.counters.eph_exhausted);
   Graph.add_edge graph ~parent:(Ip_mgr.node ip) ~child:"tcp" ~label:"proto=6";
   let (_ : unit -> unit) =
     Spin.Dispatcher.install
@@ -258,40 +292,76 @@ let exclude_src_ports t ports =
   t.excluded_src <- ports;
   Spin.Dispatcher.touch (Graph.recv_event (Ip_mgr.node t.ip))
 
-type error = [ `Port_in_use of int ]
+type error = [ `Port_in_use of int | `Ephemeral_exhausted ]
 
 let listen t ~owner ~port ?(cfg = Proto.Tcp.default_config ()) ~on_accept () =
-  if Hashtbl.mem t.listeners port || List.mem port t.bound then
+  if Hashtbl.mem t.listeners port || port_bound t port then
     Error (`Port_in_use port)
   else begin
     Hashtbl.replace t.listeners port { l_port = port; l_owner = owner; l_cfg = cfg; on_accept };
-    t.bound <- port :: t.bound;
+    bind_port t port;
     Graph.add_edge t.graph ~parent:t.node ~child:owner
       ~label:(Printf.sprintf "listen:%d" port);
     Ok ()
   end
 
 let unlisten t port =
-  Hashtbl.remove t.listeners port;
-  t.bound <- List.filter (fun p -> p <> port) t.bound
+  if Hashtbl.mem t.listeners port then begin
+    Hashtbl.remove t.listeners port;
+    release_port t port
+  end
+
+(* Ephemeral allocation is per (remote ip, remote port): a local port is
+   only skipped while a live connection to the *same* remote endpoint
+   holds it (or an explicit bind owns it), so distinct destinations can
+   reuse local ports and the usable connection space scales with the
+   number of servers, not the 28k-port range.  A full sweep of the range
+   without a free port is surfaced to the caller and counted. *)
+let alloc_ephemeral t ~dst:(dip, dport) =
+  let dip = Proto.Ipaddr.to_int dip in
+  let range = ephemeral_hi - ephemeral_lo + 1 in
+  let rec scan tried p =
+    if tried >= range then None
+    else
+      let next = if p >= ephemeral_hi then ephemeral_lo else p + 1 in
+      if port_bound t p || Spin.Sharded.Table.mem t.conns (dip, dport, p) then
+        scan (tried + 1) next
+      else begin
+        t.next_ephemeral <- next;
+        Some p
+      end
+  in
+  scan 0 t.next_ephemeral
 
 let connect t ~owner ?src_port ~dst ?(cfg = Proto.Tcp.default_config ()) () =
-  let port =
-    match src_port with
-    | Some p -> p
-    | None ->
-        let p = t.next_ephemeral in
-        t.next_ephemeral <- (if p >= 60999 then 32768 else p + 1);
-        p
-  in
-  if List.mem port t.bound then Error (`Port_in_use port)
-  else begin
-    t.bound <- port :: t.bound;
-    let conn, rref = make_conn t ~owner ~cfg ~local_port:port in
+  let dst_ip, dst_port = dst in
+  let start conn rref port_owned =
+    conn.owns_port <- port_owned;
     register t conn ~remote:dst rref;
     Proto.Tcp.connect conn.tcp ~remote:dst ~iss:(fresh_iss t);
     Ok conn
-  end
+  in
+  match src_port with
+  | Some port ->
+      if
+        port_bound t port
+        || Hashtbl.mem t.listeners port
+        || Spin.Sharded.Table.mem t.conns
+             (Proto.Ipaddr.to_int dst_ip, dst_port, port)
+      then Error (`Port_in_use port)
+      else begin
+        bind_port t port;
+        let conn, rref = make_conn t ~owner ~cfg ~local_port:port in
+        start conn rref true
+      end
+  | None -> (
+      match alloc_ephemeral t ~dst with
+      | None ->
+          t.counters.eph_exhausted <- t.counters.eph_exhausted + 1;
+          Error `Ephemeral_exhausted
+      | Some port ->
+          let conn, rref = make_conn t ~owner ~cfg ~local_port:port in
+          start conn rref false)
 
 (* Connection operations, charged like any application-initiated kernel
    work. *)

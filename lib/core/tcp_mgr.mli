@@ -5,7 +5,10 @@
 type t
 type conn
 
-type error = [ `Port_in_use of int ]
+type error = [ `Port_in_use of int | `Ephemeral_exhausted ]
+(** [`Ephemeral_exhausted]: every port in the ephemeral range has a live
+    connection to the requested destination (or an explicit bind), so
+    [connect] without [src_port] cannot proceed. *)
 
 type counters = {
   mutable rx : int;
@@ -15,6 +18,9 @@ type counters = {
           (or reaches a listener) by its possibly-corrupted ports. *)
   mutable no_match : int;
   mutable accepted : int;
+  mutable eph_exhausted : int;
+      (** Failed ephemeral allocations (full range sweep found no port
+          free for the destination). *)
 }
 
 val create : Graph.t -> Ip_mgr.t -> t
@@ -32,7 +38,8 @@ val exclude_src_ports : t -> int list -> unit
 
 val listen :
   t -> owner:string -> port:int -> ?cfg:Proto.Tcp.config ->
-  on_accept:(conn -> unit) -> unit -> (unit, [> error ]) result
+  on_accept:(conn -> unit) -> unit ->
+  (unit, [> `Port_in_use of int ]) result
 
 val unlisten : t -> int -> unit
 

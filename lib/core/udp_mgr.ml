@@ -32,7 +32,7 @@ type t = {
   ip : Ip_mgr.t;
   node : Graph.node;
   costs : Netsim.Costs.t;
-  binds : (int, Endpoint.t) Hashtbl.t;
+  binds : (int, Endpoint.t) Spin.Sharded.Table.t;
   counters : counters;
   mutable spoof_policy : spoof_policy;
   mutable excluded : int list; (* dst ports ceded to an alternative impl *)
@@ -66,7 +66,7 @@ let create graph ip =
       ip;
       node = Graph.node graph "udp";
       costs;
-      binds = Hashtbl.create 16;
+      binds = Spin.Sharded.Table.create ~shards:16 ~hash:Hashtbl.hash ();
       counters =
         {
           rx = 0;
@@ -81,6 +81,11 @@ let create graph ip =
       excluded = [];
     }
   in
+  let reg = Graph.registry graph in
+  Observe.Registry.gauge reg "udp.binds.occupancy" (fun () ->
+      Spin.Sharded.Table.length t.binds);
+  Observe.Registry.gauge reg "udp.binds.max_shard" (fun () ->
+      Spin.Sharded.Table.max_shard_size t.binds);
   Graph.add_edge graph ~parent:(Ip_mgr.node ip) ~child:"udp" ~label:"proto=17";
   let handle ctx =
     t.counters.rx <- t.counters.rx + 1;
@@ -102,7 +107,7 @@ let create graph ip =
               (Pctx.advance ctx Proto.Udp.header_len)
               ~src_port:h.Proto.Udp.src_port ~dst_port:h.Proto.Udp.dst_port
           in
-          if Hashtbl.mem t.binds h.Proto.Udp.dst_port then begin
+          if Spin.Sharded.Table.mem t.binds h.Proto.Udp.dst_port then begin
             t.counters.delivered <- t.counters.delivered + 1;
             Spin.Dispatcher.raise (Graph.recv_event t.node) ctx
           end
@@ -153,16 +158,16 @@ let exclude_ports t ports =
   Spin.Dispatcher.touch (Graph.recv_event (Ip_mgr.node t.ip))
 
 let bind t ~owner ~port =
-  if Hashtbl.mem t.binds port then Error (`Port_in_use port)
+  if Spin.Sharded.Table.mem t.binds port then Error (`Port_in_use port)
   else begin
     let ep =
       Endpoint.make ~proto:Endpoint.Udp ~ip:(Ip_mgr.host_ip t.ip) ~port ~owner
     in
-    Hashtbl.replace t.binds port ep;
+    Spin.Sharded.Table.replace t.binds port ep;
     Ok ep
   end
 
-let unbind t ep = Hashtbl.remove t.binds (Endpoint.port ep)
+let unbind t ep = Spin.Sharded.Table.remove t.binds (Endpoint.port ep)
 
 let port_guard ep ctx = ctx.Pctx.dst_port = Endpoint.port ep
 
@@ -338,4 +343,6 @@ let send_claiming t ep ?prio ?(checksum = true) ~claimed_src_port ~dst data =
         Ok ()
       end
 
-let bound_ports t = Hashtbl.fold (fun p _ acc -> p :: acc) t.binds [] |> List.sort compare
+let bound_ports t =
+  Spin.Sharded.Table.fold (fun p _ acc -> p :: acc) t.binds []
+  |> List.sort compare

@@ -1,47 +1,112 @@
 (* The discrete-event loop.  Events are thunks keyed by their firing time;
    the loop repeatedly pops the earliest event, advances the clock to it and
-   runs it.  Cancellation is lazy: a cancelled handle's thunk is skipped
-   when popped. *)
+   runs it.
 
-type handle = { mutable cancelled : bool }
+   Events live in a hierarchical timer wheel (O(1) schedule, O(1) true
+   cancel that drops the thunk eagerly).  The wheel's horizon advances to
+   the earliest pending deadline whenever we peek ahead — e.g. when
+   [run ~until] looks past the horizon and stops — so an event scheduled
+   after such a run can land *behind* the wheel.  Those rare stragglers go
+   to a small binary-heap side queue; pops merge the two by (key, seq) so
+   global firing order is identical to a single stable heap. *)
 
-type event = { h : handle; thunk : unit -> unit }
+type event = { seq : int; mutable thunk : (unit -> unit) option }
 
-type t = {
+type handle =
+  | Wheel of event Timer_wheel.node
+  | Front of t * event
+
+and t = {
   mutable clock : Stime.t;
-  queue : event Pheap.t;
+  wheel : event Timer_wheel.t;
+  front : event Pheap.t; (* events scheduled behind the wheel horizon *)
+  mutable front_live : int;
   rng : Rng.t;
   mutable events_run : int;
+  mutable next_seq : int;
 }
 
 let create ?(seed = 42) () =
-  { clock = Stime.zero; queue = Pheap.create (); rng = Rng.create seed; events_run = 0 }
+  {
+    clock = Stime.zero;
+    wheel = Timer_wheel.create ();
+    front = Pheap.create ();
+    front_live = 0;
+    rng = Rng.create seed;
+    events_run = 0;
+    next_seq = 0;
+  }
 
 let now t = t.clock
 let rng t = t.rng
 let events_run t = t.events_run
-let pending t = Pheap.size t.queue
+let pending t = Timer_wheel.live t.wheel + t.front_live
 
 let schedule t ~at thunk =
   if Stime.compare at t.clock < 0 then
     invalid_arg "Engine.schedule: cannot schedule in the past";
-  let h = { cancelled = false } in
-  Pheap.add t.queue ~key:(Stime.to_ns at) { h; thunk };
-  h
+  let key = Stime.to_ns at in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let ev = { seq; thunk = Some thunk } in
+  if key >= Timer_wheel.horizon t.wheel then Wheel (Timer_wheel.add t.wheel ~key ev)
+  else begin
+    Pheap.add t.front ~key ev;
+    t.front_live <- t.front_live + 1;
+    Front (t, ev)
+  end
 
 let schedule_in t ~delay thunk = schedule t ~at:(Stime.add t.clock delay) thunk
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  match h with
+  | Wheel node -> Timer_wheel.cancel node
+  | Front (t, ev) ->
+      if ev.thunk <> None then begin
+        ev.thunk <- None;
+        t.front_live <- t.front_live - 1
+      end
+
+(* Peek the side queue, discarding cancelled entries as we meet them. *)
+let rec front_peek t =
+  match Pheap.peek_min t.front with
+  | None -> None
+  | Some (_, ev) when ev.thunk = None ->
+      ignore (Pheap.pop_min t.front);
+      front_peek t
+  | Some (key, ev) -> Some (key, ev)
+
+let next_key t =
+  match (front_peek t, Timer_wheel.peek_min t.wheel) with
+  | None, None -> None
+  | Some (k, _), None | None, Some (k, _) -> Some k
+  | Some (fk, _), Some (wk, _) -> Some (min fk wk)
+
+let pop_next t =
+  match (front_peek t, Timer_wheel.peek_min t.wheel) with
+  | None, None -> None
+  | Some _, None ->
+      t.front_live <- t.front_live - 1;
+      Pheap.pop_min t.front
+  | None, Some _ -> Timer_wheel.pop_min t.wheel
+  | Some (fk, fev), Some (wk, wev) ->
+      if fk < wk || (fk = wk && fev.seq < wev.seq) then begin
+        t.front_live <- t.front_live - 1;
+        Pheap.pop_min t.front
+      end
+      else Timer_wheel.pop_min t.wheel
 
 let step t =
-  match Pheap.pop_min t.queue with
+  match pop_next t with
   | None -> false
   | Some (key, ev) ->
       t.clock <- Stime.ns key;
-      if not ev.h.cancelled then begin
-        t.events_run <- t.events_run + 1;
-        ev.thunk ()
-      end;
+      (match ev.thunk with
+      | Some k ->
+          ev.thunk <- None;
+          t.events_run <- t.events_run + 1;
+          k ()
+      | None -> assert false (* live entries always carry a thunk *));
       true
 
 let run ?until ?(max_events = max_int) t =
@@ -49,13 +114,11 @@ let run ?until ?(max_events = max_int) t =
     match until with
     | None -> true
     | Some limit -> (
-        match Pheap.peek_min t.queue with
+        match next_key t with
         | None -> false
-        | Some (key, _) -> key <= Stime.to_ns limit)
+        | Some key -> key <= Stime.to_ns limit)
   in
-  let rec loop n =
-    if n < max_events && continue () && step t then loop (n + 1)
-  in
+  let rec loop n = if n < max_events && continue () && step t then loop (n + 1) in
   loop 0;
   (* If we stopped because of the horizon, advance the clock to it so that
      utilization windows are well-defined. *)

@@ -22,7 +22,8 @@ val events_run : t -> int
 (** Number of events executed so far. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones). *)
+(** Number of live events still queued.  Cancelled events are removed
+    eagerly and never counted. *)
 
 val schedule : t -> at:Stime.t -> (unit -> unit) -> handle
 (** [schedule t ~at k] runs [k] when the clock reaches [at].
@@ -32,7 +33,9 @@ val schedule_in : t -> delay:Stime.t -> (unit -> unit) -> handle
 (** [schedule_in t ~delay k] runs [k] after [delay] of virtual time. *)
 
 val cancel : handle -> unit
-(** Prevent a scheduled event from running.  Idempotent. *)
+(** Prevent a scheduled event from running.  The event is removed from the
+    queue immediately and its thunk dropped, so cancellation retains no
+    memory until the original deadline.  Idempotent. *)
 
 val step : t -> bool
 (** Run the single earliest event.  [false] when the queue is empty. *)

@@ -33,3 +33,11 @@ let exponential t ~mean =
   -.mean *. log u
 
 let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Rng.pareto: shape and scale must be positive";
+  let u = float t 1.0 in
+  let u = if u <= 0. then 1e-12 else u in
+  (* inverse-CDF: X = scale / U^(1/shape), support [scale, +inf) *)
+  scale /. (u ** (1. /. shape))

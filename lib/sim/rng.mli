@@ -23,3 +23,8 @@ val exponential : t -> mean:float -> float
 (** Exponentially distributed sample with the given mean. *)
 
 val uniform : t -> lo:float -> hi:float -> float
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto-distributed sample on [\[scale, +inf)] — the classic
+    heavy-tailed flow-size distribution.  [shape] <= 1 has infinite
+    mean; web-flow fits are usually 1.1–1.5. *)

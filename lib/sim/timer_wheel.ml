@@ -1,0 +1,214 @@
+(* Hierarchical timer wheel with O(1) add, O(1) true cancel and amortised
+   O(1) pop.  Keys are non-negative nanosecond deadlines; a monotonically
+   increasing sequence number makes pops stable, so the wheel fires events
+   in exactly the same (key, seq) order as a binary heap would.
+
+   Layout: [levels] levels of [slots] = 2^[slot_bits] buckets each.  Level l
+   covers a window of 2^(slot_bits*(l+1)) ns split into [slots] buckets of
+   2^(slot_bits*l) ns.  An event with deadline [key] lives at the level
+   given by the highest bit in which [key] differs from the wheel's current
+   time [cur]; when [cur] advances into a higher-level bucket's window the
+   bucket is cascaded (redistributed) into lower levels.
+
+   Each bucket is a circular doubly-linked list with a sentinel, so cancel
+   unlinks in O(1) and drops the payload eagerly — no closure is retained
+   past cancellation.
+
+   Order invariant: every event whose deadline lies within the current
+   level-(l+1) bucket window is stored at level <= l, because the cascade
+   pulls a window's events down exactly when [cur] enters it and [cur] only
+   moves forward.  Hence a direct add into a bucket always carries a larger
+   seq than anything cascaded there earlier, cascading preserves list
+   order, and bucket lists stay seq-sorted: popping the head of the lowest
+   occupied slot reproduces heap order exactly. *)
+
+let slot_bits = 5
+let slots = 1 lsl slot_bits (* 32 *)
+let slot_mask = slots - 1
+let levels = 13 (* 13 * 5 = 65 bits: covers any non-negative OCaml int key *)
+
+type 'a node = {
+  mutable key : int;
+  mutable value : 'a option; (* None once cancelled or fired *)
+  mutable prev : 'a node;
+  mutable next : 'a node;
+  mutable owner : 'a t option; (* None for sentinels and detached nodes *)
+  mutable level : int;
+  mutable slot : int;
+  seq : int;
+}
+
+and 'a t = {
+  buckets : 'a node array array; (* [level].[slot] -> sentinel *)
+  occupancy : int array; (* per-level bitmap of non-empty slots *)
+  mutable cur : int; (* current time; all live keys are >= cur *)
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+let make_sentinel () =
+  let rec s =
+    { key = 0; value = None; prev = s; next = s; owner = None; level = -1;
+      slot = -1; seq = -1 }
+  in
+  s
+
+let create () =
+  {
+    buckets = Array.init levels (fun _ -> Array.init slots (fun _ -> make_sentinel ()));
+    occupancy = Array.make levels 0;
+    cur = 0;
+    live = 0;
+    next_seq = 0;
+  }
+
+let live t = t.live
+let is_empty t = t.live = 0
+
+(* Level at which an event with deadline [key] lives, given current time
+   [cur]: the index of the 5-bit digit group containing the highest bit in
+   which key and cur differ (0 when key = cur). *)
+let level_for t key =
+  let x = key lxor t.cur in
+  if x = 0 then 0
+  else begin
+    let rec highest_bit x acc =
+      if x >= 0x1_0000_0000 then highest_bit (x lsr 32) (acc + 32)
+      else if x >= 0x1_0000 then highest_bit (x lsr 16) (acc + 16)
+      else if x >= 0x100 then highest_bit (x lsr 8) (acc + 8)
+      else if x >= 0x10 then highest_bit (x lsr 4) (acc + 4)
+      else if x >= 0x4 then highest_bit (x lsr 2) (acc + 2)
+      else if x >= 0x2 then acc + 1
+      else acc
+    in
+    highest_bit x 0 / slot_bits
+  end
+
+let lowest_set_bit x =
+  (* index of the least-significant set bit; x <> 0 *)
+  let rec go x acc =
+    if x land 1 = 1 then acc else go (x lsr 1) (acc + 1)
+  in
+  go x 0
+
+let link_at t node level slot =
+  node.level <- level;
+  node.slot <- slot;
+  let s = t.buckets.(level).(slot) in
+  (* insert before the sentinel = append at tail, preserving seq order *)
+  node.prev <- s.prev;
+  node.next <- s;
+  s.prev.next <- node;
+  s.prev <- node;
+  t.occupancy.(level) <- t.occupancy.(level) lor (1 lsl slot)
+
+let place t node =
+  let level = level_for t node.key in
+  let slot = (node.key lsr (slot_bits * level)) land slot_mask in
+  link_at t node level slot
+
+let add t ~key value =
+  if key < t.cur then invalid_arg "Timer_wheel.add: key is in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let rec node =
+    { key; value = Some value; prev = node; next = node; owner = Some t;
+      level = 0; slot = 0; seq }
+  in
+  place t node;
+  t.live <- t.live + 1;
+  node
+
+let unlink t node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev;
+  let s = t.buckets.(node.level).(node.slot) in
+  if s.next == s then
+    t.occupancy.(node.level) <- t.occupancy.(node.level) land lnot (1 lsl node.slot);
+  node.prev <- node;
+  node.next <- node
+
+let cancel node =
+  match node.owner with
+  | None -> () (* already fired or cancelled; idempotent *)
+  | Some t ->
+      unlink t node;
+      node.owner <- None;
+      node.value <- None;
+      t.live <- t.live - 1
+
+let is_live node = match node.owner with Some _ -> true | None -> false
+
+(* Move every node of bucket [level].[slot] down to its proper lower level.
+   Precondition: [t.cur] has been advanced so that the bucket's window
+   starts at or before cur's window at this level, i.e. every node now maps
+   to a strictly lower level.  Traversal preserves list (= seq) order. *)
+let cascade t level slot =
+  let s = t.buckets.(level).(slot) in
+  t.occupancy.(level) <- t.occupancy.(level) land lnot (1 lsl slot);
+  let rec drain node =
+    if node != s then begin
+      let next = node.next in
+      node.prev <- node;
+      node.next <- node;
+      place t node;
+      drain next
+    end
+  in
+  let first = s.next in
+  s.next <- s;
+  s.prev <- s;
+  drain first
+
+(* Advance [cur] to the earliest live deadline and return its level-0 slot,
+   cascading higher-level buckets as needed.  Returns the sentinel of the
+   level-0 bucket holding the minimum, or None when empty. *)
+let rec settle t =
+  if t.live = 0 then None
+  else begin
+    (* find the lowest non-empty level *)
+    let rec find_level l =
+      if l >= levels then None
+      else if t.occupancy.(l) <> 0 then Some l
+      else find_level (l + 1)
+    in
+    match find_level 0 with
+    | None -> None (* unreachable when live > 0 *)
+    | Some 0 ->
+        let slot = lowest_set_bit t.occupancy.(0) in
+        let s = t.buckets.(0).(slot) in
+        (* every node in a level-0 bucket shares one exact deadline *)
+        t.cur <- s.next.key;
+        Some s
+    | Some l ->
+        let slot = lowest_set_bit t.occupancy.(l) in
+        (* jump cur to the start of that bucket's window, then cascade *)
+        let high = (t.cur lsr (slot_bits * (l + 1))) lsl (slot_bits * (l + 1)) in
+        t.cur <- high lor (slot lsl (slot_bits * l));
+        cascade t l slot;
+        settle t
+  end
+
+let horizon t = t.cur
+
+let peek_min t =
+  match settle t with
+  | None -> None
+  | Some s -> (
+      match s.next.value with
+      | Some v -> Some (s.next.key, v)
+      | None -> assert false (* cancelled nodes are never linked *))
+
+let pop_min t =
+  match settle t with
+  | None -> None
+  | Some s ->
+      let node = s.next in
+      unlink t node;
+      node.owner <- None;
+      t.live <- t.live - 1;
+      let v = node.value in
+      node.value <- None;
+      (match v with
+       | Some v -> Some (node.key, v)
+       | None -> assert false (* cancelled nodes are never linked *))

@@ -1,0 +1,43 @@
+(** Hierarchical timer wheel.
+
+    A priority queue over non-negative integer keys (nanosecond deadlines)
+    with O(1) [add], O(1) true-removal [cancel] and amortised O(1)
+    [pop_min].  Pops are stable: among equal keys, insertion order wins —
+    the wheel fires in exactly the same order as {!Pheap} would.
+
+    The wheel has a moving horizon: once a key has been popped (or revealed
+    by {!peek_min}), no smaller key may be added.  Callers that need to
+    schedule behind the horizon must keep such entries in a side structure
+    (see {!Engine}). *)
+
+type 'a t
+
+type 'a node
+(** A scheduled entry, usable for cancellation. *)
+
+val create : unit -> 'a t
+
+val live : 'a t -> int
+(** Number of entries added but not yet popped or cancelled. *)
+
+val is_empty : 'a t -> bool
+
+val horizon : 'a t -> int
+(** Smallest key currently accepted by {!add}. Only moves forward. *)
+
+val add : 'a t -> key:int -> 'a -> 'a node
+(** O(1).  @raise Invalid_argument if [key < horizon t]. *)
+
+val cancel : 'a node -> unit
+(** O(1) true removal: unlinks the node and drops its payload eagerly so
+    the value is not retained until its deadline.  Idempotent. *)
+
+val is_live : 'a node -> bool
+(** [true] until the node is popped or cancelled. *)
+
+val peek_min : 'a t -> (int * 'a) option
+(** Earliest live entry without removing it.  May advance {!horizon} up to
+    the returned key. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the earliest live entry. *)

@@ -136,9 +136,13 @@ type flow = No_flow | Recording of recording | Replaying of replay
 let hop_valid hop = !(hop.hop_gen) = hop.hop_gen_at
 let entry_valid hops = Array.for_all hop_valid hops
 
-(* Per-event entry tables are bounded; on overflow the table is simply
-   reset (steady-state flows re-record on their next packet). *)
-let max_entries_per_event = 4096
+(* Per-event entry tables are sharded CLOCK caches (see {!Sharded.Cache}):
+   shards grow geometrically up to a per-shard ceiling, then cold entries
+   are evicted one at a time — steady-state flows re-record on their next
+   packet.  This replaces the old flat 4096-entry table whose overflow
+   policy was a full reset. *)
+let cache_shards = 16
+let cache_per_shard = 8192
 
 (* Introspection views (see [dump]). *)
 type handler_info = {
@@ -177,6 +181,7 @@ type t = {
   pc_hits : int ref;           (* flow-path cache *)
   pc_misses : int ref;
   pc_invalidations : int ref;
+  pc_evictions : int ref;      (* CLOCK evictions across all event caches *)
   mutable fcache : bool;       (* flow-path cache enabled *)
   mutable flow : flow;         (* dynamic delivery context *)
   mutable prio_override : Sim.Cpu.prio option;
@@ -210,6 +215,7 @@ let create ?registry ?trace ~cpu ~costs () =
     pc_hits = mkref registry "spin.path_cache.hits";
     pc_misses = mkref registry "spin.path_cache.misses";
     pc_invalidations = mkref registry "spin.path_cache.invalidations";
+    pc_evictions = mkref registry "spin.path_cache.evictions";
     fcache = false;
     flow = No_flow;
     prio_override = None;
@@ -230,6 +236,7 @@ let faults t = Sim.Stats.Counter.get t.faults
 let path_cache_hits t = !(t.pc_hits)
 let path_cache_misses t = !(t.pc_misses)
 let path_cache_invalidations t = !(t.pc_invalidations)
+let path_cache_evictions t = !(t.pc_evictions)
 let set_flow_cache t on = t.fcache <- on
 let flow_cache_enabled t = t.fcache
 
@@ -277,7 +284,7 @@ type 'a event = {
   buckets : (int, int list ref) Hashtbl.t;    (* key -> hids, newest first *)
   mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
   mutable sigfn : ('a -> string option) option; (* flow signature, roots only *)
-  entries : (string, hop array) Hashtbl.t;    (* flow signature -> chain *)
+  entries : hop array Sharded.Cache.t;        (* flow signature -> chain *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
   ev_raises : int ref;
@@ -306,7 +313,7 @@ let info_of_event ev =
     ei_mode = ev.mode;
     ei_indexed = ev.keyfn <> None;
     ei_generation = !(ev.gen);
-    ei_cache_entries = Hashtbl.length ev.entries;
+    ei_cache_entries = Sharded.Cache.length ev.entries;
     ei_handlers = handlers;
   }
 
@@ -325,7 +332,9 @@ let event disp ?(mode = Interrupt) ename =
       buckets = Hashtbl.create 8;
       keyfn = None;
       sigfn = None;
-      entries = Hashtbl.create 8;
+      entries =
+        Sharded.Cache.create ~shards:cache_shards ~per_shard:cache_per_shard
+          ~evictions:disp.pc_evictions ();
       nkeyed = 0;
       next_hid = 0;
       ev_raises = mkref disp.reg ("spin." ^ ename ^ ".raises");
@@ -335,6 +344,12 @@ let event disp ?(mode = Interrupt) ename =
     }
   in
   disp.introspectors <- (fun () -> info_of_event ev) :: disp.introspectors;
+  (match disp.reg with
+  | Some r ->
+      Observe.Registry.gauge r
+        ("spin." ^ ename ^ ".cache_occupancy")
+        (fun () -> Sharded.Cache.length ev.entries)
+  | None -> ());
   ev
 
 let dump t = List.rev_map (fun f -> f ()) t.introspectors
@@ -357,7 +372,7 @@ let set_keyfn ev kf =
 
 let set_sigfn ev sf = ev.sigfn <- Some sf
 let generation ev = !(ev.gen)
-let cache_entries ev = Hashtbl.length ev.entries
+let cache_entries ev = Sharded.Cache.length ev.entries
 let handler_count ev = Hashtbl.length ev.table
 let indexed_count ev = ev.nkeyed
 let linear_count ev = Hashtbl.length ev.table - ev.nkeyed
@@ -816,7 +831,7 @@ let replay_start ev v sg hops =
       rp_cost = d.costs.index;
       rp_live = true;
       rp_pending = Queue.create ();
-      rp_drop = (fun () -> Hashtbl.remove ev.entries sg);
+      rp_drop = (fun () -> Sharded.Cache.remove ev.entries sg);
     }
   in
   d.flow <- Replaying rp;
@@ -832,11 +847,7 @@ let record_raise ev v sg =
   let r =
     {
       rec_ename = ev.ename;
-      rec_commit =
-        (fun hops ->
-          if Hashtbl.length ev.entries >= max_entries_per_event then
-            Hashtbl.reset ev.entries;
-          Hashtbl.replace ev.entries sg hops);
+      rec_commit = (fun hops -> Sharded.Cache.put ev.entries sg hops);
       rec_hops = [];
       rec_pending = 0;
       rec_ok = true;
@@ -867,10 +878,10 @@ let dispatch ?prio ev v =
             match sigfn v with
             | None -> raise_core ev v No_flow (* unsignable: cache bypass *)
             | Some sg -> (
-                match Hashtbl.find_opt ev.entries sg with
+                match Sharded.Cache.find_opt ev.entries sg with
                 | Some hops when entry_valid hops -> replay_start ev v sg hops
                 | Some _ ->
-                    Hashtbl.remove ev.entries sg;
+                    Sharded.Cache.remove ev.entries sg;
                     incr d.pc_invalidations;
                     cache_invalidate_span d ev.ename "stale-generation";
                     incr d.pc_misses;

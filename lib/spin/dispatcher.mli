@@ -182,6 +182,10 @@ val path_cache_invalidations : t -> int
     divergence, or a recording invalidated by churn during its own
     delivery. *)
 
+val path_cache_evictions : t -> int
+(** Cold entries displaced by the CLOCK hand when a cache shard is at
+    capacity (across every event's cache on this dispatcher). *)
+
 val index_lookups : t -> int
 (** Raises that consulted a dispatch index instead of scanning. *)
 

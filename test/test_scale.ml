@@ -1,0 +1,324 @@
+(* Million-flow steady-state structures: the hierarchical timer wheel
+   (equivalence with the Pheap oracle, true cancellation), the sharded
+   flow tables and CLOCK cache, and ephemeral port allocation. *)
+
+let us = Sim.Stime.us
+
+(* ---- timer wheel ----------------------------------------------------- *)
+
+(* Oracle equivalence: the wheel must fire in exactly the (key, seq)
+   order of the stable binary heap, under arbitrary interleavings of
+   schedule, cancel and pop (a reschedule is a cancel + schedule). *)
+type op = Add of int | Cancel of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun d -> Add d) (int_bound 5000));
+        (2, map (fun i -> Cancel i) (int_bound 500));
+        (3, return Pop);
+      ])
+
+let op_print = function
+  | Add d -> Printf.sprintf "Add %d" d
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Pop -> "Pop"
+
+let wheel_matches_pheap ops =
+  let wheel = Sim.Timer_wheel.create () in
+  let heap = Sim.Pheap.create () in
+  (* mirror entries: wheel node + a cancelled flag read at heap pop *)
+  let nodes = ref [] (* (id, node) newest first *) in
+  let cancelled = Hashtbl.create 16 in
+  let next_id = ref 0 in
+  let ok = ref true in
+  let rec heap_pop () =
+    match Sim.Pheap.pop_min heap with
+    | None -> None
+    | Some (k, id) ->
+        if Hashtbl.mem cancelled id then heap_pop () else Some (k, id)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Add d ->
+          let key = Sim.Timer_wheel.horizon wheel + d in
+          let id = !next_id in
+          incr next_id;
+          let n = Sim.Timer_wheel.add wheel ~key id in
+          nodes := (id, n) :: !nodes;
+          Sim.Pheap.add heap ~key id
+      | Cancel i -> (
+          (* cancel the i-th most recent still-live entry, if any *)
+          match
+            List.filteri (fun j _ -> j = i)
+              (List.filter (fun (_, n) -> Sim.Timer_wheel.is_live n) !nodes)
+          with
+          | [ (id, n) ] ->
+              Sim.Timer_wheel.cancel n;
+              Sim.Timer_wheel.cancel n (* idempotent *)
+              ;
+              Hashtbl.replace cancelled id ()
+          | _ -> ())
+      | Pop ->
+          let w = Sim.Timer_wheel.pop_min wheel in
+          let h = heap_pop () in
+          if w <> h then ok := false)
+    ops;
+  (* drain both: remainders must agree too *)
+  let rec drain () =
+    match (Sim.Timer_wheel.pop_min wheel, heap_pop ()) with
+    | None, None -> ()
+    | w, h ->
+        if w <> h then ok := false
+        else drain ()
+  in
+  drain ();
+  !ok && Sim.Timer_wheel.is_empty wheel
+
+let wheel_oracle_qcheck =
+  QCheck.Test.make ~count:300 ~name:"timer wheel fires in pheap order"
+    QCheck.(make ~print:(fun l -> String.concat "; " (List.map op_print l))
+              Gen.(list_size (0 -- 200) op_gen))
+    wheel_matches_pheap
+
+let wheel_long_range () =
+  (* deadlines spread over many wheel levels, popped in order *)
+  let w = Sim.Timer_wheel.create () in
+  let keys =
+    [ 1; 31; 32; 33; 1_000; 32_768; 1_000_000; 123_456_789;
+      1_000_000_000_000; 4611686018427387903 (* max_int/2: level 12 *) ]
+  in
+  List.iter (fun k -> ignore (Sim.Timer_wheel.add w ~key:k k)) keys;
+  let popped = ref [] in
+  let rec go () =
+    match Sim.Timer_wheel.pop_min w with
+    | None -> ()
+    | Some (k, _) ->
+        popped := k :: !popped;
+        go ()
+  in
+  go ();
+  Alcotest.(check (list int)) "sorted across levels" (List.sort compare keys)
+    (List.rev !popped)
+
+let wheel_mass_cancel () =
+  (* 100k pending, mass-cancel, wheel must be observably empty *)
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let handles =
+    List.init 100_000 (fun i ->
+        Sim.Engine.schedule e ~at:(us (1 + (i mod 997))) (fun () -> incr fired))
+  in
+  Alcotest.(check int) "100k pending" 100_000 (Sim.Engine.pending e);
+  List.iter Sim.Engine.cancel handles;
+  Alcotest.(check int) "pending reports only live events" 0
+    (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "nothing fires" 0 !fired;
+  Alcotest.(check int) "no events counted" 0 (Sim.Engine.events_run e)
+
+let wheel_cancel_drops_thunk () =
+  (* a cancelled event's closure is released eagerly: the weak pointer
+     to its environment dies before the deadline is reached *)
+  let e = Sim.Engine.create () in
+  let payload = ref (Some (String.make 1024 'x')) in
+  let wp = Weak.create 1 in
+  (match !payload with Some s -> Weak.set wp 0 (Some s) | None -> ());
+  let h =
+    Sim.Engine.schedule e ~at:(us 1000) (fun () ->
+        match !payload with Some s -> ignore (String.length s) | None -> ())
+  in
+  payload := None;
+  Sim.Engine.cancel h;
+  Gc.full_major ();
+  Alcotest.(check bool) "closure environment collected" false
+    (Weak.check wp 0);
+  Sim.Engine.run e
+
+let engine_behind_horizon () =
+  (* run ~until peeks past the horizon; a later schedule between the
+     horizon and the next pending event must still fire, in order *)
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~at:(us 100) (fun () -> log := 100 :: !log));
+  Sim.Engine.run e ~until:(us 50);
+  (* the wheel's horizon has advanced to 100us; schedule inside (50,100) *)
+  ignore (Sim.Engine.schedule e ~at:(us 60) (fun () -> log := 60 :: !log));
+  ignore (Sim.Engine.schedule e ~at:(us 80) (fun () -> log := 80 :: !log));
+  Alcotest.(check int) "three pending" 3 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "order preserved" [ 60; 80; 100 ]
+    (List.rev !log)
+
+(* ---- sharded table ---------------------------------------------------- *)
+
+let table_basics () =
+  let t = Spin.Sharded.Table.create ~shards:4 ~hash:Hashtbl.hash () in
+  Alcotest.(check int) "shards round to pow2" 4
+    (Spin.Sharded.Table.shard_count t);
+  for i = 0 to 999 do
+    Spin.Sharded.Table.replace t i (i * 2)
+  done;
+  Alcotest.(check int) "length" 1000 (Spin.Sharded.Table.length t);
+  Alcotest.(check (option int)) "find" (Some 84)
+    (Spin.Sharded.Table.find_opt t 42);
+  Spin.Sharded.Table.remove t 42;
+  Alcotest.(check bool) "removed" false (Spin.Sharded.Table.mem t 42);
+  Alcotest.(check int) "length after remove" 999
+    (Spin.Sharded.Table.length t);
+  let sum = Spin.Sharded.Table.fold (fun k _ acc -> acc + k) t 0 in
+  Alcotest.(check int) "fold visits every shard" (499500 - 42) sum;
+  Alcotest.(check bool) "no shard holds everything" true
+    (Spin.Sharded.Table.max_shard_size t < 999)
+
+let cache_eviction () =
+  let ev = ref 0 in
+  let c = Spin.Sharded.Cache.create ~shards:1 ~per_shard:8 ~evictions:ev () in
+  Alcotest.(check int) "capacity" 8 (Spin.Sharded.Cache.capacity c);
+  for i = 0 to 7 do
+    Spin.Sharded.Cache.put c (string_of_int i) i
+  done;
+  Alcotest.(check int) "full" 8 (Spin.Sharded.Cache.length c);
+  Alcotest.(check int) "no eviction below capacity" 0 !ev;
+  (* keep "0" hot so CLOCK passes over it *)
+  Alcotest.(check (option int)) "hit" (Some 0)
+    (Spin.Sharded.Cache.find_opt c "0");
+  Spin.Sharded.Cache.put c "8" 8;
+  Alcotest.(check int) "bounded" 8 (Spin.Sharded.Cache.length c);
+  Alcotest.(check int) "one eviction" 1 !ev;
+  Alcotest.(check (option int)) "new entry present" (Some 8)
+    (Spin.Sharded.Cache.find_opt c "8");
+  Spin.Sharded.Cache.remove c "8";
+  Alcotest.(check (option int)) "remove" None
+    (Spin.Sharded.Cache.find_opt c "8");
+  Spin.Sharded.Cache.put c "9" 9;
+  Alcotest.(check int) "hole reused, no eviction" 1 !ev
+
+let cache_clock_keeps_hot () =
+  let c = Spin.Sharded.Cache.create ~shards:1 ~per_shard:8 () in
+  for i = 0 to 7 do
+    Spin.Sharded.Cache.put c (string_of_int i) i
+  done;
+  (* first overflow sweeps every reference bit clear and evicts one *)
+  Spin.Sharded.Cache.put c "8" 8;
+  Alcotest.(check int) "one eviction so far" 1
+    (Spin.Sharded.Cache.evictions c);
+  (* re-reference every survivor except "2": the next insert must pass
+     over the hot entries and claim the cold one *)
+  List.iter
+    (fun k -> ignore (Spin.Sharded.Cache.find_opt c k))
+    [ "1"; "3"; "4"; "5"; "6"; "7"; "8" ];
+  Spin.Sharded.Cache.put c "9" 9;
+  Alcotest.(check (option int)) "cold entry evicted" None
+    (Spin.Sharded.Cache.find_opt c "2");
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (k ^ " survives") true
+        (Spin.Sharded.Cache.find_opt c k <> None))
+    [ "1"; "3"; "4"; "5"; "6"; "7"; "8"; "9" ]
+
+let cache_grows () =
+  let c = Spin.Sharded.Cache.create ~shards:1 ~per_shard:1024 () in
+  for i = 0 to 999 do
+    Spin.Sharded.Cache.put c (string_of_int i) i
+  done;
+  Alcotest.(check int) "grew without eviction" 1000
+    (Spin.Sharded.Cache.length c);
+  Alcotest.(check int) "no evictions" 0 (Spin.Sharded.Cache.evictions c);
+  for i = 0 to 999 do
+    Alcotest.(check bool) "still present" true
+      (Spin.Sharded.Cache.find_opt c (string_of_int i) <> None)
+  done
+
+(* ---- rng ------------------------------------------------------------- *)
+
+let pareto_support =
+  QCheck.Test.make ~name:"pareto stays on [scale, inf)" QCheck.small_int
+    (fun seed ->
+      let r = Sim.Rng.create seed in
+      List.for_all
+        (fun _ -> Sim.Rng.pareto r ~shape:1.2 ~scale:3.0 >= 3.0)
+        (List.init 50 Fun.id))
+
+(* ---- tcp ephemeral ports ---------------------------------------------- *)
+
+let eph_range = 60999 - 32768 + 1
+
+let ephemeral_exhaustion () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let tcp = Plexus.Stack.tcp p.Experiments.Common.a in
+  let dst = (Experiments.Common.ip_b, 80) in
+  let first = ref None in
+  for _ = 1 to eph_range do
+    match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~dst () with
+    | Ok c -> if !first = None then first := Some c
+    | Error _ -> Alcotest.fail "allocation failed before exhaustion"
+  done;
+  (* every port now holds a live connection to this destination *)
+  (match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~dst () with
+  | Error `Ephemeral_exhausted -> ()
+  | Ok _ -> Alcotest.fail "expected exhaustion"
+  | Error (`Port_in_use _) -> Alcotest.fail "wrong error");
+  Alcotest.(check int) "exhaustion counted" 1
+    (Plexus.Tcp_mgr.counters tcp).Plexus.Tcp_mgr.eph_exhausted;
+  (* a different destination tuple is unaffected *)
+  (match
+     Plexus.Tcp_mgr.connect tcp ~owner:"t"
+       ~dst:(Experiments.Common.ip_b, 81) ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "tuple reuse should allow other destinations");
+  (* releasing one connection frees its port for the exhausted tuple *)
+  (match !first with Some c -> Plexus.Tcp_mgr.abort c | None -> ());
+  match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~dst () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "closed connection should free its port"
+
+let explicit_port_released () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let tcp = Plexus.Stack.tcp p.Experiments.Common.a in
+  let dst = (Experiments.Common.ip_b, 80) in
+  let c1 =
+    match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~src_port:5555 ~dst () with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "explicit connect"
+  in
+  (match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~src_port:5555 ~dst () with
+  | Error (`Port_in_use 5555) -> ()
+  | _ -> Alcotest.fail "live explicit port must conflict");
+  Plexus.Tcp_mgr.abort c1;
+  match Plexus.Tcp_mgr.connect tcp ~owner:"t" ~src_port:5555 ~dst () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "explicit port must be released on close"
+
+let tc name f = Alcotest.test_case name `Quick f
+let prop t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "scale.timer_wheel",
+      [
+        prop wheel_oracle_qcheck;
+        tc "keys across all levels" wheel_long_range;
+        tc "100k pending, mass cancel" wheel_mass_cancel;
+        tc "cancel drops the closure eagerly" wheel_cancel_drops_thunk;
+        tc "schedule behind a peeked horizon" engine_behind_horizon;
+      ] );
+    ( "scale.sharded",
+      [
+        tc "table basics" table_basics;
+        tc "cache bounded with eviction" cache_eviction;
+        tc "clock keeps referenced entries" cache_clock_keeps_hot;
+        tc "cache grows to capacity first" cache_grows;
+      ] );
+    ( "scale.workload",
+      [ prop pareto_support ] );
+    ( "scale.ephemeral",
+      [
+        tc "exhaustion surfaces and frees on close" ephemeral_exhaustion;
+        tc "explicit port released on close" explicit_port_released;
+      ] );
+  ]
