@@ -73,6 +73,33 @@ let reset t =
       | Gauge _ -> ())
     t.tbl
 
+(* Fold [src]'s metrics into [into], optionally re-rooting names under
+   [prefix] (the parallel datapath merges per-domain registries under
+   ["domainN."] labels).  Counters add, histograms merge bucket-wise,
+   and gauges are re-registered as a closure summing the sources seen so
+   far — so merging four domains' pool-occupancy gauges yields the
+   aggregate occupancy.  [src] is read, never written; merging a live
+   registry is a consistent point-in-time fold only if [src]'s owner
+   domain has quiesced. *)
+let merge_into ?(prefix = "") ~into src =
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) src.tbl [] |> List.sort compare
+  in
+  List.iter
+    (fun k ->
+      let dst_key = prefix ^ k in
+      match Hashtbl.find src.tbl k with
+      | Counter r ->
+          let d = counter into dst_key in
+          d := !d + !r
+      | Hist h -> Histogram.merge ~into:(histogram into dst_key) h
+      | Gauge f -> (
+          match Hashtbl.find_opt into.tbl dst_key with
+          | Some (Gauge g) -> gauge into dst_key (fun () -> g () + f ())
+          | Some e -> mismatch into dst_key e "gauge"
+          | None -> gauge into dst_key f))
+    keys
+
 type sample = Count of int | Level of int | Dist of Histogram.snapshot
 
 let sample_of = function

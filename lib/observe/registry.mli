@@ -42,6 +42,14 @@ val reset : t -> unit
 (** Zero every counter and histogram; gauges sample live state and are
     untouched. *)
 
+val merge_into : ?prefix:string -> into:t -> t -> unit
+(** [merge_into ?prefix ~into src] folds [src]'s metrics into [into],
+    with each name re-rooted as [prefix ^ name].  Counters are summed,
+    histograms merged bucket-wise, and gauges stacked into a closure
+    summing every merged source.  [src] is not modified.  Used by the
+    parallel datapath to merge per-domain registries at snapshot time.
+    @raise Invalid_argument on a metric-kind clash at a target name. *)
+
 type sample = Count of int | Level of int | Dist of Histogram.snapshot
 
 val snapshot : t -> (string * sample) list

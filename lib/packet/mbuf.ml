@@ -47,32 +47,53 @@ let default_headroom = 64
    GC directly (cls = -1). *)
 let classes = [| 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 |]
 let max_freelist_depth = 512
-let freelists : Bytes.t list array = Array.make (Array.length classes) []
-let freelist_depths = Array.make (Array.length classes) 0
+
+(* The free lists are domain-local (one recycling pool per OCaml domain,
+   via [Domain.DLS]): the parallel datapath runs one packet-processing
+   stack per domain, and a shared pool would let two domains pop the
+   same buffer — silent payload aliasing.  Domain-locality also means a
+   buffer freed on a worker is recycled by that worker, which is the
+   per-domain mbuf-pool model the multicore datapath wants anyway.
+   Single-domain programs see exactly the old behaviour. *)
+type freelist_state = {
+  freelists : Bytes.t list array;
+  freelist_depths : int array;
+}
+
+let freelist_key =
+  Stdlib.Domain.DLS.new_key (fun () ->
+      {
+        freelists = Array.make (Array.length classes) [];
+        freelist_depths = Array.make (Array.length classes) 0;
+      })
 
 let class_of size =
   let n = Array.length classes in
   let rec go i = if i >= n then -1 else if classes.(i) >= size then i else go (i + 1) in
   go 0
 
+(* Drains the *calling domain's* free lists. *)
 let drain_freelist () =
-  Array.fill freelists 0 (Array.length freelists) [];
-  Array.fill freelist_depths 0 (Array.length freelist_depths) 0
+  let fl = Stdlib.Domain.DLS.get freelist_key in
+  Array.fill fl.freelists 0 (Array.length fl.freelists) [];
+  Array.fill fl.freelist_depths 0 (Array.length fl.freelist_depths) 0
 
 (* Allocate a store of at least [size] usable bytes, recycling a
    free-listed buffer of the right class when one is available. *)
 let alloc_store size =
   let cls = class_of size in
-  if cls >= 0 then
-    match freelists.(cls) with
+  if cls >= 0 then begin
+    let fl = Stdlib.Domain.DLS.get freelist_key in
+    match fl.freelists.(cls) with
     | data :: rest ->
-        freelists.(cls) <- rest;
-        freelist_depths.(cls) <- freelist_depths.(cls) - 1;
+        fl.freelists.(cls) <- rest;
+        fl.freelist_depths.(cls) <- fl.freelist_depths.(cls) - 1;
         Metrics.count_recycle ();
         { data; refs = 1; cls }
     | [] ->
         Metrics.count_alloc ();
         { data = Bytes.create classes.(cls); refs = 1; cls }
+  end
   else begin
     Metrics.count_alloc ();
     { data = Bytes.create size; refs = 1; cls }
@@ -82,12 +103,12 @@ let incref store = store.refs <- store.refs + 1
 
 let decref store =
   store.refs <- store.refs - 1;
-  if
-    store.refs = 0 && store.cls >= 0
-    && freelist_depths.(store.cls) < max_freelist_depth
-  then begin
-    freelists.(store.cls) <- store.data :: freelists.(store.cls);
-    freelist_depths.(store.cls) <- freelist_depths.(store.cls) + 1
+  if store.refs = 0 && store.cls >= 0 then begin
+    let fl = Stdlib.Domain.DLS.get freelist_key in
+    if fl.freelist_depths.(store.cls) < max_freelist_depth then begin
+      fl.freelists.(store.cls) <- store.data :: fl.freelists.(store.cls);
+      fl.freelist_depths.(store.cls) <- fl.freelist_depths.(store.cls) + 1
+    end
   end
 
 (* ---- allocation accounting ------------------------------------------- *)

@@ -1,0 +1,67 @@
+(* Bounded lock-free single-producer / single-consumer ring.
+
+   Classic two-index scheme over a power-of-two buffer: the producer
+   writes the slot and then releases it by advancing [tail]; the
+   consumer acquires [tail], reads the slot, and hands it back by
+   advancing [head].  Under the OCaml 5 memory model the plain slot
+   write is ordered before the atomic [tail] store and is therefore
+   visible to a consumer that observed the advanced [tail] — the
+   standard message-passing publication idiom.  Indices grow
+   monotonically; the slot is [index land mask]. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; advanced only by the producer *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    buf = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+
+let try_push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head > t.mask then false
+  else begin
+    t.buf.(tl land t.mask) <- Some x;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let pop t =
+  let hd = Atomic.get t.head in
+  if Atomic.get t.tail = hd then None
+  else begin
+    let slot = hd land t.mask in
+    let x = t.buf.(slot) in
+    t.buf.(slot) <- None;
+    Atomic.set t.head (hd + 1);
+    x
+  end
+
+let drain ?limit t f =
+  let lim = match limit with Some l -> l | None -> max_int in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < lim do
+    match pop t with
+    | Some x ->
+        incr n;
+        f x
+    | None -> continue := false
+  done;
+  !n

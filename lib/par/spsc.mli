@@ -1,0 +1,36 @@
+(** Bounded lock-free single-producer / single-consumer ring.
+
+    The multicore datapath's cross-domain handoff primitive: in the
+    n x n ring matrix, worker domain [i] owns the producer side of ring
+    [(i, j)] and worker [j] the consumer side, so neither end ever takes
+    a lock or contends on a CAS.  Capacity is rounded up to a power of
+    two.  All operations are O(1); [drain] amortises the consumer's
+    atomic traffic over a batch. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty ring holding at least [capacity]
+    elements (rounded up to a power of two).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Racy but conservative estimate when read from either end: exact for
+    the producer and for the consumer the true length is >= the value
+    read. *)
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only.  [false] when the ring is full — the producer
+    must drain its own incoming work before retrying, which is what
+    makes the ring mesh deadlock-free. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side only. *)
+
+val drain : ?limit:int -> 'a t -> ('a -> unit) -> int
+(** Consumer side only: pop until empty (or [limit] elements) calling
+    [f] on each, in FIFO order; returns the number drained. *)

@@ -17,7 +17,17 @@ val float : t -> float -> float
 val bool : t -> bool
 
 val split : t -> t
-(** An independent generator derived from [t]'s stream. *)
+(** An independent generator derived from [t]'s stream.  The child
+    depends on the parent's current position — deterministic only if
+    every preceding draw is. *)
+
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is worker stream [index] of the run seeded
+    [seed]: a pure function of its two arguments, independent of any
+    generator's mutable position.  Parallel soaks hand stream [i] to
+    domain [i] so per-domain randomness is reproducible regardless of
+    spawn order.  Distinct indices yield distinct generators.
+    @raise Invalid_argument if [index] is negative. *)
 
 val exponential : t -> mean:float -> float
 (** Exponentially distributed sample with the given mean. *)

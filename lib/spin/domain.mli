@@ -3,7 +3,13 @@
     A domain defines the set of interfaces an extension may link against.
     Domains are capabilities: code that does not hold a [t] cannot link
     anything against it.  Different extensions can be handed different
-    domains, giving them access to different services (paper, section 2). *)
+    domains, giving them access to different services (paper, section 2).
+
+    Naming note: this is the {e paper's} protection domain, unrelated to
+    the OCaml 5 runtime's execution domains.  Code that uses both (the
+    multicore datapath in [lib/par]) must reach the latter as
+    [Stdlib.Domain] — never [open Spin] near runtime-domain code, or
+    this module captures the name. *)
 
 type t
 
