@@ -100,6 +100,34 @@ let run_stats () =
   print_string (Plexus.Stack.report p.Experiments.Common.a);
   print_string (Plexus.Stack.report p.Experiments.Common.b)
 
+(* The UDP slice of the mixed workload, shared by the diagnostics
+   commands: an echo server on port 7, five pings and one misdirected
+   datagram (so a drop shows up in the output too). *)
+let mixed_udp_workload p =
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  (match Plexus.Udp_mgr.bind udp_b ~owner:"echo" ~port:7 with
+  | Ok ep ->
+      let (_ : unit -> unit) =
+        Plexus.Udp_mgr.install_recv udp_b ep (fun ctx ->
+            let data = Packet.View.to_string (Plexus.Pctx.view ctx) in
+            let src = (Plexus.Pctx.ip_exn ctx).Proto.Ipv4.src in
+            Plexus.Udp_mgr.send udp_b ep
+              ~dst:(src, ctx.Plexus.Pctx.src_port)
+              data)
+      in
+      ()
+  | Error _ -> ());
+  match Plexus.Udp_mgr.bind udp_a ~owner:"cli" ~port:5000 with
+  | Ok ep ->
+      for i = 1 to 5 do
+        Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 7)
+          (Printf.sprintf "ping-%d" i)
+      done;
+      Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 4242)
+        "nobody home"
+  | Error _ -> ()
+
 (* The same mixed workload, but with ring-buffer span sinks attached to
    both kernels, then the observability story: introspection (installed
    handlers with live counters), the metrics registries (table or JSON)
@@ -124,29 +152,7 @@ let run_observe json trace_n =
         (kernel, ring))
       kernels
   in
-  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
-  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
-  (match Plexus.Udp_mgr.bind udp_b ~owner:"echo" ~port:7 with
-  | Ok ep ->
-      let (_ : unit -> unit) =
-        Plexus.Udp_mgr.install_recv udp_b ep (fun ctx ->
-            let data = Packet.View.to_string (Plexus.Pctx.view ctx) in
-            let src = (Plexus.Pctx.ip_exn ctx).Proto.Ipv4.src in
-            Plexus.Udp_mgr.send udp_b ep
-              ~dst:(src, ctx.Plexus.Pctx.src_port)
-              data)
-      in
-      ()
-  | Error _ -> ());
-  (match Plexus.Udp_mgr.bind udp_a ~owner:"cli" ~port:5000 with
-  | Ok ep ->
-      for i = 1 to 5 do
-        Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 7)
-          (Printf.sprintf "ping-%d" i)
-      done;
-      Plexus.Udp_mgr.send udp_a ep ~dst:(Experiments.Common.ip_b, 4242)
-        "nobody home"
-  | Error _ -> ());
+  mixed_udp_workload p;
   Sim.Engine.run p.Experiments.Common.engine ~until:(Sim.Stime.s 60)
     ~max_events:10_000_000;
   if json then begin
@@ -177,6 +183,98 @@ let run_observe json trace_n =
           List.iter (fun s -> Fmt.pr "  %a@." Observe.Trace.pp_span s) tail
         end)
       rings
+
+(* The flight-recorder view of the same workload: rank every installed
+   extension by its resource ledger (cumulative modelled CPU, or run
+   latency p99 with [--by-latency]) and dump sampled end-to-end packet
+   timelines. *)
+let run_top json by_latency timelines rate =
+  let p =
+    Experiments.Common.plexus_pair ~flowcache:true (Netsim.Costs.ethernet ())
+  in
+  let kernels =
+    List.map
+      (fun stack -> Netsim.Host.kernel (Plexus.Stack.host stack))
+      [ p.Experiments.Common.a; p.Experiments.Common.b ]
+  in
+  List.iter
+    (fun kernel -> Observe.Flight.set_rate (Spin.Kernel.flight kernel) rate)
+    kernels;
+  mixed_udp_workload p;
+  Sim.Engine.run p.Experiments.Common.engine ~until:(Sim.Stime.s 60)
+    ~max_events:10_000_000;
+  let p99 (hi : Spin.Dispatcher.handler_info) =
+    match hi.Spin.Dispatcher.hi_lat with
+    | Some s -> s.Observe.Histogram.p99
+    | None -> 0
+  in
+  let rows =
+    List.concat_map
+      (fun kernel ->
+        List.concat_map
+          (fun (ei : Spin.Dispatcher.event_info) ->
+            List.map
+              (fun hi -> (Spin.Kernel.name kernel, ei.Spin.Dispatcher.ei_name, hi))
+              ei.Spin.Dispatcher.ei_handlers)
+          (Spin.Dispatcher.dump (Spin.Kernel.dispatcher kernel)))
+      kernels
+  in
+  let key (_, _, hi) =
+    if by_latency then p99 hi else hi.Spin.Dispatcher.hi_cpu_ns
+  in
+  let rows = List.sort (fun a b -> compare (key b) (key a)) rows in
+  if json then begin
+    let esc = Observe.Registry.json_escape in
+    let row_json (kernel, event, (hi : Spin.Dispatcher.handler_info)) =
+      Printf.sprintf
+        "    {\"kernel\": \"%s\", \"event\": \"%s\", \"label\": \"%s\", \
+         \"runs\": %d, \"cpu_ns\": %d, \"mbuf_allocs\": %d, \
+         \"terminations\": %d, \"p99_ns\": %d}"
+        (esc kernel) (esc event)
+        (esc hi.Spin.Dispatcher.hi_label)
+        hi.Spin.Dispatcher.hi_runs hi.Spin.Dispatcher.hi_cpu_ns
+        hi.Spin.Dispatcher.hi_allocs hi.Spin.Dispatcher.hi_terminations
+        (p99 hi)
+    in
+    let flights =
+      List.map
+        (fun kernel ->
+          Printf.sprintf "    \"%s\": %s"
+            (esc (Spin.Kernel.name kernel))
+            (Observe.Flight.to_json (Spin.Kernel.flight kernel)))
+        kernels
+    in
+    Printf.printf "{\n  \"sort\": \"%s\",\n  \"top\": [\n%s\n  ],\n"
+      (if by_latency then "p99_ns" else "cpu_ns")
+      (String.concat ",\n" (List.map row_json rows));
+    Printf.printf "  \"flights\": {\n%s\n  }\n}\n"
+      (String.concat ",\n" flights)
+  end
+  else begin
+    Printf.printf "extensions by %s:\n"
+      (if by_latency then "run-latency p99" else "cumulative modelled CPU");
+    Printf.printf "  %-7s %-22s %-12s %6s %12s %7s %6s %10s\n" "kernel" "event"
+      "label" "runs" "cpu_ns" "allocs" "terms" "p99_ns";
+    List.iter
+      (fun (kernel, event, (hi : Spin.Dispatcher.handler_info)) ->
+        Printf.printf "  %-7s %-22s %-12s %6d %12d %7d %6d %10d\n" kernel event
+          hi.Spin.Dispatcher.hi_label hi.Spin.Dispatcher.hi_runs
+          hi.Spin.Dispatcher.hi_cpu_ns hi.Spin.Dispatcher.hi_allocs
+          hi.Spin.Dispatcher.hi_terminations (p99 hi))
+      rows;
+    if timelines > 0 then
+      List.iter
+        (fun kernel ->
+          let fl = Spin.Kernel.flight kernel in
+          let tls = Observe.Flight.timelines (Observe.Flight.records fl) in
+          let shown = List.filteri (fun i _ -> i < timelines) tls in
+          Fmt.pr "@.sampled timelines on %s (%d of %d, %d records, %d shed):@."
+            (Spin.Kernel.name kernel) (List.length shown) (List.length tls)
+            (Observe.Flight.length fl)
+            (Observe.Flight.dropped fl);
+          List.iter (fun tl -> Fmt.pr "%a@." Observe.Flight.pp_timeline tl) shown)
+        kernels
+  end
 
 (* Multicore datapath: shard a synthetic RSS workload across OCaml 5
    domains, check counter-for-counter equivalence with the single-domain
@@ -381,6 +479,41 @@ let observe_cmd =
           introspection and the metrics registries")
     Term.(const run_observe $ json $ trace_n)
 
+let top_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the ranking and every flight record as JSON.")
+  in
+  let by_latency =
+    Arg.(
+      value & flag
+      & info [ "by-latency" ]
+          ~doc:"Rank by run-latency p99 instead of cumulative CPU.")
+  in
+  let timelines =
+    Arg.(
+      value & opt int 3
+      & info [ "timelines" ] ~docv:"N"
+          ~doc:
+            "Print the first $(docv) sampled packet timelines per kernel \
+             (0 disables).")
+  in
+  let rate =
+    Arg.(
+      value & opt int 1
+      & info [ "rate" ] ~docv:"N"
+          ~doc:"Sample 1 in $(docv) ingress frames (default: every frame).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the mixed workload with the packet flight recorder on, rank \
+          installed extensions by their resource ledger (CPU, allocations, \
+          terminations, latency) and dump sampled end-to-end timelines")
+    Term.(const run_top $ json $ by_latency $ timelines $ rate)
+
 let parallel_cmd =
   let domains =
     Arg.(
@@ -437,6 +570,7 @@ let () =
             ablate_cmd;
             stats_cmd;
             observe_cmd;
+            top_cmd;
             parallel_cmd;
             graph_cmd;
             all_cmd;

@@ -32,6 +32,7 @@ let dispatcher t = t.disp
 let kernel t = Netsim.Host.kernel t.host
 let registry t = Spin.Kernel.registry (kernel t)
 let trace t = Spin.Kernel.trace (kernel t)
+let flight t = Spin.Kernel.flight (kernel t)
 
 let node t name =
   match List.find_opt (fun n -> n.node_name = name) t.nodes with
@@ -48,6 +49,10 @@ let node t name =
          fresh, unfragmented frames are signable; everything else
          bypasses the cache (Filter.flow_signature). *)
       Spin.Dispatcher.set_sigfn recv Filter.flow_signature;
+      (* ... and one flight-recorder mark extractor: the sampled packet
+         id rides on the mbuf, so every node in the graph attributes its
+         raise/handler stages to the same end-to-end timeline. *)
+      Spin.Dispatcher.set_markfn recv (fun ctx -> Mbuf.mark ctx.Pctx.pkt);
       let n = { node_name = name; recv } in
       t.nodes <- t.nodes @ [ n ];
       n

@@ -17,6 +17,9 @@ val registry : t -> Observe.Registry.t
 val trace : t -> Observe.Trace.t
 (** The owning kernel's span endpoint. *)
 
+val flight : t -> Observe.Flight.t
+(** The owning kernel's packet flight recorder. *)
+
 val node : t -> string -> node
 (** Find-or-create a protocol node (and its PacketRecv event). *)
 

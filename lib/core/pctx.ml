@@ -46,8 +46,12 @@ let with_limit t n =
   { t with limit = t.off + n }
 
 (* Replace the packet entirely (IP reassembly delivers a fresh datagram
-   that no longer corresponds to one frame). *)
-let with_payload t pkt = { t with pkt; off = 0; limit = Mbuf.length pkt }
+   that no longer corresponds to one frame).  The flight-recorder mark
+   carries over: a sampled fragment's timeline continues through the
+   reassembled datagram. *)
+let with_payload t pkt =
+  Mbuf.set_mark pkt (Mbuf.mark t.pkt);
+  { t with pkt; off = 0; limit = Mbuf.length pkt }
 
 let payload_len t = t.limit - t.off
 

@@ -78,6 +78,7 @@ type t = {
   mutable faults : Faults.t option;
   mutable admission : admission option;
   mutable otrace : Observe.Trace.t option;
+  mutable flight : Observe.Flight.t option;
   counters : counters;
 }
 
@@ -99,6 +100,7 @@ let create engine ~cpu ~name ~mac params =
     faults = None;
     admission = None;
     otrace = None;
+    flight = None;
     counters =
       {
         tx_packets = 0;
@@ -147,6 +149,44 @@ let set_loss t p =
 let set_faults t plan = t.faults <- Some plan
 let faults t = t.faults
 let set_trace t tr = t.otrace <- Some tr
+let set_flight t fl = t.flight <- Some fl
+
+(* Flight-recorder ingress: the receiving device is where a packet's
+   timeline begins.  Unmarked frames roll the sampling dice ([admit]);
+   a frame already carrying a mark (stamped by an upstream shard plan,
+   or surviving an application echo) keeps its identity so the timeline
+   stays stitched end to end. *)
+let flight_ingress peer pkt =
+  match peer.flight with
+  | Some fl when Observe.Flight.enabled fl ->
+      let id =
+        match Mbuf.mark pkt with
+        | 0 ->
+            let id = Observe.Flight.admit fl in
+            if id > 0 then Mbuf.set_mark pkt id;
+            id
+        | id -> id
+      in
+      if id > 0 then
+        Observe.Flight.ingress fl ~pkt:id
+          ~at_ns:(Sim.Stime.to_ns (Sim.Engine.now peer.engine))
+          ~dev:peer.name
+  | _ -> ()
+
+(* Queue-wait attribution for frames parked past the interrupt budget:
+   charged when the poller finally picks the frame up, as time since
+   ingress. *)
+let flight_queue_wait peer pkt =
+  match peer.flight with
+  | Some fl when Observe.Flight.enabled fl ->
+      let id = Mbuf.mark pkt in
+      if id > 0 then begin
+        let at_ns = Sim.Stime.to_ns (Sim.Engine.now peer.engine) in
+        Observe.Flight.note fl ~pkt:id ~at_ns
+          ~dur_ns:(Observe.Flight.since_ingress fl ~pkt:id ~at_ns)
+          (Observe.Flight.Queue_wait { dev = peer.name })
+      end
+  | _ -> ()
 
 let set_admission ?(budget = 8) ?(window = Sim.Stime.ms 1) ?(defer_limit = 256)
     ?poll_batch t =
@@ -257,6 +297,7 @@ let rec drain_deferred peer ac =
         (match peer.rx_pool with
         | Some pool -> Pool.release_n pool n
         | None -> ());
+        List.iter (flight_queue_wait peer) pkts;
         let deliver upcall =
           peer.counters.rx_packets <- peer.counters.rx_packets + n;
           peer.counters.rx_bytes <- peer.counters.rx_bytes + bytes;
@@ -311,7 +352,8 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
         ~reason:"rx_ring_full";
     Mbuf.free pkt
   end
-  else
+  else begin
+    flight_ingress peer pkt;
     match peer.admission with
     | Some ac when not (admitted ac (Sim.Engine.now peer.engine)) ->
         if Queue.length ac.q >= ac.defer_limit then begin
@@ -336,6 +378,7 @@ let deliver_to peer (pkt : Mbuf.ro Mbuf.t) =
           end
         end
     | _ -> interrupt_service peer len pkt
+  end
 
 (* Inject a burst of frames that arrived back to back as one coalesced
    receive interrupt: one slot reservation ([Pool.reserve_n]), one fixed
@@ -370,6 +413,7 @@ let deliver_batch peer pkts =
         List.iter Mbuf.free dropped
       end;
       if kept <> [] then begin
+        List.iter (flight_ingress peer) kept;
         let bytes = List.fold_left (fun acc p -> acc + Mbuf.length p) 0 kept in
         let cost =
           Sim.Stime.add peer.params.Costs.rx_fixed (pio_cost peer bytes)

@@ -128,5 +128,16 @@ val set_trace : t -> Observe.Trace.t -> unit
 (** Route injected-fault spans ({!Observe.Trace.Wire_fault}) to this
     endpoint; wired to the host kernel's trace by {!Host.add_device}. *)
 
+val set_flight : t -> Observe.Flight.t -> unit
+(** Attach the host's packet flight recorder; wired by
+    {!Host.add_device}.  While the recorder is enabled, arriving frames
+    roll the sampling dice at the receive ring ({!Observe.Flight.admit});
+    sampled frames get the packet id stamped on the mbuf
+    ({!Packet.Mbuf.set_mark}) and an [Ingress] stage recorded, and
+    frames deferred past the interrupt budget additionally record a
+    [Queue_wait] stage when the poller picks them up.  Frames arriving
+    already marked (stamped by a shard plan upstream) keep their
+    identity. *)
+
 val wire_time : t -> int -> Sim.Stime.t
 (** Wire occupancy of a packet of the given length (framing included). *)

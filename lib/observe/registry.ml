@@ -127,12 +127,17 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Every sample kind exports as a tagged object so the JSON path carries
+   the same counter/gauge distinction the pretty printer always showed
+   ("%d" vs "%d (gauge)").  Schema documented in DESIGN.md
+   "Observability: export schema". *)
 let json_of_sample = function
-  | Count n | Level n -> string_of_int n
+  | Count n -> Printf.sprintf "{\"kind\": \"counter\", \"value\": %d}" n
+  | Level n -> Printf.sprintf "{\"kind\": \"gauge\", \"value\": %d}" n
   | Dist s ->
       Printf.sprintf
-        "{\"n\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %s, \
-         \"p50\": %d, \"p99\": %d, \"p999\": %d}"
+        "{\"kind\": \"histogram\", \"n\": %d, \"sum\": %d, \"min\": %d, \
+         \"max\": %d, \"mean\": %s, \"p50\": %d, \"p99\": %d, \"p999\": %d}"
         s.Histogram.n s.Histogram.sum s.Histogram.vmin s.Histogram.vmax
         (if s.Histogram.n = 0 then "0" else Printf.sprintf "%.1f" s.Histogram.mean)
         s.Histogram.p50 s.Histogram.p99 s.Histogram.p999

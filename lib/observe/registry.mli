@@ -57,7 +57,18 @@ val snapshot : t -> (string * sample) list
     here. *)
 
 val to_json : t -> string
-(** The whole registry as a JSON object. *)
+(** The whole registry as a JSON object.  Every metric exports as a
+    tagged object — [{"kind": "counter"|"gauge", "value": n}] or
+    [{"kind": "histogram", "n": ..., "p99": ...}] — mirroring the
+    counter/gauge distinction the pretty path shows.  Schema documented
+    in DESIGN.md. *)
+
+val json_of_sample : sample -> string
+(** One sample in the {!to_json} schema. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON literal (used by the other
+    observe exporters to stay schema-consistent). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable table. *)

@@ -1,0 +1,106 @@
+(* Time-series telemetry: periodic registry snapshots, delta-encoded.
+
+   A telemetry endpoint watches one {!Registry} and, each time [record]
+   is called (the kernel schedules this on the engine clock), captures
+   only the metrics whose sampled value changed since the previous
+   point.  Points land in a bounded ring — steady state costs one
+   snapshot walk per tick and O(changed) retained memory, so a
+   long-running node keeps a sliding window of its own history.
+
+   Scheduling lives in [Spin.Kernel] (observe cannot see the engine);
+   this module is pure data. *)
+
+type point = { at_ns : int; changed : (string * Registry.sample) list }
+
+type t = {
+  reg : Registry.t;
+  buf : point option array;
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+  mutable ticks : int;
+  prev : (string, Registry.sample) Hashtbl.t;
+}
+
+let create ?(capacity = 256) reg =
+  if capacity <= 0 then invalid_arg "Telemetry.create: capacity";
+  {
+    reg;
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    ticks = 0;
+    prev = Hashtbl.create 64;
+  }
+
+let registry t = t.reg
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+let ticks t = t.ticks
+
+let push t p =
+  let cap = Array.length t.buf in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.buf.(t.head) <- Some p;
+  t.head <- (t.head + 1) mod cap
+
+(* Capture one point: every metric whose value differs from the last
+   tick (all of them on the first).  Returns the number of changed
+   metrics; a zero-change tick still records an (empty) point so gaps
+   in the series are visible. *)
+let record t ~at_ns =
+  t.ticks <- t.ticks + 1;
+  let changed =
+    List.filter
+      (fun (k, s) ->
+        match Hashtbl.find_opt t.prev k with
+        | Some s' when s' = s -> false
+        | _ ->
+            Hashtbl.replace t.prev k s;
+            true)
+      (Registry.snapshot t.reg)
+  in
+  push t { at_ns; changed };
+  List.length changed
+
+(* Oldest retained point first. *)
+let points t =
+  let cap = Array.length t.buf in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some p -> p
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  t.ticks <- 0;
+  Hashtbl.reset t.prev
+
+let point_to_json p =
+  let entries =
+    List.map
+      (fun (k, s) ->
+        Printf.sprintf "\"%s\": %s" (Registry.json_escape k)
+          (Registry.json_of_sample s))
+      p.changed
+  in
+  Printf.sprintf "{\"at_ns\": %d, \"changed\": {%s}}" p.at_ns
+    (String.concat ", " entries)
+
+let to_json t =
+  Printf.sprintf
+    "{\n\
+    \  \"registry\": \"%s\",\n\
+    \  \"ticks\": %d,\n\
+    \  \"dropped\": %d,\n\
+    \  \"series\": [\n    %s\n  ]\n\
+     }\n"
+    (Registry.json_escape (Registry.name t.reg))
+    t.ticks t.dropped
+    (String.concat ",\n    " (List.map point_to_json (points t)))

@@ -1,0 +1,36 @@
+(** Time-series telemetry: periodic registry snapshots, delta-encoded
+    into a bounded ring.
+
+    Each {!record} captures only the metrics whose value changed since
+    the previous tick (all of them on the first), so steady state costs
+    O(changed) retained memory per point.  Scheduling is the caller's
+    job ([Spin.Kernel.telemetry_every] drives this off the engine
+    clock); this module is pure data. *)
+
+type point = { at_ns : int; changed : (string * Registry.sample) list }
+
+type t
+
+val create : ?capacity:int -> Registry.t -> t
+(** Watch one registry; keep at most [capacity] points (default 256),
+    overwriting the oldest. *)
+
+val registry : t -> Registry.t
+
+val record : t -> at_ns:int -> int
+(** Capture one point at virtual time [at_ns]; returns the number of
+    changed metrics.  Zero-change ticks still record an empty point. *)
+
+val points : t -> point list
+(** Oldest retained point first. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Points overwritten after the ring wrapped. *)
+
+val ticks : t -> int
+val clear : t -> unit
+val point_to_json : point -> string
+val to_json : t -> string

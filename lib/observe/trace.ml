@@ -41,6 +41,12 @@ type event =
   | Cache_invalidate of { event : string; reason : string }
   | Drop of { scope : string; reason : string }
   | Wire_fault of { link : string; fault : string; detail : string }
+  | Handoff of {
+      op : string; (* "enqueue" | "self_drain" | "phase_b_drain" *)
+      from_domain : int;
+      to_domain : int;
+      frames : int;
+    }
   | Message of { scope : string; text : string }
 
 type span = { at_ns : int; event : event }
@@ -56,6 +62,7 @@ let kind = function
   | Cache_invalidate _ -> "cache_invalidate"
   | Drop _ -> "drop"
   | Wire_fault _ -> "wire_fault"
+  | Handoff _ -> "handoff"
   | Message _ -> "message"
 
 (* The event (or scope) a span belongs to — protocol-graph spans carry
@@ -72,6 +79,7 @@ let scope = function
       event
   | Drop { scope; _ } | Message { scope; _ } -> scope
   | Wire_fault { link; _ } -> link
+  | Handoff { from_domain; _ } -> Printf.sprintf "domain%d" from_domain
 
 let pp_ns ppf t =
   if t < 1_000 then Fmt.pf ppf "%dns" t
@@ -105,6 +113,9 @@ let pp_event ppf = function
   | Wire_fault { link; fault; detail } ->
       Fmt.pf ppf "wire_fault %s %s%s" link fault
         (if detail = "" then "" else " " ^ detail)
+  | Handoff { op; from_domain; to_domain; frames } ->
+      Fmt.pf ppf "handoff %s domain%d -> domain%d frames=%d" op from_domain
+        to_domain frames
   | Message { scope; text } -> Fmt.pf ppf "%s: %s" scope text
 
 let pp_span ppf s = Fmt.pf ppf "[%a] %a" pp_ns s.at_ns pp_event s.event

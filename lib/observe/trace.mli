@@ -52,6 +52,16 @@ type event =
       (** an injected link fault fired: [fault] is the fault class
           (["loss"], ["burst_loss"], ["corrupt"], ["duplicate"],
           ["delay"], ["down"]), [link] the transmitting device *)
+  | Handoff of {
+      op : string;
+          (** ["enqueue"] (frames pushed to a peer's SPSC ring),
+              ["self_drain"] (producer drained its own ring because a
+              peer's was full) or ["phase_b_drain"] (frames found during
+              two-phase quiescence) *)
+      from_domain : int;
+      to_domain : int;
+      frames : int;
+    }  (** a cross-domain SPSC ring handoff in the parallel datapath *)
   | Message of { scope : string; text : string }
       (** freeform text (the legacy [Sim.Trace] printf route) *)
 

@@ -31,6 +31,11 @@ type raw = {
   mutable total : int;
   mutable nsegs : int;
   mutable freed : bool;
+  mutable mark : int;
+      (* flight-recorder trace word: 0 = untraced, otherwise the sampled
+         packet id.  Metadata, not payload — it rides along [take] and
+         [sub] so a sampled frame keeps its identity across ownership
+         transfer and fragmentation, but never touches the wire bytes. *)
 }
 
 type ro = [ `Ro ]
@@ -119,6 +124,7 @@ let allocated = ref 0
 let live = ref 0
 
 let stats () = (!allocated, !live)
+let total_allocated () = !allocated
 
 let reset_stats () =
   allocated := 0;
@@ -139,7 +145,7 @@ let iter_segs f t =
 let mk_raw segs total nsegs =
   incr allocated;
   incr live;
-  { front = segs; back = []; total; nsegs; freed = false }
+  { front = segs; back = []; total; nsegs; freed = false; mark = 0 }
 
 let alloc ?(headroom = default_headroom) len : rw t =
   if len < 0 || headroom < 0 then invalid_arg "Mbuf.alloc";
@@ -161,6 +167,8 @@ let free t =
 let length t = t.total
 let num_segs t = t.nsegs
 let is_empty t = t.total = 0
+let mark t = t.mark
+let set_mark t m = t.mark <- m
 
 let of_string s : rw t =
   let len = String.length s in
@@ -233,7 +241,9 @@ let copy_rw (t : _ t) : rw t =
       pos := !pos + seg.len)
     t;
   if t.total > 0 then Metrics.count_copy t.total;
-  mk_raw [ { store; off = default_headroom; len = t.total } ] t.total 1
+  let r = mk_raw [ { store; off = default_headroom; len = t.total } ] t.total 1 in
+  r.mark <- t.mark;
+  r
 
 (* A segment's headroom (or tailroom) may only be written when this
    chain is the store's sole owner — fragments sharing a payload buffer
@@ -370,7 +380,9 @@ let sub (t : 'p t) ~off ~len : 'p t =
         incr nsegs
       end)
     t;
-  mk_raw (List.rev !segs) len !nsegs
+  let r = mk_raw (List.rev !segs) len !nsegs in
+  r.mark <- t.mark;
+  r
 
 (* Ownership transfer: the result takes over [t]'s segments and [t]
    becomes empty.  This is how the driver consumes a frame at transmit
@@ -384,6 +396,7 @@ let take (t : 'p t) : 'p t =
       total = t.total;
       nsegs = t.nsegs;
       freed = false;
+      mark = t.mark;
     }
   in
   t.front <- [];
@@ -409,7 +422,9 @@ let sub_copy (t : _ t) ~off ~len : rw t =
           (hi - lo))
     t;
   if len > 0 then Metrics.count_copy len;
-  mk_raw [ { store; off = default_headroom; len } ] len 1
+  let r = mk_raw [ { store; off = default_headroom; len } ] len 1 in
+  r.mark <- t.mark;
+  r
 
 let equal a b = a.total = b.total && flatten_string a = flatten_string b
 

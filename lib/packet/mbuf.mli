@@ -36,6 +36,10 @@ val free : _ t -> unit
 val stats : unit -> int * int
 (** [(total_allocations, live)] since the last {!reset_stats}. *)
 
+val total_allocated : unit -> int
+(** Allocation-free read of the total-allocations counter (the
+    dispatcher's per-handler ledger samples this around every run). *)
+
 val reset_stats : unit -> unit
 
 val drain_freelist : unit -> unit
@@ -47,6 +51,16 @@ val num_segs : _ t -> int
 (** O(1): the segment count is cached. *)
 
 val is_empty : _ t -> bool
+
+val mark : _ t -> int
+(** The flight-recorder trace word: 0 (the default) means untraced,
+    any other value is the sampled packet id stamped at ingress.
+    Metadata, not payload — it is carried across {!take}, {!sub},
+    {!copy_rw} and {!sub_copy} but never serialised to the wire. *)
+
+val set_mark : _ t -> int -> unit
+(** Stamp the trace word.  Permitted on read-only mbufs: the mark is
+    out-of-band metadata, not packet bytes. *)
 
 val ro : _ t -> ro t
 (** Forget write permission (zero-cost, shares the bytes).  This is what a

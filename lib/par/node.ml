@@ -105,6 +105,7 @@ type domain_stats = {
   cache_evictions : int;
   busy_us : float;
   registry : Observe.Registry.t;
+  flight : Observe.Flight.t;
 }
 
 (* The worker body.  Phase A walks the plan's frames steered to this
@@ -115,10 +116,37 @@ type domain_stats = {
    peer rings until every producer has finished and the rings are
    observed empty — sound because phase B never pushes, so once
    [active] reaches zero no new frame can appear. *)
-let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
+let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me =
   let w = make_world ~flowcache () in
   let incoming = Array.init domains (fun j -> rings.(j).(me)) in
   let outgoing = rings.(me) in
+  let kernel = Netsim.Host.kernel w.host in
+  let reg = Spin.Kernel.registry kernel in
+  let tr = Spin.Kernel.trace kernel in
+  (* This node's flight recorder.  Sampling decisions do NOT come from
+     its own [admit] dice: every injected frame is pre-stamped from the
+     plan ordinal via the pure [mark_for] (seeded by the plan), so all
+     domains agree on the sampled set and a forwarded frame keeps its
+     packet id on the owner node without shipping the mark through the
+     ring.  Unsampled frames are stamped [-1] so the device ingress
+     doesn't re-roll with domain-local state. *)
+  let fl = Spin.Kernel.flight kernel in
+  if flight_rate > 0 then begin
+    Observe.Flight.set_rate fl flight_rate;
+    Observe.Flight.set_domain fl me
+  end;
+  let mark_of f = Observe.Flight.mark_for ~seed:plan.Rss.seed ~rate:flight_rate f.Rss.pkt in
+  let ring_enqueues = Observe.Registry.counter reg "par.ring.enqueues" in
+  let ring_self_drains = Observe.Registry.counter reg "par.ring.self_drains" in
+  let ring_phase_b = Observe.Registry.counter reg "par.ring.phase_b_drains" in
+  let handoff_span op ~from_domain ~to_domain ~frames =
+    if Observe.Trace.active tr then
+      Observe.Trace.emit tr
+        {
+          Observe.Trace.at_ns = Sim.Stime.to_ns (Sim.Engine.now w.engine);
+          event = Observe.Trace.Handoff { op; from_domain; to_domain; frames };
+        }
+  in
   let local = ref [] and nlocal = ref 0 in
   let batch_flows = Hashtbl.create 64 in
   let processed = ref 0 and forwarded_out = ref 0 and forwarded_in = ref 0 in
@@ -152,21 +180,42 @@ let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
     Hashtbl.replace batch_flows key ();
     (* wrap the shared immutable frame bytes into a domain-local mbuf —
        the node's "DMA" into its own pool *)
-    local := Mbuf.ro (Mbuf.of_string f.Rss.bytes) :: !local;
+    let m = Mbuf.of_string f.Rss.bytes in
+    if flight_rate > 0 then begin
+      let id = mark_of f in
+      Observe.Flight.tally fl ~sampled:(id > 0);
+      Mbuf.set_mark m (if id = 0 then -1 else id)
+    end;
+    local := Mbuf.ro m :: !local;
     incr nlocal;
     incr processed;
     if !nlocal >= batch then flush ()
   in
-  let drain_incoming () =
+  (* [op]: None for routine incoming service; [Some] at the two
+     documented handoff observation points (backpressure self-drain,
+     phase-B quiescence) to bump the matching [par.ring.*] counter and
+     emit a {!Observe.Trace.Handoff} span per non-empty peer ring. *)
+  let drain_incoming ?op () =
     let n = ref 0 in
     Array.iteri
       (fun j ring ->
-        if j <> me then
-          n :=
-            !n
-            + Spsc.drain ring (fun f ->
-                  incr forwarded_in;
-                  inject f))
+        if j <> me then begin
+          let k =
+            Spsc.drain ring (fun f ->
+                incr forwarded_in;
+                inject f)
+          in
+          if k > 0 then
+            (match op with
+            | Some ("self_drain" as op) ->
+                ring_self_drains := !ring_self_drains + k;
+                handoff_span op ~from_domain:j ~to_domain:me ~frames:k
+            | Some ("phase_b_drain" as op) ->
+                ring_phase_b := !ring_phase_b + k;
+                handoff_span op ~from_domain:j ~to_domain:me ~frames:k
+            | Some _ | None -> ());
+          n := !n + k
+        end)
       incoming;
     !n
   in
@@ -182,10 +231,23 @@ let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
           incr forwarded_out;
           let ring = outgoing.(owner) in
           while not (Spsc.try_push ring f) do
-            ignore (drain_incoming ());
+            ignore (drain_incoming ~op:"self_drain" ());
             flush ();
             Sdomain.cpu_relax ()
-          done
+          done;
+          incr ring_enqueues;
+          handoff_span "enqueue" ~from_domain:me ~to_domain:owner ~frames:1;
+          (* The hop is charged to the sender: its clock, its domain id
+             in the record.  The owner's ingress/handler stages follow
+             under the same packet id once it drains the ring. *)
+          if flight_rate > 0 && Observe.Flight.enabled fl then begin
+            let id = mark_of f in
+            if id > 0 then
+              Observe.Flight.note fl ~pkt:id
+                ~at_ns:(Sim.Stime.to_ns (Sim.Engine.now w.engine))
+                ~dur_ns:0
+                (Observe.Flight.Hop { from_domain = me; to_domain = owner })
+          end
         end;
         if !steered land (batch - 1) = 0 then ignore (drain_incoming ())
       end)
@@ -193,7 +255,7 @@ let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
   flush ();
   Atomic.decr active;
   let rec settle () =
-    let n = drain_incoming () in
+    let n = drain_incoming ~op:"phase_b_drain" () in
     flush ();
     if n > 0 then settle ()
     else if Atomic.get active > 0 then begin
@@ -203,7 +265,7 @@ let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
     else begin
       (* producers all done: one last drain closes the race between our
          empty read and a peer's final push *)
-      let n = drain_incoming () in
+      let n = drain_incoming ~op:"phase_b_drain" () in
       flush ();
       if n > 0 then settle ()
     end
@@ -225,7 +287,8 @@ let worker ~plan ~domains ~flowcache ~batch ~rings ~active me =
     cache_misses = Spin.Dispatcher.path_cache_misses d;
     cache_evictions = Spin.Dispatcher.path_cache_evictions d;
     busy_us = Sim.Stime.to_us (Sim.Cpu.busy_time w.cpu);
-    registry = Spin.Kernel.registry (Netsim.Host.kernel w.host);
+    registry = reg;
+    flight = fl;
   }
 
 type stats = {
@@ -247,10 +310,11 @@ type stats = {
   wall_s : float;
   per_domain : domain_stats array;
   registry : Observe.Registry.t;
+  flight : Observe.Flight.t;
 }
 
-let run ?(flowcache = true) ?(batch = 32) ?(ring_capacity = 1024) ~domains plan
-    =
+let run ?(flowcache = true) ?(flight_rate = 0) ?(batch = 32)
+    ?(ring_capacity = 1024) ~domains plan =
   if domains < 1 then invalid_arg "Par.Node.run: domains must be >= 1";
   if batch < 1 then invalid_arg "Par.Node.run: batch must be >= 1";
   (* power-of-two batch keeps the periodic-drain mask trick valid *)
@@ -265,7 +329,9 @@ let run ?(flowcache = true) ?(batch = 32) ?(ring_capacity = 1024) ~domains plan
         Array.init domains (fun _ -> Spsc.create ~capacity:ring_capacity))
   in
   let active = Atomic.make domains in
-  let work me () = worker ~plan ~domains ~flowcache ~batch ~rings ~active me in
+  let work me () =
+    worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me
+  in
   let per =
     if domains = 1 then [| work 0 () |]
     else begin
@@ -297,6 +363,20 @@ let run ?(flowcache = true) ?(batch = 32) ?(ring_capacity = 1024) ~domains plan
   Observe.Registry.counter merged "par.forwarded" := forwarded;
   Observe.Registry.counter merged "par.frames" := Array.length plan.Rss.frames;
   Observe.Registry.counter merged "par.delivered" := delivered;
+  (* One merged timeline ring, sized so no per-domain record is shed at
+     merge time; records keep their home domain for attribution. *)
+  let merged_flight =
+    Observe.Flight.create
+      ~capacity:
+        (Array.fold_left
+           (fun acc (d : domain_stats) -> acc + Observe.Flight.length d.flight)
+           1 per)
+      ~rate:flight_rate ~seed:plan.Rss.seed ()
+  in
+  Array.iter
+    (fun (d : domain_stats) ->
+      Observe.Flight.merge_into ~into:merged_flight d.flight)
+    per;
   {
     domains;
     frames = Array.length plan.Rss.frames;
@@ -318,6 +398,7 @@ let run ?(flowcache = true) ?(batch = 32) ?(ring_capacity = 1024) ~domains plan
     wall_s;
     per_domain = per;
     registry = merged;
+    flight = merged_flight;
   }
 
 let equiv_counters s =

@@ -34,6 +34,8 @@ type domain_stats = {
   cache_evictions : int;
   busy_us : float;  (** this node's simulated CPU busy time *)
   registry : Observe.Registry.t;  (** the node's kernel registry *)
+  flight : Observe.Flight.t;
+      (** the node's flight recorder (stage records it emitted) *)
 }
 
 type stats = {
@@ -58,15 +60,24 @@ type stats = {
   per_domain : domain_stats array;
   registry : Observe.Registry.t;
       (** per-domain registries merged under [domainN.] prefixes *)
+  flight : Observe.Flight.t;
+      (** per-domain flight recorders merged; each record keeps the
+          domain that emitted it, so a forwarded packet's timeline shows
+          the steering node's [Hop] followed by the owner's stages *)
 }
 
 val run :
-  ?flowcache:bool -> ?batch:int -> ?ring_capacity:int -> domains:int ->
-  Rss.t -> stats
+  ?flowcache:bool -> ?flight_rate:int -> ?batch:int -> ?ring_capacity:int ->
+  domains:int -> Rss.t -> stats
 (** Execute the plan.  [flowcache] (default true) enables the flow-path
     cache in every node; [batch] (default 32) is the local injection
     burst and ring-drain granularity; [ring_capacity] (default 1024)
-    bounds each SPSC ring.  @raise Invalid_argument if [domains < 1]. *)
+    bounds each SPSC ring.  [flight_rate] (default 0 = off) turns on
+    1-in-N flight-recorder sampling: marks are pre-computed from each
+    frame's plan ordinal ({!Rss.frame.pkt}) with the plan's seed, so
+    the sampled packet-id set is identical for every domain count and a
+    handed-off frame keeps its timeline across the ring.
+    @raise Invalid_argument if [domains < 1]. *)
 
 val equiv_counters : stats -> (string * int) list
 (** The counters the oracle-equivalence soak compares: totals that must

@@ -11,6 +11,7 @@ type frame = {
   steer_hash : int;
   owner_hash : int;
   kind : kind;
+  pkt : int;
 }
 
 type t = {
@@ -76,7 +77,8 @@ let make ?(payload_len = 256) ?(arp_every = 64) ?(legacy_every = 4) ~seed
         Hashtbl.hash (Proto.Ipaddr.to_int src, Proto.Ipaddr.to_int ip_b)
       else owner_hash
     in
-    { bytes = Mbuf.to_string ro; steer_hash; owner_hash; kind = Udp { flow = i } }
+    { bytes = Mbuf.to_string ro; steer_hash; owner_hash;
+      kind = Udp { flow = i }; pkt = 0 }
   in
   let mk_arp k =
     let sender_ip = Proto.Ipaddr.v 10 0 1 (3 + (k mod 250)) in
@@ -94,19 +96,25 @@ let make ?(payload_len = 256) ?(arp_every = 64) ?(legacy_every = 4) ~seed
     (* broadcasts land on whichever queue the NIC picks round-robin;
        the control plane (domain 0) owns them *)
     { bytes = Mbuf.to_string m; steer_hash = k; owner_hash = -1;
-      kind = Arp { seq = k } }
+      kind = Arp { seq = k }; pkt = 0 }
   in
   let flow_frames = Array.init flows mk_udp in
   (* Arrival order: per round, a seeded shuffle of the flow set — random
-     cross-flow interleave, strictly FIFO within each flow (each flow's
-     datagrams are identical, one shared record per flow). *)
+     cross-flow interleave, strictly FIFO within each flow.  Frame bytes
+     stay shared per flow; each emitted arrival gets its own record
+     carrying the 1-based arrival ordinal [pkt], the key every domain
+     feeds [Observe.Flight.mark_for] so the sampled set is identical no
+     matter how the plan is sharded. *)
   let rng = Sim.Rng.create seed in
   let order = Array.init flows Fun.id in
   let udp_frames = flows * pkts_per_flow in
   let arp_frames = if arp_every > 0 then udp_frames / arp_every else 0 in
   let out = Array.make (udp_frames + arp_frames) flow_frames.(0) in
   let pos = ref 0 and emitted_udp = ref 0 and arp_seq = ref 0 in
-  let emit f = out.(!pos) <- f; incr pos in
+  let emit f =
+    out.(!pos) <- { f with pkt = !pos + 1 };
+    incr pos
+  in
   for _round = 1 to pkts_per_flow do
     for i = flows - 1 downto 1 do
       let j = Sim.Rng.int rng (i + 1) in

@@ -35,6 +35,10 @@ type frame = {
   steer_hash : int;  (** NIC RSS hash; queue = hash mod domains *)
   owner_hash : int;  (** 5-tuple signature hash; negative = control *)
   kind : kind;
+  pkt : int;
+      (** 1-based arrival ordinal in the plan — the flight-recorder
+          sampling key ({!Observe.Flight.mark_for}), identical across
+          domain counts so every shard agrees on the sampled set *)
 }
 
 type t = {

@@ -153,6 +153,10 @@ type handler_info = {
   hi_guard_hits : int;
   hi_guard_misses : int;
   hi_runs : int;
+  hi_cpu_ns : int; (* cumulative modelled CPU (the resource ledger) *)
+  hi_allocs : int; (* mbufs allocated during this handler's runs *)
+  hi_terminations : int; (* ephemeral budget overruns *)
+  hi_lat : Observe.Histogram.snapshot option; (* run_ns distribution *)
 }
 
 type event_info = {
@@ -192,6 +196,9 @@ type t = {
          first nested interrupt-mode event *)
   mutable next_uid : int;      (* event uids, for hop identity *)
   mutable introspectors : (unit -> event_info) list; (* newest first *)
+  mutable flight : Observe.Flight.t option;
+      (* packet flight recorder; [None] (the default) costs one load +
+         branch per raise/handler site *)
 }
 
 let mkref reg name =
@@ -221,6 +228,7 @@ let create ?registry ?trace ~cpu ~costs () =
     prio_override = None;
     next_uid = 0;
     introspectors = [];
+    flight = None;
   }
 
 let cpu t = t.cpu
@@ -239,6 +247,8 @@ let path_cache_invalidations t = !(t.pc_invalidations)
 let path_cache_evictions t = !(t.pc_evictions)
 let set_flow_cache t on = t.fcache <- on
 let flow_cache_enabled t = t.fcache
+let set_flight t fl = t.flight <- fl
+let flight t = t.flight
 
 let now_ns t = Sim.Stime.to_ns (Sim.Engine.now (Sim.Cpu.engine t.cpu))
 
@@ -260,6 +270,13 @@ type hstats = {
   h_misses : int ref;
   h_runs : int ref;
   h_lat : Observe.Histogram.t option;
+  (* Per-extension resource ledger (ROADMAP 3(a)'s quarantine signal):
+     cumulative modelled CPU, mbufs allocated during runs, and ephemeral
+     budget overruns.  Bare int-ref adds on the run path, shared with
+     the registry when one is attached. *)
+  h_cpu : int ref;
+  h_allocs : int ref;
+  h_terms : int ref;
 }
 
 type 'a handler = {
@@ -284,6 +301,7 @@ type 'a event = {
   buckets : (int, int list ref) Hashtbl.t;    (* key -> hids, newest first *)
   mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
   mutable sigfn : ('a -> string option) option; (* flow signature, roots only *)
+  mutable markfn : ('a -> int) option;        (* payload's flight-record mark *)
   entries : hop array Sharded.Cache.t;        (* flow signature -> chain *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
@@ -306,6 +324,13 @@ let info_of_event ev =
              hi_guard_hits = !(h.hs.h_hits);
              hi_guard_misses = !(h.hs.h_misses);
              hi_runs = !(h.hs.h_runs);
+             hi_cpu_ns = !(h.hs.h_cpu);
+             hi_allocs = !(h.hs.h_allocs);
+             hi_terminations = !(h.hs.h_terms);
+             hi_lat =
+               (match h.hs.h_lat with
+               | Some hist -> Some (Observe.Histogram.snapshot hist)
+               | None -> None);
            })
   in
   {
@@ -332,6 +357,7 @@ let event disp ?(mode = Interrupt) ename =
       buckets = Hashtbl.create 8;
       keyfn = None;
       sigfn = None;
+      markfn = None;
       entries =
         Sharded.Cache.create ~shards:cache_shards ~per_shard:cache_per_shard
           ~evictions:disp.pc_evictions ();
@@ -371,6 +397,10 @@ let set_keyfn ev kf =
   touch ev
 
 let set_sigfn ev sf = ev.sigfn <- Some sf
+
+(* Like [set_sigfn], purely observational: extracting the flight mark
+   cannot change what a raise delivers, so no generation bump. *)
+let set_markfn ev mf = ev.markfn <- Some mf
 let generation ev = !(ev.gen)
 let cache_entries ev = Sharded.Cache.length ev.entries
 let handler_count ev = Hashtbl.length ev.table
@@ -397,6 +427,9 @@ let hstats_for disp ev label =
       (match disp.reg with
       | Some r -> Some (Observe.Registry.histogram r (prefix ^ ".run_ns"))
       | None -> None);
+    h_cpu = mkref disp.reg (prefix ^ ".cpu_ns");
+    h_allocs = mkref disp.reg (prefix ^ ".mbuf_allocs");
+    h_terms = mkref disp.reg (prefix ^ ".terminations");
   }
 
 let add_handler ev ?label ~cacheable guard gcost key kind =
@@ -482,6 +515,37 @@ let still_installed ev h = Hashtbl.mem ev.table h.hid
 let emit_span d event =
   Observe.Trace.emit d.trace { Observe.Trace.at_ns = now_ns d; event }
 
+(* Flight-recorder stage emission.  The mark ([ev.markfn]) reads the
+   packet id stamped on the mbuf at ingress; 0 means not sampled, so an
+   unsampled packet pays one closure call and compare per site and a
+   detached/disabled recorder pays one load and branch. *)
+let flight_note_raise d ev v =
+  match d.flight with
+  | Some fl when Observe.Flight.enabled fl -> (
+      match ev.markfn with
+      | Some mf ->
+          let pkt = mf v in
+          if pkt > 0 then begin
+            let at_ns = now_ns d in
+            Observe.Flight.note fl ~pkt ~at_ns
+              ~dur_ns:(Observe.Flight.since_ingress fl ~pkt ~at_ns)
+              (Observe.Flight.Raise { event = ev.ename })
+          end
+      | None -> ())
+  | _ -> ()
+
+let flight_note_run d ev v h ~dur_ns =
+  match d.flight with
+  | Some fl when Observe.Flight.enabled fl -> (
+      match ev.markfn with
+      | Some mf ->
+          let pkt = mf v in
+          if pkt > 0 then
+            Observe.Flight.note fl ~pkt ~at_ns:(now_ns d) ~dur_ns
+              (Observe.Flight.Handler { event = ev.ename; label = h.label })
+      | None -> ())
+  | _ -> ()
+
 (* --- recording bookkeeping --------------------------------------------
    A recording commits only once the delivery has fully drained: every
    scheduled continuation (demux and handler runs, including nested
@@ -547,14 +611,19 @@ let deliver ev v h flow over =
           (if still_installed ev h then begin
              d.flow <- flow;
              d.prio_override <- over;
+             let a0 = Packet.Mbuf.total_allocated () in
              contain ev h (fun () -> fn v);
              d.prio_override <- None;
              d.flow <- No_flow;
              incr h.hs.h_runs;
+             let run_ns = Sim.Stime.to_ns total in
+             h.hs.h_cpu := !(h.hs.h_cpu) + run_ns;
+             h.hs.h_allocs :=
+               !(h.hs.h_allocs) + (Packet.Mbuf.total_allocated () - a0);
              (match h.hs.h_lat with
-             | Some hist ->
-                 Observe.Histogram.record hist (Sim.Stime.to_ns total)
+             | Some hist -> Observe.Histogram.record hist run_ns
              | None -> ());
+             flight_note_run d ev v h ~dur_ns:run_ns;
              if Observe.Trace.active d.trace then
                emit_span d
                  (Observe.Trace.Handler_run
@@ -562,7 +631,7 @@ let deliver ev v h flow over =
                       event = ev.ename;
                       hid = h.hid;
                       label = h.label;
-                      duration_ns = Sim.Stime.to_ns total;
+                      duration_ns = run_ns;
                     })
            end);
           flow_leave d flow)
@@ -577,19 +646,25 @@ let deliver ev v h flow over =
             (fun () ->
               (if still_installed ev h then begin
                  d.prio_override <- over;
+                 let a0 = Packet.Mbuf.total_allocated () in
                  contain ev h (fun () ->
                      let r = Ephemeral.commit plan in
                      incr h.hs.h_runs;
                      incr d.eph_commits;
                      d.eph_actions := !(d.eph_actions) + r.Ephemeral.committed;
+                     let run_ns = Sim.Stime.to_ns r.Ephemeral.consumed in
+                     h.hs.h_cpu := !(h.hs.h_cpu) + run_ns;
+                     h.hs.h_allocs :=
+                       !(h.hs.h_allocs)
+                       + (Packet.Mbuf.total_allocated () - a0);
                      (match h.hs.h_lat with
-                     | Some hist ->
-                         Observe.Histogram.record hist
-                           (Sim.Stime.to_ns r.Ephemeral.consumed)
+                     | Some hist -> Observe.Histogram.record hist run_ns
                      | None -> ());
+                     flight_note_run d ev v h ~dur_ns:run_ns;
                      if r.Ephemeral.terminated then begin
                        Sim.Stats.Counter.incr d.terminations;
-                       incr d.eph_terminated
+                       incr d.eph_terminated;
+                       incr h.hs.h_terms
                      end;
                      if Observe.Trace.active d.trace then
                        emit_span d
@@ -647,6 +722,7 @@ let raise_core ?over ev v flow =
         (Observe.Trace.Index_lookup
            { event = ev.ename; keys = nkeys; candidates = n_guards })
   end;
+  flight_note_raise d ev v;
   let extra_gcost =
     List.fold_left (fun acc h -> Sim.Stime.add acc h.gcost) Sim.Stime.zero cands
   in
@@ -725,6 +801,7 @@ let run_hop ev v hids =
       match Hashtbl.find_opt ev.table hid with
       | Some ({ kind = Plain { cost; dyncost; fn }; _ } as h) ->
           Sim.Stats.Counter.incr d.invocations;
+          let a0 = Packet.Mbuf.total_allocated () in
           contain ev h (fun () -> fn v);
           incr h.hs.h_runs;
           let total =
@@ -732,9 +809,14 @@ let run_hop ev v hids =
             | None -> cost
             | Some f -> Sim.Stime.add cost (f v)
           in
+          let run_ns = Sim.Stime.to_ns total in
+          h.hs.h_cpu := !(h.hs.h_cpu) + run_ns;
+          h.hs.h_allocs :=
+            !(h.hs.h_allocs) + (Packet.Mbuf.total_allocated () - a0);
           (match h.hs.h_lat with
-          | Some hist -> Observe.Histogram.record hist (Sim.Stime.to_ns total)
+          | Some hist -> Observe.Histogram.record hist run_ns
           | None -> ());
+          flight_note_run d ev v h ~dur_ns:run_ns;
           Sim.Stime.add acc total
       | _ -> acc)
     Sim.Stime.zero hids
@@ -823,6 +905,7 @@ let replay_start ev v sg hops =
       (Observe.Trace.Cache_hit
          { event = ev.ename; hops = Array.length hops; handlers })
   end;
+  flight_note_raise d ev v;
   let hop0 = hops.(0) in
   let rp =
     {
@@ -920,13 +1003,18 @@ let pp_event_info ppf ei =
     ei.ei_generation ei.ei_cache_entries;
   List.iter
     (fun hi ->
-      Fmt.pf ppf "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d@." hi.hi_id
-        hi.hi_label
+      Fmt.pf ppf
+        "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d cpu=%dns allocs=%d%s@."
+        hi.hi_id hi.hi_label
         (match hi.hi_key with
         | Some k -> Printf.sprintf "key=0x%x " k
         | None -> "linear ")
         (if hi.hi_ephemeral then "ephemeral" else "plain")
-        hi.hi_guard_hits hi.hi_guard_misses hi.hi_runs)
+        hi.hi_guard_hits hi.hi_guard_misses hi.hi_runs hi.hi_cpu_ns
+        hi.hi_allocs
+        (if hi.hi_terminations > 0 then
+           Printf.sprintf " terms=%d" hi.hi_terminations
+         else ""))
     ei.ei_handlers
 
 let pp_dump ppf t = List.iter (fun ei -> Fmt.pf ppf "  %a" pp_event_info ei) (dump t)

@@ -103,6 +103,24 @@ val set_sigfn : 'a event -> ('a -> string option) -> unit
     with equal signatures must be indistinguishable to every
     [~cacheable] guard along any chain the raise can take. *)
 
+(** {1 Flight recorder}
+
+    When a {!Observe.Flight} endpoint is attached and enabled, raises
+    and handler runs on events that declared a mark extractor
+    ({!set_markfn}) emit per-stage latency records for packets sampled
+    at ingress (mbuf mark [> 0]).  Unsampled packets cost one closure
+    call and compare per site; a detached or disabled recorder costs
+    one load and branch. *)
+
+val set_flight : t -> Observe.Flight.t option -> unit
+val flight : t -> Observe.Flight.t option
+
+val set_markfn : 'a event -> ('a -> int) -> unit
+(** Declare how to read the flight-record mark (the sampled packet id,
+    0 = untraced) from a payload — protocol-graph nodes read
+    [Packet.Mbuf.mark].  Purely observational; does not bump the
+    event's generation. *)
+
 val touch : _ event -> unit
 (** Bump the event's invalidation generation without structural change —
     managers call this when mutable state their installed guards consult
@@ -207,6 +225,17 @@ type handler_info = {
   hi_guard_hits : int;
   hi_guard_misses : int;
   hi_runs : int;
+  hi_cpu_ns : int;
+      (** cumulative modelled CPU charged to this handler's runs (the
+          per-extension resource ledger; also published as
+          [spin.<event>.<label>.cpu_ns]) *)
+  hi_allocs : int;
+      (** mbufs allocated while this handler's body ran
+          ([spin.<event>.<label>.mbuf_allocs]) *)
+  hi_terminations : int;
+      (** ephemeral budget overruns ([spin.<event>.<label>.terminations]) *)
+  hi_lat : Observe.Histogram.snapshot option;
+      (** run-latency distribution; [None] on a registry-less dispatcher *)
 }
 
 type event_info = {

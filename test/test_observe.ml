@@ -106,7 +106,25 @@ let registry_json () =
   Observe.Registry.counter r {|weird"name|} := 3;
   let j = Observe.Registry.to_json r in
   Alcotest.(check bool) "escapes quotes" true (contains j {|weird\"name|});
-  Alcotest.(check bool) "value present" true (contains j ": 3")
+  Alcotest.(check bool) "value present" true (contains j ": 3");
+  (* the documented schema: every sample is a tagged object *)
+  Alcotest.(check bool) "counters tagged" true
+    (contains j {|"kind": "counter"|});
+  Observe.Registry.gauge r "depth" (fun () -> 4);
+  Observe.Histogram.record (Observe.Registry.histogram r "lat") 10;
+  let j = Observe.Registry.to_json r in
+  Alcotest.(check bool) "gauges tagged" true (contains j {|"kind": "gauge"|});
+  Alcotest.(check bool) "histograms tagged" true
+    (contains j {|"kind": "histogram"|});
+  Alcotest.(check bool) "histogram carries quantiles" true (contains j {|"p99"|});
+  (* pretty and JSON paths must agree sample-for-sample *)
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "snapshot sample %s in json" name)
+        true
+        (contains j (Observe.Registry.json_of_sample s)))
+    (Observe.Registry.snapshot r)
 
 (* ---- Trace ring ------------------------------------------------------------ *)
 
@@ -345,6 +363,351 @@ let ephemeral_commit_span () =
       Alcotest.(check int) "duration is the consumed budget" 15_000 duration_ns
   | l -> Alcotest.fail (Printf.sprintf "expected 1 commit span, got %d" (List.length l))
 
+(* ---- Flight recorder --------------------------------------------------------- *)
+
+(* The sampling decision is a pure function of (seed, rate, ordinal):
+   same inputs, same mark — the property the parallel datapath leans on
+   to pre-compute marks per shard. *)
+let flight_mark_pure =
+  QCheck.Test.make ~name:"mark_for is pure and returns the ordinal or 0"
+    QCheck.(pair small_int (int_range 1 16))
+    (fun (seed, rate) ->
+      List.for_all
+        (fun n ->
+          let a = Observe.Flight.mark_for ~seed ~rate n in
+          a = Observe.Flight.mark_for ~seed ~rate n && (a = 0 || a = n))
+        (List.init 200 (fun i -> i + 1)))
+
+(* Ring wraparound: only the newest [capacity] records are retained, in
+   emission order, and every overwritten record is counted. *)
+let flight_ring_wraparound =
+  QCheck.Test.make ~name:"record ring keeps the newest records in order"
+    QCheck.(pair (int_range 1 32) (int_bound 200))
+    (fun (cap, n) ->
+      let fl = Observe.Flight.create ~capacity:cap ~rate:1 ~seed:1 () in
+      for i = 1 to n do
+        Observe.Flight.note fl ~pkt:i ~at_ns:i ~dur_ns:0
+          (Observe.Flight.Raise { event = "e" })
+      done;
+      let kept = min cap n in
+      let got =
+        List.map
+          (fun (r : Observe.Flight.record) -> r.Observe.Flight.pkt)
+          (Observe.Flight.records fl)
+      in
+      got = List.init kept (fun i -> n - kept + i + 1)
+      && Observe.Flight.dropped fl = max 0 (n - cap)
+      && Observe.Flight.length fl = kept)
+
+(* The canonical two-host workload with the server kernel's recorder at
+   1-in-[rate]: [sends] datagrams to the bound port plus one misdirected
+   datagram that drops at the udp demux. *)
+let flight_run ~rate () =
+  let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let kernel_b = Netsim.Host.kernel (Plexus.Stack.host p.Experiments.Common.b) in
+  Observe.Flight.set_rate (Spin.Kernel.flight kernel_b) rate;
+  let udp_a = Plexus.Stack.udp p.Experiments.Common.a in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  let bind_exn udp ~owner ~port =
+    match Plexus.Udp_mgr.bind udp ~owner ~port with
+    | Ok ep -> ep
+    | Error _ -> Alcotest.fail "bind failed"
+  in
+  let server = bind_exn udp_b ~owner:"srv" ~port:7 in
+  let (_ : unit -> unit) =
+    Plexus.Udp_mgr.install_recv udp_b server (fun _ -> ())
+  in
+  let client = bind_exn udp_a ~owner:"cli" ~port:5000 in
+  for i = 1 to 6 do
+    Plexus.Udp_mgr.send udp_a client ~dst:(Experiments.Common.ip_b, 7)
+      (Printf.sprintf "m%d" i)
+  done;
+  Plexus.Udp_mgr.send udp_a client ~dst:(Experiments.Common.ip_b, 4242) "lost";
+  Sim.Engine.run p.Experiments.Common.engine;
+  kernel_b
+
+let flight_timelines_end_to_end () =
+  let kernel_b = flight_run ~rate:1 () in
+  let fl = Spin.Kernel.flight kernel_b in
+  Alcotest.(check bool) "frames seen" true (Observe.Flight.seen fl > 0);
+  Alcotest.(check int) "rate 1 samples everything" (Observe.Flight.seen fl)
+    (Observe.Flight.sampled fl);
+  let recs = Observe.Flight.records fl in
+  let tls = Observe.Flight.timelines recs in
+  Alcotest.(check int) "one timeline per sampled frame"
+    (Observe.Flight.sampled fl) (List.length tls);
+  (* every timeline starts at the wire *)
+  List.iter
+    (fun (pkt, rs) ->
+      match rs with
+      | { Observe.Flight.stage = Observe.Flight.Ingress _; dur_ns = 0; _ } :: _
+        ->
+          ()
+      | _ -> Alcotest.failf "timeline %d does not start with ingress" pkt)
+    tls;
+  (* delivered datagrams carry end-to-end latency measured from ingress,
+     and their origin entry is released at delivery *)
+  let delivered =
+    List.filter
+      (fun (_, rs) ->
+        List.exists
+          (fun (r : Observe.Flight.record) ->
+            match r.Observe.Flight.stage with
+            | Observe.Flight.Deliver { scope } -> scope = "udp:7"
+            | _ -> false)
+          rs)
+      tls
+  in
+  Alcotest.(check int) "six delivered timelines" 6 (List.length delivered);
+  List.iter
+    (fun (pkt, rs) ->
+      let ingress_at =
+        match rs with (r : Observe.Flight.record) :: _ -> r.Observe.Flight.at_ns | [] -> 0
+      in
+      List.iter
+        (fun (r : Observe.Flight.record) ->
+          match r.Observe.Flight.stage with
+          | Observe.Flight.Deliver _ ->
+              Alcotest.(check int) "deliver dur = at - ingress"
+                (r.Observe.Flight.at_ns - ingress_at)
+                r.Observe.Flight.dur_ns;
+              Alcotest.(check bool) "end-to-end latency positive" true
+                (r.Observe.Flight.dur_ns > 0);
+              Alcotest.(check (option int)) "origin released" None
+                (Observe.Flight.origin fl ~pkt)
+          | _ -> ())
+        rs;
+      (* the full dispatch path is attributed to the same packet *)
+      let has stagep =
+        List.exists
+          (fun (r : Observe.Flight.record) -> stagep r.Observe.Flight.stage)
+          rs
+      in
+      Alcotest.(check bool) "has raise" true
+        (has (function Observe.Flight.Raise _ -> true | _ -> false));
+      Alcotest.(check bool) "has srv handler run" true
+        (has (function
+          | Observe.Flight.Handler { event = "udp.PacketRecv"; label = "srv" }
+            ->
+              true
+          | _ -> false)))
+    delivered;
+  (* the misdirected datagram surfaces as a drop with its reason *)
+  Alcotest.(check bool) "no_port drop recorded" true
+    (List.exists
+       (fun (r : Observe.Flight.record) ->
+         match r.Observe.Flight.stage with
+         | Observe.Flight.Drop { scope = "udp"; reason = "no_port" } -> true
+         | _ -> false)
+       recs)
+
+(* Same seed, same rate, same workload: the record streams are
+   identical, record for record. *)
+let flight_deterministic () =
+  let run () =
+    Observe.Flight.records (Spin.Kernel.flight (flight_run ~rate:2 ()))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same record count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Observe.Flight.record) y ->
+      if x <> y then
+        Alcotest.failf "records diverge: %s vs %s"
+          (Fmt.str "%a" Observe.Flight.pp_record x)
+          (Fmt.str "%a" Observe.Flight.pp_record y))
+    a b
+
+(* At 1-in-N, exactly the ordinals [mark_for] picks are sampled. *)
+let flight_sampled_subset () =
+  let kernel_b = flight_run ~rate:3 () in
+  let fl = Spin.Kernel.flight kernel_b in
+  let seed = Observe.Flight.seed fl in
+  List.iter
+    (fun (pkt, _) ->
+      Alcotest.(check int)
+        (Printf.sprintf "pkt %d is a mark_for pick" pkt)
+        pkt
+        (Observe.Flight.mark_for ~seed ~rate:3 pkt))
+    (Observe.Flight.timelines (Observe.Flight.records fl));
+  Alcotest.(check bool) "sampling is a strict subset" true
+    (Observe.Flight.sampled fl < Observe.Flight.seen fl)
+
+(* Merging per-domain recorders preserves each record's home domain and
+   the emission order within a packet's timeline. *)
+let flight_merge_domains () =
+  let mk dom =
+    let fl = Observe.Flight.create ~rate:1 ~seed:7 () in
+    Observe.Flight.set_domain fl dom;
+    fl
+  in
+  let steer = mk 0 and owner = mk 1 in
+  ignore (Observe.Flight.admit steer);
+  ignore (Observe.Flight.admit owner);
+  Observe.Flight.note steer ~pkt:5 ~at_ns:10 ~dur_ns:0
+    (Observe.Flight.Hop { from_domain = 0; to_domain = 1 });
+  Observe.Flight.ingress owner ~pkt:5 ~at_ns:20 ~dev:"eth0";
+  Observe.Flight.note owner ~pkt:5 ~at_ns:50 ~dur_ns:30
+    (Observe.Flight.Deliver { scope = "udp:7" });
+  Observe.Flight.ingress owner ~pkt:9 ~at_ns:21 ~dev:"eth0";
+  let m = Observe.Flight.create ~rate:1 ~seed:7 () in
+  Observe.Flight.merge_into ~into:m steer;
+  Observe.Flight.merge_into ~into:m owner;
+  (match Observe.Flight.timelines (Observe.Flight.records m) with
+  | [ (5, tl5); (9, [ _ ]) ] -> (
+      match
+        List.map
+          (fun (r : Observe.Flight.record) ->
+            (r.Observe.Flight.domain, Observe.Flight.stage_name r.Observe.Flight.stage))
+          tl5
+      with
+      | [ (0, "hop"); (1, "ingress"); (1, "deliver") ] -> ()
+      | l ->
+          Alcotest.failf "wrong attribution: %s"
+            (String.concat ";"
+               (List.map (fun (d, s) -> Printf.sprintf "%d:%s" d s) l)))
+  | tls -> Alcotest.failf "expected timelines for pkts 5 and 9, got %d" (List.length tls));
+  Alcotest.(check int) "seen summed" 2 (Observe.Flight.seen m);
+  Alcotest.(check int) "sampled summed" 2 (Observe.Flight.sampled m)
+
+(* The per-extension resource ledger accumulates whether or not sampling
+   is on, and the registry mirror agrees with the dump. *)
+let flight_ledger_accounting () =
+  let kernel_b = flight_run ~rate:0 () in
+  let d = Spin.Kernel.dispatcher kernel_b in
+  let reg = Spin.Kernel.registry kernel_b in
+  let hi =
+    List.find_map
+      (fun (ei : Spin.Dispatcher.event_info) ->
+        if ei.Spin.Dispatcher.ei_name <> "udp.PacketRecv" then None
+        else
+          List.find_opt
+            (fun (h : Spin.Dispatcher.handler_info) ->
+              h.Spin.Dispatcher.hi_label = "srv")
+            ei.Spin.Dispatcher.ei_handlers)
+      (Spin.Dispatcher.dump d)
+  in
+  match hi with
+  | None -> Alcotest.fail "srv handler not in dump"
+  | Some hi ->
+      Alcotest.(check int) "six runs" 6 hi.Spin.Dispatcher.hi_runs;
+      Alcotest.(check bool) "cpu charged" true
+        (hi.Spin.Dispatcher.hi_cpu_ns > 0);
+      let counter name =
+        match Observe.Registry.find reg name with
+        | Some (Observe.Registry.Counter c) -> !c
+        | _ -> Alcotest.fail ("missing counter " ^ name)
+      in
+      Alcotest.(check int) "registry mirrors cpu ledger"
+        hi.Spin.Dispatcher.hi_cpu_ns
+        (counter "spin.udp.PacketRecv.srv.cpu_ns");
+      Alcotest.(check int) "registry mirrors alloc ledger"
+        hi.Spin.Dispatcher.hi_allocs
+        (counter "spin.udp.PacketRecv.srv.mbuf_allocs");
+      Alcotest.(check int) "registry mirrors termination ledger"
+        hi.Spin.Dispatcher.hi_terminations
+        (counter "spin.udp.PacketRecv.srv.terminations");
+      (* the modelled CPU the ledger charges equals the run histogram's sum *)
+      (match Observe.Registry.find reg "spin.udp.PacketRecv.srv.run_ns" with
+      | Some (Observe.Registry.Hist h) ->
+          Alcotest.(check int) "ledger = histogram sum"
+            (Observe.Histogram.sum h) hi.Spin.Dispatcher.hi_cpu_ns
+      | _ -> Alcotest.fail "run_ns histogram missing")
+
+(* Ledger keys collide across domains only under distinct prefixes; a
+   same-prefix re-merge folds them (counters sum, histograms merge). *)
+let registry_merge_ledger_prefixes () =
+  let mk cpu lat =
+    let r = Observe.Registry.create ~name:"d" () in
+    Observe.Registry.counter r "spin.udp.PacketRecv.srv.cpu_ns" := cpu;
+    Observe.Histogram.record
+      (Observe.Registry.histogram r "spin.udp.PacketRecv.srv.run_ns")
+      lat;
+    r
+  in
+  let d0 = mk 100 10 and d1 = mk 40 30 in
+  let m = Observe.Registry.create ~name:"m" () in
+  Observe.Registry.merge_into ~prefix:"domain0." ~into:m d0;
+  Observe.Registry.merge_into ~prefix:"domain1." ~into:m d1;
+  let counter name =
+    match Observe.Registry.find m name with
+    | Some (Observe.Registry.Counter c) -> !c
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  Alcotest.(check int) "domain0 ledger intact" 100
+    (counter "domain0.spin.udp.PacketRecv.srv.cpu_ns");
+  Alcotest.(check int) "domain1 ledger intact" 40
+    (counter "domain1.spin.udp.PacketRecv.srv.cpu_ns");
+  (* colliding prefix: the ledgers fold instead of clobbering *)
+  Observe.Registry.merge_into ~prefix:"domain0." ~into:m d1;
+  Alcotest.(check int) "colliding counters sum" 140
+    (counter "domain0.spin.udp.PacketRecv.srv.cpu_ns");
+  match Observe.Registry.find m "domain0.spin.udp.PacketRecv.srv.run_ns" with
+  | Some (Observe.Registry.Hist h) ->
+      Alcotest.(check int) "colliding histograms merge" 2
+        (Observe.Histogram.count h);
+      Alcotest.(check int) "merged sum" 40 (Observe.Histogram.sum h)
+  | _ -> Alcotest.fail "merged histogram missing"
+
+(* ---- Telemetry --------------------------------------------------------------- *)
+
+(* Delta encoding: a point carries only the samples that changed since
+   the previous snapshot; the point ring is bounded. *)
+let telemetry_delta () =
+  let r = Observe.Registry.create ~name:"t" () in
+  let a = Observe.Registry.counter r "a" in
+  let b = Observe.Registry.counter r "b" in
+  let tel = Observe.Telemetry.create ~capacity:2 r in
+  let n1 = Observe.Telemetry.record tel ~at_ns:1 in
+  Alcotest.(check int) "first point carries everything" 2 n1;
+  a := 5;
+  let n2 = Observe.Telemetry.record tel ~at_ns:2 in
+  Alcotest.(check int) "only the changed sample" 1 n2;
+  (match Observe.Telemetry.points tel with
+  | [ _; { Observe.Telemetry.at_ns = 2; changed = [ ("a", sample) ] } ] ->
+      Alcotest.(check bool) "new value" true
+        (sample = Observe.Registry.Count 5)
+  | _ -> Alcotest.fail "unexpected point shape");
+  let n3 = Observe.Telemetry.record tel ~at_ns:3 in
+  Alcotest.(check int) "quiet interval encodes empty" 0 n3;
+  b := 1;
+  ignore (Observe.Telemetry.record tel ~at_ns:4);
+  Alcotest.(check int) "ring bounded" 2 (Observe.Telemetry.length tel);
+  Alcotest.(check int) "overwrites counted" 2 (Observe.Telemetry.dropped tel);
+  Alcotest.(check int) "every tick counted" 4 (Observe.Telemetry.ticks tel);
+  let j = Observe.Telemetry.to_json tel in
+  Alcotest.(check bool) "json carries the series" true (contains j {|"series"|});
+  Alcotest.(check bool) "json carries deltas" true (contains j {|"b"|})
+
+(* The kernel scheduler: periodic snapshots in virtual time, stoppable. *)
+let telemetry_every () =
+  let engine = Sim.Engine.create () in
+  let kernel = Spin.Kernel.create engine ~name:"k" in
+  let reg = Spin.Kernel.registry kernel in
+  let c = Observe.Registry.counter reg "work" in
+  let tel, stop = Spin.Kernel.telemetry_every kernel ~period:(Sim.Stime.ms 1) in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule_in engine
+         ~delay:(Sim.Stime.us (i * 900))
+         (fun () -> incr c))
+  done;
+  Sim.Engine.run engine ~until:(Sim.Stime.ms 10);
+  stop ();
+  Alcotest.(check bool) "ticked roughly every period" true
+    (Observe.Telemetry.ticks tel >= 9);
+  let change_points =
+    List.filter
+      (fun (p : Observe.Telemetry.point) ->
+        List.mem_assoc "work" p.Observe.Telemetry.changed)
+      (Observe.Telemetry.points tel)
+  in
+  (* five bumps spread over ~4.5ms of 1ms ticks: several distinct deltas *)
+  Alcotest.(check bool) "deltas recorded" true (List.length change_points >= 3);
+  (* stop() cancels the rearming tick: the engine can drain *)
+  Sim.Engine.run engine;
+  Alcotest.(check int) "engine quiescent after stop" 0
+    (Sim.Engine.pending engine)
+
 (* ---- Introspection ---------------------------------------------------------- *)
 
 let dispatcher_dump () =
@@ -429,6 +792,22 @@ let suite =
         tc "udp span path reconstruction" span_path_reconstruction;
         tc "ephemeral termination span" ephemeral_terminated_span;
         tc "ephemeral commit span" ephemeral_commit_span;
+      ] );
+    ( "observe.flight",
+      [
+        prop flight_mark_pure;
+        prop flight_ring_wraparound;
+        tc "end-to-end timelines" flight_timelines_end_to_end;
+        tc "deterministic replay" flight_deterministic;
+        tc "sampled set matches mark_for" flight_sampled_subset;
+        tc "cross-domain merge attribution" flight_merge_domains;
+        tc "per-extension ledger" flight_ledger_accounting;
+        tc "ledger merge under domain prefixes" registry_merge_ledger_prefixes;
+      ] );
+    ( "observe.telemetry",
+      [
+        tc "delta encoding and bounded ring" telemetry_delta;
+        tc "kernel periodic snapshots" telemetry_every;
       ] );
     ( "observe.introspection",
       [ tc "dispatcher dump" dispatcher_dump; tc "kernel introspect" kernel_introspect ] );

@@ -230,6 +230,98 @@ let merged_registry_labels () =
       Alcotest.(check int) "par.forwarded merged" s.Par.Node.forwarded !r
   | _ -> Alcotest.fail "par.forwarded missing from merged registry"
 
+(* --- flight recorder across domains ------------------------------------ *)
+
+(* With sampling on, the sampled set is exactly [Flight.mark_for] over
+   the plan's arrival ordinals (every domain derives marks from the plan
+   seed, so steering and owning domains agree without shipping ids
+   through the rings); forwarded frames carry a sender-side Hop record
+   followed by owner-side stages; and equivalence with the oracle still
+   holds — sampling must not perturb the datapath. *)
+let flight_cross_domain () =
+  let rate = 4 in
+  let plan = Par.Rss.make ~seed:3 ~flows:64 ~pkts_per_flow:6 () in
+  let oracle = Par.Node.run ~domains:1 plan in
+  let par = Par.Node.run ~flight_rate:rate ~domains:2 plan in
+  check_equiv ~oracle ~par;
+  Alcotest.(check bool) "frames forwarded under sampling" true
+    (par.Par.Node.forwarded > 0);
+  let fl = par.Par.Node.flight in
+  let total = plan.Par.Rss.udp_frames + plan.Par.Rss.arp_frames in
+  Alcotest.(check int) "every arrival counted once" total
+    (Observe.Flight.seen fl);
+  let expected =
+    List.filter
+      (fun n ->
+        Observe.Flight.mark_for ~seed:plan.Par.Rss.seed ~rate n > 0)
+      (List.init total (fun i -> i + 1))
+  in
+  Alcotest.(check int) "sampled = mark_for picks" (List.length expected)
+    (Observe.Flight.sampled fl);
+  let tls = Observe.Flight.timelines (Observe.Flight.records fl) in
+  Alcotest.(check (list int)) "timeline per pick, none lost in handoff"
+    expected (List.map fst tls);
+  (* hopped packets: sender-side attribution, then owner-side stages *)
+  let hopped =
+    List.filter
+      (fun (_, rs) ->
+        List.exists
+          (fun (r : Observe.Flight.record) ->
+            match r.Observe.Flight.stage with
+            | Observe.Flight.Hop _ -> true
+            | _ -> false)
+          rs)
+      tls
+  in
+  Alcotest.(check bool) "some sampled frames hopped" true (hopped <> []);
+  List.iter
+    (fun (pkt, rs) ->
+      let hop_to = ref (-1) in
+      List.iter
+        (fun (r : Observe.Flight.record) ->
+          match r.Observe.Flight.stage with
+          | Observe.Flight.Hop { from_domain; to_domain } ->
+              Alcotest.(check int)
+                (Printf.sprintf "pkt %d hop emitted by sender" pkt)
+                from_domain r.Observe.Flight.domain;
+              hop_to := to_domain
+          | (Observe.Flight.Ingress _ | Observe.Flight.Deliver _)
+            when !hop_to >= 0 ->
+              (* every stage after the handoff runs on the owning domain *)
+              Alcotest.(check int)
+                (Printf.sprintf "pkt %d stage on owning domain" pkt)
+                !hop_to r.Observe.Flight.domain
+          | _ -> ())
+        rs)
+    hopped
+
+(* par.ring.* counters account for the handoff machinery: every
+   forwarded frame is an enqueue; attributed drains (backpressure
+   self-drains and phase-B quiescence drains) never exceed the enqueues
+   (routine periodic drains are deliberately unattributed). *)
+let ring_counters_account () =
+  let plan = Par.Rss.make ~seed:3 ~flows:64 ~pkts_per_flow:6 () in
+  let domains = 2 in
+  let s = Par.Node.run ~domains plan in
+  (* the merged registry keeps per-domain views distinct *)
+  let counter name =
+    List.fold_left
+      (fun acc d ->
+        match
+          Observe.Registry.find s.Par.Node.registry
+            (Printf.sprintf "domain%d.%s" d name)
+        with
+        | Some (Observe.Registry.Counter r) -> acc + !r
+        | _ -> Alcotest.fail (Printf.sprintf "missing domain%d.%s" d name))
+      0
+      (List.init domains Fun.id)
+  in
+  Alcotest.(check int) "enqueues = forwarded" s.Par.Node.forwarded
+    (counter "par.ring.enqueues");
+  Alcotest.(check bool) "attributed drains bounded by enqueues" true
+    (counter "par.ring.self_drains" + counter "par.ring.phase_b_drains"
+    <= s.Par.Node.forwarded)
+
 let tc name f = Alcotest.test_case name `Quick f
 let prop t = QCheck_alcotest.to_alcotest t
 
@@ -252,5 +344,10 @@ let suite =
         tc "uncached datapath agrees" equivalence_uncached;
         tc "simulated speedup at 2 domains" simulated_speedup;
         tc "merged registry carries domain labels" merged_registry_labels;
+      ] );
+    ( "parallel.flight",
+      [
+        tc "timelines survive cross-domain handoff" flight_cross_domain;
+        tc "ring handoff counters" ring_counters_account;
       ] );
   ]
