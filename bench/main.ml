@@ -17,20 +17,30 @@ open Toolkit
 (* ---- Part 1: microbenchmark subjects --------------------------------- *)
 
 (* A dispatcher wired to a live engine; each raise is drained so state
-   does not accumulate across benchmark iterations.  [indexed] installs
-   every handler under its own dispatch key, so a raise consults one
-   hash bucket instead of scanning all [n_handlers] guards. *)
-let dispatcher_env ~indexed n_handlers =
+   does not accumulate across benchmark iterations.  Three demux modes:
+   [`Linear] scans every guard, [`Indexed] installs every handler under
+   its own dispatch key and ablates the merged tree so the raise
+   consults one hash bucket, [`Tree] lets the default merged decision
+   tree compile the whole set — handlers are installed [~exact] so a
+   walk proves its match and the guard closure never runs. *)
+let dispatcher_env ~mode n_handlers =
   let engine = Sim.Engine.create () in
   let cpu = Sim.Cpu.create engine ~name:"bench" in
   let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
   let ev = Spin.Dispatcher.event d "bench" in
-  if indexed then Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+  (match mode with
+  | `Linear -> ()
+  | `Indexed ->
+      Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+      Spin.Dispatcher.set_event_tree ev false
+  | `Tree ->
+      Spin.Dispatcher.set_keyvfn ev ~dims:1 (fun x dst -> dst.(0) <- x));
   for i = 0 to n_handlers - 1 do
     let (_ : unit -> unit) =
       Spin.Dispatcher.install ev
         ~guard:(fun x -> x = i)
-        ?key:(if indexed then Some i else None)
+        ?key:(match mode with `Linear -> None | `Indexed | `Tree -> Some i)
+        ~exact:(mode = `Tree)
         ~cost:Sim.Stime.zero
         (fun _ -> ())
     in
@@ -42,27 +52,67 @@ let test_direct_call =
   let f = Sys.opaque_identity (fun x -> x + 1) in
   Test.make ~name:"direct procedure call" (Staged.stage (fun () -> ignore (f 1)))
 
-(* Linear vs. indexed dispatch across handler counts: the raise always
-   matches exactly one handler (the middle one), so any cost growth is
-   pure demultiplexing overhead. *)
-let test_dispatch ~indexed n =
-  let engine, ev = dispatcher_env ~indexed n in
+let mode_name = function
+  | `Linear -> "linear"
+  | `Indexed -> "indexed"
+  | `Tree -> "tree"
+
+(* Linear vs. indexed vs. merged-tree dispatch across handler counts:
+   the raise always matches exactly one handler (the middle one), so
+   any cost growth is pure demultiplexing overhead. *)
+let test_dispatch ~mode n =
+  let engine, ev = dispatcher_env ~mode n in
   let target = n / 2 in
   Test.make
-    ~name:
-      (Printf.sprintf "dispatch %s (%d handlers)"
-         (if indexed then "indexed" else "linear")
-         n)
+    ~name:(Printf.sprintf "dispatch %s (%d handlers)" (mode_name mode) n)
     (Staged.stage (fun () ->
          Spin.Dispatcher.raise ev target;
          Sim.Engine.run engine))
 
 let dispatch_counts = [ 1; 8; 64; 256 ]
 
+(* The many-guard shape the tree exists for: 64 analyzers all watching
+   the same traffic (same key, exact guards).  The bucket index puts
+   them in one bucket and re-evaluates all 64 guards per raise; the
+   merged tree proves all 64 in a single walk. *)
+let test_analyzers ~mode =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~name:"bench" in
+  let d = Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs () in
+  let ev = Spin.Dispatcher.event d "analyzers" in
+  (match mode with
+  | `Indexed ->
+      Spin.Dispatcher.set_keyfn ev (fun x -> [ x ]);
+      Spin.Dispatcher.set_event_tree ev false
+  | `Tree ->
+      Spin.Dispatcher.set_keyvfn ev ~dims:1 (fun x dst -> dst.(0) <- x));
+  for _ = 1 to 64 do
+    let (_ : unit -> unit) =
+      Spin.Dispatcher.install ev
+        ~guard:(fun x -> x = 7)
+        ~key:7
+        ~exact:(mode = `Tree)
+        ~cost:Sim.Stime.zero
+        (fun _ -> ())
+    in
+    ()
+  done;
+  Test.make
+    ~name:(Printf.sprintf "dispatch %s (64 analyzers)" (mode_name mode))
+    (Staged.stage (fun () ->
+         Spin.Dispatcher.raise ev 7;
+         Sim.Engine.run engine))
+
 let dispatch_tests =
   List.concat_map
-    (fun n -> [ test_dispatch ~indexed:false n; test_dispatch ~indexed:true n ])
+    (fun n ->
+      [
+        test_dispatch ~mode:`Linear n;
+        test_dispatch ~mode:`Indexed n;
+        test_dispatch ~mode:`Tree n;
+      ])
     dispatch_counts
+  @ [ test_analyzers ~mode:`Indexed; test_analyzers ~mode:`Tree ]
 
 let sample_frame =
   let pkt = Mbuf.of_string (String.make 64 '\000') in
@@ -624,8 +674,14 @@ let write_dispatch_json path results =
         [
           dispatch_subject (Printf.sprintf "g dispatch linear (%d handlers)" n);
           dispatch_subject (Printf.sprintf "g dispatch indexed (%d handlers)" n);
+          dispatch_subject (Printf.sprintf "g dispatch tree (%d handlers)" n);
         ])
       dispatch_counts
+    @ List.map dispatch_subject
+        [
+          "g dispatch indexed (64 analyzers)";
+          "g dispatch tree (64 analyzers)";
+        ]
     @ List.map dispatch_subject
         [
           "g interpreted packet filter (5 nodes)";
@@ -1220,7 +1276,42 @@ let () =
   in
   if dispatch_only then begin
     let results = run_bechamel (dispatch_tests @ filter_tests) in
-    write_dispatch_json "BENCH_dispatch.json" results
+    write_dispatch_json "BENCH_dispatch.json" results;
+    (* The merged-tree gates: at 256 handlers the single walk must beat
+       the hash-bucket index by 25%, and the walk itself must stay flat —
+       within 15% of the event's own 1-handler cost. *)
+    if check then begin
+      let get name = List.assoc_opt ("g " ^ name) results in
+      match
+        ( get "dispatch tree (256 handlers)",
+          get "dispatch indexed (256 handlers)",
+          get "dispatch tree (1 handlers)" )
+      with
+      | Some t256, Some i256, Some t1 ->
+          Printf.printf
+            "\n  dispatch gate: tree(256)=%.1fns indexed(256)=%.1fns \
+             tree(1)=%.1fns\n%!"
+            t256 i256 t1;
+          if t256 > 0.75 *. i256 then begin
+            Printf.eprintf
+              "FAIL: tree(256) %.1fns above 0.75x indexed(256) %.1fns\n%!" t256
+              (0.75 *. i256);
+            exit 1
+          end;
+          if t256 > 1.15 *. t1 then begin
+            Printf.eprintf
+              "FAIL: tree(256) %.1fns above 1.15x tree(1) %.1fns — the walk \
+               is not flat in handler count\n%!"
+              t256 (1.15 *. t1);
+            exit 1
+          end;
+          Printf.printf
+            "  dispatch check passed (tree(256) <= 0.75x indexed(256), <= \
+             1.15x tree(1))\n%!"
+      | _ ->
+          Printf.eprintf "FAIL: dispatch gate subjects missing\n%!";
+          exit 1
+    end
   end
   else if datapath_only then begin
     let results = run_bechamel datapath_tests in

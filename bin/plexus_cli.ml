@@ -313,6 +313,147 @@ let run_parallel domains flows pkts seed =
       (List.length (Par.Node.equiv_counters oracle))
   end
 
+(* Dispatch-plane introspection: run the mixed workload (plus a few
+   extra UDP bindings so the port dimension has several keyed handlers
+   to merge), then print each event's demux configuration and — with
+   [--tree] — the compiled merged decision tree itself. *)
+let dim_name d =
+  match d with
+  | 0 -> "ether_type"
+  | 1 -> "ip_proto"
+  | 2 -> "src_port"
+  | 3 -> "dst_port"
+  | _ -> Printf.sprintf "dim%d" d
+
+let rec tree_to_json v =
+  let esc = Observe.Registry.json_escape in
+  match v with
+  | Spin.Dispatcher.Tree_leaf { tv_exact; tv_resid } ->
+      let labels hs =
+        String.concat ", "
+          (List.map (fun (_, l) -> Printf.sprintf "\"%s\"" (esc l)) hs)
+      in
+      Printf.sprintf "{\"leaf\": {\"exact\": [%s], \"residual\": [%s]}}"
+        (labels tv_exact) (labels tv_resid)
+  | Spin.Dispatcher.Tree_switch { tv_dim; tv_cases; tv_default } ->
+      Printf.sprintf "{\"switch\": \"%s\", \"cases\": {%s}, \"default\": %s}"
+        (dim_name tv_dim)
+        (String.concat ", "
+           (List.map
+              (fun (v, kid) ->
+                Printf.sprintf "\"%d\": %s" v (tree_to_json kid))
+              tv_cases))
+        (tree_to_json tv_default)
+
+let rec print_tree indent v =
+  let pad = String.make indent ' ' in
+  match v with
+  | Spin.Dispatcher.Tree_leaf { tv_exact; tv_resid } ->
+      let labels hs = String.concat ", " (List.map snd hs) in
+      Printf.printf "%sleaf: exact [%s]%s\n" pad (labels tv_exact)
+        (if tv_resid = [] then ""
+         else Printf.sprintf " residual [%s]" (labels tv_resid))
+  | Spin.Dispatcher.Tree_switch { tv_dim; tv_cases; tv_default } ->
+      Printf.printf "%sswitch %s:\n" pad (dim_name tv_dim);
+      List.iter
+        (fun (v, kid) ->
+          Printf.printf "%s  = %d ->\n" pad v;
+          print_tree (indent + 4) kid)
+        tv_cases;
+      Printf.printf "%s  default ->\n" pad;
+      print_tree (indent + 4) tv_default
+
+let run_dispatch tree json =
+  let p =
+    Experiments.Common.plexus_pair ~flowcache:true (Netsim.Costs.ethernet ())
+  in
+  let udp_b = Plexus.Stack.udp p.Experiments.Common.b in
+  List.iter
+    (fun port ->
+      match Plexus.Udp_mgr.bind udp_b ~owner:"sink" ~port with
+      | Ok ep ->
+          let (_ : unit -> unit) =
+            Plexus.Udp_mgr.install_recv udp_b ep (fun _ -> ())
+          in
+          ()
+      | Error _ -> ())
+    [ 9; 37 ];
+  mixed_udp_workload p;
+  Sim.Engine.run p.Experiments.Common.engine ~until:(Sim.Stime.s 60)
+    ~max_events:10_000_000;
+  let kernels =
+    List.map
+      (fun stack -> Netsim.Host.kernel (Plexus.Stack.host stack))
+      [ p.Experiments.Common.a; p.Experiments.Common.b ]
+  in
+  let events kernel =
+    let d = Spin.Kernel.dispatcher kernel in
+    let views = Spin.Dispatcher.tree_views d in
+    List.map
+      (fun (ei : Spin.Dispatcher.event_info) ->
+        let view =
+          match List.assoc_opt ei.Spin.Dispatcher.ei_name views with
+          | Some v -> v
+          | None -> None
+        in
+        (ei, view))
+      (Spin.Dispatcher.dump d)
+  in
+  if json then begin
+    let esc = Observe.Registry.json_escape in
+    let event_json ((ei : Spin.Dispatcher.event_info), view) =
+      let tree_json =
+        match (ei.Spin.Dispatcher.ei_tree, view) with
+        | Some ti, Some v ->
+            Printf.sprintf
+              ", \"tree\": {\"nodes\": %d, \"depth\": %d, \"rebuilds\": %d, \
+               \"raises\": %d, \"residual_evals\": %d, \"root\": %s}"
+              ti.Spin.Dispatcher.ti_nodes ti.Spin.Dispatcher.ti_depth
+              ti.Spin.Dispatcher.ti_rebuilds ti.Spin.Dispatcher.ti_raises
+              ti.Spin.Dispatcher.ti_residual_evals (tree_to_json v)
+        | _ -> ""
+      in
+      Printf.sprintf
+        "      {\"event\": \"%s\", \"indexed\": %b, \"handlers\": %d%s}"
+        (esc ei.Spin.Dispatcher.ei_name)
+        ei.Spin.Dispatcher.ei_indexed
+        (List.length ei.Spin.Dispatcher.ei_handlers)
+        tree_json
+    in
+    let per_kernel kernel =
+      Printf.sprintf "    \"%s\": [\n%s\n    ]"
+        (esc (Spin.Kernel.name kernel))
+        (String.concat ",\n" (List.map event_json (events kernel)))
+    in
+    Printf.printf "{\n  \"kernels\": {\n%s\n  }\n}\n"
+      (String.concat ",\n" (List.map per_kernel kernels))
+  end
+  else
+    List.iter
+      (fun kernel ->
+        Printf.printf "dispatch plane on %s:\n" (Spin.Kernel.name kernel);
+        List.iter
+          (fun ((ei : Spin.Dispatcher.event_info), view) ->
+            Printf.printf "  %-22s %7s  %d handler(s)%s\n"
+              ei.Spin.Dispatcher.ei_name
+              (if ei.Spin.Dispatcher.ei_indexed then "indexed" else "linear")
+              (List.length ei.Spin.Dispatcher.ei_handlers)
+              (match ei.Spin.Dispatcher.ei_tree with
+              | Some ti ->
+                  Printf.sprintf
+                    "  tree: %d nodes, depth %d, %d rebuild(s), %d raises, \
+                     %d residual eval(s)"
+                    ti.Spin.Dispatcher.ti_nodes ti.Spin.Dispatcher.ti_depth
+                    ti.Spin.Dispatcher.ti_rebuilds ti.Spin.Dispatcher.ti_raises
+                    ti.Spin.Dispatcher.ti_residual_evals
+              | None -> "");
+            if tree then
+              match view with
+              | Some v -> print_tree 4 v
+              | None -> ())
+          (events kernel))
+      kernels
+
 let run_graph () =
   let p = Experiments.Common.plexus_pair (Netsim.Costs.ethernet ()) in
   print_string (Plexus.Graph.to_dot (Plexus.Stack.graph p.Experiments.Common.a))
@@ -538,6 +679,24 @@ let parallel_cmd =
           throughput; exits non-zero on any divergence")
     Term.(const run_parallel $ domains $ flows $ pkts $ seed)
 
+let dispatch_cmd =
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ] ~doc:"Also print each event's compiled decision tree.")
+  in
+  let json =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the dispatch plane as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:
+         "Run a mixed workload, then dump each kernel's dispatch plane: \
+          per-event demux mode, handler counts, and (with $(b,--tree)) the \
+          merged decision tree the installed filter set compiled to")
+    Term.(const run_dispatch $ tree $ json)
+
 let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Print the protocol graph in Graphviz DOT form")
@@ -572,6 +731,7 @@ let () =
             observe_cmd;
             top_cmd;
             parallel_cmd;
+            dispatch_cmd;
             graph_cmd;
             all_cmd;
           ]))

@@ -65,7 +65,8 @@ let create ?(retry_interval = Sim.Stime.s 1) ?(max_retries = 3) graph ether
     Ether_mgr.install_protocol ether ~child:"arp"
       ~guard:(Ether_mgr.etype_guard Proto.Ether.etype_arp)
       ~key:(Filter.ether_type_key Proto.Ether.etype_arp)
-      ~cacheable:true ~cost:costs.Netsim.Costs.layer.ether_in handle
+      ~exact:true ~cacheable:true ~cost:costs.Netsim.Costs.layer.ether_in
+      handle
   in
   t
 

@@ -72,10 +72,11 @@ let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 (* Trusted install used by in-kernel protocol managers (IP, ARP).
    [cacheable] asserts the guard is a pure function of the frame's flow
    signature (EtherType, MAC, protocol, addresses, ports). *)
-let install_protocol t ~child ~guard ?key ?dyncost ?cacheable ~cost fn =
+let install_protocol t ~child ~guard ?key ?keys ?exact ?dyncost ?cacheable
+    ~cost fn =
   Graph.add_edge t.graph ~parent:t.node ~child ~label:"guard";
-  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?key ?dyncost
-    ?cacheable ~label:child ~cost fn
+  Spin.Dispatcher.install (Graph.recv_event t.node) ~guard ?key ?keys ?exact
+    ?dyncost ?cacheable ~label:child ~cost fn
 
 let etype_guard etype ctx =
   match Proto.Ether.parse (Pctx.view ctx) with
@@ -95,7 +96,7 @@ let install_ephemeral t ~owner ~etype ?budget fn =
     Ok
       (Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
          ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype)
-         ~label:owner ?budget fn)
+         ~exact:true ~label:owner ?budget fn)
   end
 
 (* Thread-delivered application handler on a non-reserved EtherType. *)
@@ -107,7 +108,7 @@ let install_handler t ~owner ~etype ?(cost = Sim.Stime.us 4) fn =
     Ok
       (Spin.Dispatcher.install (Graph.recv_event t.node)
          ~guard:(etype_guard etype) ~key:(Filter.ether_type_key etype)
-         ~cacheable:true ~label:owner ~cost fn)
+         ~exact:true ~cacheable:true ~label:owner ~cost fn)
   end
 
 (* Send a frame: charge the Ethernet output cost, write the header — the

@@ -26,12 +26,16 @@ val touches_data : t -> bool
 
 val install_protocol :
   t -> child:string -> guard:(Pctx.t -> bool) -> ?key:int ->
+  ?keys:int list -> ?exact:bool ->
   ?dyncost:(Pctx.t -> Sim.Stime.t) -> ?cacheable:bool -> cost:Sim.Stime.t ->
   (Pctx.t -> unit) -> unit -> unit
 (** Trusted install for in-kernel protocol layers (IP, ARP).  [key] is
     the handler's dispatch key (e.g. [Filter.ether_type_key]) when the
-    guard implies one; [cacheable] asserts the guard is a pure function
-    of the frame's flow signature (see {!Spin.Dispatcher.install}). *)
+    guard implies one; [keys] adds further dispatch keys and [exact]
+    asserts the guard is equivalent to its keys so the merged decision
+    tree may skip it on proven paths; [cacheable] asserts the guard is a
+    pure function of the frame's flow signature (see
+    {!Spin.Dispatcher.install}). *)
 
 val etype_guard : int -> Pctx.t -> bool
 (** Guard matching frames of one EtherType (the paper's Figure 2). *)

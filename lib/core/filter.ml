@@ -207,26 +207,46 @@ let keyable_field = function
   | U16 (Abs, 12) -> Some (Key_ether_type, 0xffff) (* the EtherType slot *)
   | _ -> None
 
+let key_of_conjunct = function
+  | Eq (f, v) -> (
+      match keyable_field f with
+      | Some (kf, width) when v >= 0 && v <= width ->
+          Some { kfield = kf; kvalue = v }
+      | _ -> None)
+  | Mask (f, m, v) -> (
+      (* a mask covering the field's full width is plain equality *)
+      match keyable_field f with
+      | Some (kf, width) when m land width = width && v >= 0 && v <= width ->
+          Some { kfield = kf; kvalue = v }
+      | _ -> None)
+  | _ -> None
+
 let dispatch_key t =
-  let key_of_conjunct = function
-    | Eq (f, v) -> (
-        match keyable_field f with
-        | Some (kf, width) when v >= 0 && v <= width ->
-            Some { kfield = kf; kvalue = v }
-        | _ -> None)
-    | Mask (f, m, v) -> (
-        (* a mask covering the field's full width is plain equality *)
-        match keyable_field f with
-        | Some (kf, width) when m land width = width && v >= 0 && v <= width
-          ->
-            Some { kfield = kf; kvalue = v }
-        | _ -> None)
-    | _ -> None
-  in
   match normalize t with
   | True | False -> None
   | t' ->
       Option.map key_code (List.find_map key_of_conjunct (flat_and t' []))
+
+(* Every keyable equality the filter's top-level conjunction implies, for
+   the dispatcher's merged decision tree (one key per demux dimension the
+   filter pins).  Subsumes [dispatch_key]: that is the first of these. *)
+let key_conjuncts t =
+  match normalize t with
+  | True | False -> []
+  | t' ->
+      flat_and t' []
+      |> List.filter_map key_of_conjunct
+      |> List.map key_code
+      |> List.sort_uniq compare
+
+(* A filter is [keys_exact] when its normalized form is nothing but
+   keyable equality conjuncts: a payload that presents every key *is* a
+   match, so a dispatch path that proved all of them may skip the guard
+   entirely rather than re-running it as a residual check. *)
+let keys_exact t =
+  match normalize t with
+  | True | False -> false
+  | t' -> List.for_all (fun c -> key_of_conjunct c <> None) (flat_and t' [])
 
 (* ---- Flow demux extraction --------------------------------------------- *)
 
@@ -356,6 +376,21 @@ let context_keys ctx =
   in
   let et = frame_ether_type (View.ro (Mbuf.view ctx.Pctx.pkt)) in
   if et >= 0 then ether_type_key et :: keys else keys
+
+(* Allocation-free variant of [context_keys]: the dispatcher hands a
+   per-event scratch array of [num_key_dims] slots indexed by key tag
+   ([key_tag], the [k lsr 16] of an encoded key) and the probe writes
+   each dimension's raw value, [-1] for absent.  Reads the same four
+   fields as [context_keys], so [read_context_keys ctx dst] and
+   [context_keys ctx] present exactly the same (dimension, value)
+   pairs — the property the key-extraction equivalence test pins. *)
+let num_key_dims = 4
+
+let read_context_keys ctx dst =
+  dst.(0) <- frame_ether_type (View.ro (Mbuf.view ctx.Pctx.pkt));
+  dst.(1) <- (match ctx.Pctx.ip with Some h -> h.Proto.Ipv4.proto | None -> -1);
+  dst.(2) <- ctx.Pctx.src_port;
+  dst.(3) <- ctx.Pctx.dst_port
 
 (* ---- Compilation ------------------------------------------------------- *)
 

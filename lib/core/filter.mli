@@ -86,11 +86,37 @@ val dispatch_key : t -> int option
     [dispatch_key t = Some k], then [eval t ctx = false] for every [ctx]
     whose {!context_keys} does not include [k]. *)
 
+val key_conjuncts : t -> int list
+(** Every key the filter's top-level conjunction implies, sorted and
+    deduplicated — one per demux dimension the filter pins.  Subsumes
+    {!dispatch_key} (which is the first of these); the dispatcher's
+    merged decision tree places the handler under all of them.  Each key
+    individually satisfies the {!dispatch_key} soundness property. *)
+
+val keys_exact : t -> bool
+(** True when the normalized filter is {e nothing but} keyable equality
+    conjuncts: any payload presenting all of {!key_conjuncts} is a
+    match, so a dispatch path that proved every key may skip the guard
+    entirely.  Always false for [True]/[False] (no keys to prove). *)
+
 val context_keys : Pctx.t -> int list
 (** The keys a packet context presents, one per demux dimension
     available at the current layer (EtherType from the frame, protocol
     from the parsed IP header, ports once parsed).  Events over [Pctx.t]
     use this as their key extractor. *)
+
+val num_key_dims : int
+(** Number of demux dimensions ({!ether_type_key} … {!dst_port_key}
+    tags, currently 4) — the scratch-array width for
+    {!read_context_keys}. *)
+
+val read_context_keys : Pctx.t -> int array -> unit
+(** Allocation-free {!context_keys}: writes slot [d] of the scratch
+    array (≥ {!num_key_dims} slots) with the raw value the context
+    presents on key dimension [d], or [-1] when absent.  Presents
+    exactly the same (dimension, value) pairs as {!context_keys};
+    protocol-graph events use this as their vectored key extractor
+    so steady-state dispatch allocates nothing. *)
 
 (** {1 Flow demux extraction}
 

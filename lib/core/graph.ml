@@ -42,8 +42,11 @@ let node t name =
       (* Every protocol event demultiplexes packet contexts, so they all
          share one key extractor: the demux dimensions the packet
          presents at its current layer (EtherType, IP protocol, ports).
-         Managers that know their guard's literal install with ~key. *)
-      Spin.Dispatcher.set_keyfn recv Filter.context_keys;
+         Managers that know their guard's literal install with ~key.
+         The vectored form fills a per-event scratch array in place, so
+         steady-state dispatch allocates nothing. *)
+      Spin.Dispatcher.set_keyvfn recv ~dims:Filter.num_key_dims
+        Filter.read_context_keys;
       (* ... and one flow-signature extractor, so any node can serve as
          a flow-path cache root when the kernel enables caching.  Only
          fresh, unfragmented frames are signable; everything else

@@ -39,7 +39,8 @@ let create graph ip =
       (Graph.recv_event (Ip_mgr.node ip))
       ~guard:proto_guard
       ~key:(Filter.ip_proto_key Proto.Ipv4.proto_icmp)
-      ~cacheable:true ~label:"icmp" ~cost:costs.Netsim.Costs.layer.udp_in
+      ~exact:true ~cacheable:true ~label:"icmp"
+      ~cost:costs.Netsim.Costs.layer.udp_in
       ~dyncost:(fun ctx ->
         if Pctx.data_touched_by_device ctx then Sim.Stime.zero
         else

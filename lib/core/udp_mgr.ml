@@ -205,7 +205,7 @@ let install_recv t ep ?cost fn =
     ~label:(Printf.sprintf "port=%d" (Endpoint.port ep));
   Spin.Dispatcher.install (Graph.recv_event t.node) ~guard:(port_guard ep)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~cacheable:true ~label:(Endpoint.owner ep) ~cost fn
+    ~exact:true ~cacheable:true ~label:(Endpoint.owner ep) ~cost fn
 
 (* The same handler without a dispatch key: every raise scans its guard
    linearly.  Exists for the guard-scaling ablation — this is what every
@@ -227,9 +227,12 @@ let install_recv_filtered t ep filter ?cost fn =
   Graph.add_edge t.graph ~parent:t.node
     ~child:(Endpoint.owner ep)
     ~label:(Fmt.str "port=%d filter=%a" (Endpoint.port ep) Filter.pp filter);
+  let full = Filter.And (Filter.dst_port_is (Endpoint.port ep), filter) in
   Spin.Dispatcher.install (Graph.recv_event t.node)
     ~guard:(fun ctx -> port_guard ep ctx && Filter.eval filter ctx)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
+    ~keys:(Filter.key_conjuncts filter)
+    ~exact:(Filter.keys_exact full)
     ~label:(Endpoint.owner ep) ~gcost:(Filter.eval_cost filter) ~cost fn
 
 (* The filtered install with the filter *compiled* instead of
@@ -243,9 +246,12 @@ let install_recv_compiled t ep filter ?cost fn =
     ~label:
       (Fmt.str "port=%d compiled[%d]" (Endpoint.port ep)
          (Filter.program_length prog));
+  let full = Filter.And (Filter.dst_port_is (Endpoint.port ep), filter) in
   Spin.Dispatcher.install (Graph.recv_event t.node)
     ~guard:(fun ctx -> port_guard ep ctx && Filter.run prog ctx)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
+    ~keys:(Filter.key_conjuncts filter)
+    ~exact:(Filter.keys_exact full)
     ~label:(Endpoint.owner ep) ~gcost:(Filter.compiled_cost prog) ~cost fn
 
 (* Interrupt-level (EPHEMERAL) receive handler with optional budget. *)
@@ -256,7 +262,7 @@ let install_recv_ephemeral t ep ?budget fn =
   Spin.Dispatcher.install_ephemeral (Graph.recv_event t.node)
     ~guard:(port_guard ep)
     ~key:(Filter.dst_port_key (Endpoint.port ep))
-    ~label:(Endpoint.owner ep) ?budget fn
+    ~exact:true ~label:(Endpoint.owner ep) ?budget fn
 
 let cpu t = Netsim.Host.cpu (Graph.host t.graph)
 

@@ -233,6 +233,9 @@ let dispatch_sensitivity ?(factors = [ 1; 10; 100 ]) ?(iters = 50) () =
               index =
                 Sim.Stime.mul base.Netsim.Costs.dispatch.Spin.Dispatcher.index
                   factor;
+              tree_node =
+                Sim.Stime.mul
+                  base.Netsim.Costs.dispatch.Spin.Dispatcher.tree_node factor;
               thread_spawn =
                 base.Netsim.Costs.dispatch.Spin.Dispatcher.thread_spawn;
             };

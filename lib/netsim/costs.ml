@@ -84,6 +84,7 @@ let default =
         Spin.Dispatcher.dispatch = T.ns 400;
         guard = T.ns 300;
         index = T.ns 250;
+        tree_node = T.ns 100;
         thread_spawn = T.us 25;
       };
     fwd_rewrite = T.us 8;

@@ -103,10 +103,30 @@ type domain_stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  tree_raises : int;
+  tree_residual_evals : int;
   busy_us : float;
   registry : Observe.Registry.t;
   flight : Observe.Flight.t;
 }
+
+(* Sum every per-event merged-tree counter with the given suffix (e.g.
+   "udp.PacketRecv" and "ip.PacketRecv" each expose their own
+   [spin.<event>.tree.raises]). *)
+let sum_counters reg ~suffix =
+  List.fold_left
+    (fun acc (name, s) ->
+      match s with
+      | Observe.Registry.Count n
+        when String.length name >= String.length suffix
+             && String.sub name
+                  (String.length name - String.length suffix)
+                  (String.length suffix)
+                = suffix ->
+          acc + n
+      | _ -> acc)
+    0
+    (Observe.Registry.snapshot reg)
 
 (* The worker body.  Phase A walks the plan's frames steered to this
    node: owned frames are injected in bursts into the private stack,
@@ -286,6 +306,8 @@ let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me =
     cache_hits = Spin.Dispatcher.path_cache_hits d;
     cache_misses = Spin.Dispatcher.path_cache_misses d;
     cache_evictions = Spin.Dispatcher.path_cache_evictions d;
+    tree_raises = sum_counters reg ~suffix:".tree.raises";
+    tree_residual_evals = sum_counters reg ~suffix:".tree.residual_evals";
     busy_us = Sim.Stime.to_us (Sim.Cpu.busy_time w.cpu);
     registry = reg;
     flight = fl;
@@ -302,6 +324,8 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  tree_raises : int;
+  tree_residual_evals : int;
   forwarded : int;
   busy_us : float array;
   busy_max_us : float;
@@ -388,6 +412,8 @@ let run ?(flowcache = true) ?(flight_rate = 0) ?(batch = 32)
     cache_hits = sum (fun d -> d.cache_hits);
     cache_misses = sum (fun d -> d.cache_misses);
     cache_evictions = sum (fun d -> d.cache_evictions);
+    tree_raises = sum (fun d -> d.tree_raises);
+    tree_residual_evals = sum (fun d -> d.tree_residual_evals);
     forwarded;
     busy_us;
     busy_max_us;
@@ -411,4 +437,9 @@ let equiv_counters s =
     ("cache_hits", s.cache_hits);
     ("cache_misses", s.cache_misses);
     ("cache_evictions", s.cache_evictions);
+    (* merged-tree dispatch is per-packet deterministic (replayed
+       cache hits skip the walk, and hits already match above), so the
+       sharded sums must equal the single-domain oracle's too *)
+    ("tree_raises", s.tree_raises);
+    ("tree_residual_evals", s.tree_residual_evals);
   ]

@@ -32,6 +32,9 @@ type domain_stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  tree_raises : int;  (** raises served by a merged decision-tree walk *)
+  tree_residual_evals : int;
+      (** opaque guards the tree could not prove and had to evaluate *)
   busy_us : float;  (** this node's simulated CPU busy time *)
   registry : Observe.Registry.t;  (** the node's kernel registry *)
   flight : Observe.Flight.t;
@@ -49,6 +52,8 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  tree_raises : int;
+  tree_residual_evals : int;
   forwarded : int;
   busy_us : float array;
   busy_max_us : float;  (** makespan: the loaded domain bounds the run *)

@@ -79,21 +79,23 @@ let rec service t =
   | None ->
       t.busy <- false;
       t.current <- None
-  | Some (w, prio) ->
-      t.busy <- true;
-      let started = Engine.now t.engine in
-      (* an outstanding inline charge delays service of queued work *)
-      let wait = Stime.max Stime.zero (Stime.sub t.reserved_until started) in
-      let handle =
-        Engine.schedule_in t.engine ~delay:(Stime.add wait w.cost) (fun () ->
-            t.current <- None;
-            t.busy_ns <- Stime.add t.busy_ns w.cost;
-            t.window_busy <- Stime.add t.window_busy w.cost;
-            t.served <- t.served + 1;
-            w.k ();
-            service t)
-      in
-      t.current <- Some (w, prio, started, handle)
+  | Some (w, prio) -> serve t w prio
+
+and serve t w prio =
+  t.busy <- true;
+  let started = Engine.now t.engine in
+  (* an outstanding inline charge delays service of queued work *)
+  let wait = Stime.max Stime.zero (Stime.sub t.reserved_until started) in
+  let handle =
+    Engine.schedule_in t.engine ~delay:(Stime.add wait w.cost) (fun () ->
+        t.current <- None;
+        t.busy_ns <- Stime.add t.busy_ns w.cost;
+        t.window_busy <- Stime.add t.window_busy w.cost;
+        t.served <- t.served + 1;
+        w.k ();
+        service t)
+  in
+  t.current <- Some (w, prio, started, handle)
 
 (* Suspend in-service thread work so that a just-arrived interrupt runs
    immediately; the consumed slice is charged now and the remainder goes
@@ -123,10 +125,15 @@ let charge t ~cost =
   t.window_busy <- Stime.add t.window_busy cost
 
 let run t ?(prio = Thread) ~cost k =
-  let q = match prio with Interrupt -> t.intr_q | Thread -> t.thread_q in
-  Queue.push { cost; k } q;
-  if not t.busy then service t
-  else if t.preemptive && prio = Interrupt then preempt t
+  if not t.busy then
+    (* idle CPU: the queues are empty (service drains them before
+       clearing [busy]), so skip the queue round-trip entirely *)
+    serve t { cost; k } prio
+  else begin
+    let q = match prio with Interrupt -> t.intr_q | Thread -> t.thread_q in
+    Queue.push { cost; k } q;
+    if t.preemptive && prio = Interrupt then preempt t
+  end
 
 let reset_window t =
   t.window_start <- Engine.now t.engine;

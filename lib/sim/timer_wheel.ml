@@ -41,9 +41,15 @@ type 'a node = {
 and 'a t = {
   buckets : 'a node array array; (* [level].[slot] -> sentinel *)
   occupancy : int array; (* per-level bitmap of non-empty slots *)
+  mutable level_occ : int; (* bitmap of levels with any non-empty slot *)
   mutable cur : int; (* current time; all live keys are >= cur *)
   mutable live : int;
   mutable next_seq : int;
+  mutable settled : 'a node option;
+      (* memo of the last [settle] result: the level-0 sentinel holding
+         the minimum.  Valid until a pop or cancel unlinks a node — a
+         later [add] cannot beat the settled head (its key is >= cur =
+         head.key, and at equal keys its seq is larger). *)
 }
 
 let make_sentinel () =
@@ -57,9 +63,11 @@ let create () =
   {
     buckets = Array.init levels (fun _ -> Array.init slots (fun _ -> make_sentinel ()));
     occupancy = Array.make levels 0;
+    level_occ = 0;
     cur = 0;
     live = 0;
     next_seq = 0;
+    settled = None;
   }
 
 let live t = t.live
@@ -100,7 +108,8 @@ let link_at t node level slot =
   node.next <- s;
   s.prev.next <- node;
   s.prev <- node;
-  t.occupancy.(level) <- t.occupancy.(level) lor (1 lsl slot)
+  t.occupancy.(level) <- t.occupancy.(level) lor (1 lsl slot);
+  t.level_occ <- t.level_occ lor (1 lsl level)
 
 let place t node =
   let level = level_for t node.key in
@@ -120,11 +129,15 @@ let add t ~key value =
   node
 
 let unlink t node =
+  t.settled <- None;
   node.prev.next <- node.next;
   node.next.prev <- node.prev;
   let s = t.buckets.(node.level).(node.slot) in
-  if s.next == s then
+  if s.next == s then begin
     t.occupancy.(node.level) <- t.occupancy.(node.level) land lnot (1 lsl node.slot);
+    if t.occupancy.(node.level) = 0 then
+      t.level_occ <- t.level_occ land lnot (1 lsl node.level)
+  end;
   node.prev <- node;
   node.next <- node
 
@@ -146,6 +159,8 @@ let is_live node = match node.owner with Some _ -> true | None -> false
 let cascade t level slot =
   let s = t.buckets.(level).(slot) in
   t.occupancy.(level) <- t.occupancy.(level) land lnot (1 lsl slot);
+  if t.occupancy.(level) = 0 then
+    t.level_occ <- t.level_occ land lnot (1 lsl level);
   let rec drain node =
     if node != s then begin
       let next = node.next in
@@ -164,21 +179,27 @@ let cascade t level slot =
    cascading higher-level buckets as needed.  Returns the sentinel of the
    level-0 bucket holding the minimum, or None when empty. *)
 let rec settle t =
+  match t.settled with
+  | Some s when s.next != s -> Some s
+  | _ ->
+      t.settled <- None;
+      settle_slow t
+
+and settle_slow t =
   if t.live = 0 then None
   else begin
-    (* find the lowest non-empty level *)
-    let rec find_level l =
-      if l >= levels then None
-      else if t.occupancy.(l) <> 0 then Some l
-      else find_level (l + 1)
+    (* lowest non-empty level, via the level-occupancy summary bitmap *)
+    let find_level () =
+      if t.level_occ = 0 then None else Some (lowest_set_bit t.level_occ)
     in
-    match find_level 0 with
+    match find_level () with
     | None -> None (* unreachable when live > 0 *)
     | Some 0 ->
         let slot = lowest_set_bit t.occupancy.(0) in
         let s = t.buckets.(0).(slot) in
         (* every node in a level-0 bucket shares one exact deadline *)
         t.cur <- s.next.key;
+        t.settled <- Some s;
         Some s
     | Some l ->
         let slot = lowest_set_bit t.occupancy.(l) in
@@ -186,7 +207,7 @@ let rec settle t =
         let high = (t.cur lsr (slot_bits * (l + 1))) lsl (slot_bits * (l + 1)) in
         t.cur <- high lor (slot lsl (slot_bits * l));
         cascade t l slot;
-        settle t
+        settle_slow t
   end
 
 let horizon t = t.cur

@@ -53,6 +53,7 @@ type costs = {
   dispatch : Sim.Stime.t;      (* per-raise bookkeeping, ~ a procedure call *)
   guard : Sim.Stime.t;         (* per guard predicate evaluation *)
   index : Sim.Stime.t;         (* per-raise demux-key hash lookup *)
+  tree_node : Sim.Stime.t;     (* per decision-tree switch visited *)
   thread_spawn : Sim.Stime.t;  (* thread-mode per-invocation cost *)
 }
 
@@ -61,6 +62,7 @@ let default_costs =
     dispatch = Sim.Stime.ns 400;
     guard = Sim.Stime.ns 300;
     index = Sim.Stime.ns 250;
+    tree_node = Sim.Stime.ns 100;
     thread_spawn = Sim.Stime.us 12;
   }
 
@@ -159,14 +161,35 @@ type handler_info = {
   hi_lat : Observe.Histogram.snapshot option; (* run_ns distribution *)
 }
 
+type tree_info = {
+  ti_nodes : int;            (* switch + leaf nodes in the compiled tree *)
+  ti_depth : int;            (* longest switch chain a walk can visit *)
+  ti_rebuilds : int;         (* times the tree was (re)compiled *)
+  ti_raises : int;           (* raises served by a tree walk *)
+  ti_residual_evals : int;   (* leaf residual guards actually evaluated *)
+}
+
 type event_info = {
   ei_name : string;
   ei_mode : delivery;
   ei_indexed : bool;          (* has a key extractor *)
   ei_generation : int;        (* invalidation generation *)
   ei_cache_entries : int;     (* live flow-path cache entries *)
+  ei_tree : tree_info option; (* last compiled merged dispatch tree *)
   ei_handlers : handler_info list;
 }
+
+(* Shareable rendering of a compiled tree (see [compiled_tree]). *)
+type tree_view =
+  | Tree_leaf of {
+      tv_exact : (int * string) list;  (* (hid, label): guard skipped *)
+      tv_resid : (int * string) list;  (* (hid, label): guard re-checked *)
+    }
+  | Tree_switch of {
+      tv_dim : int;  (* key dimension tested (Filter.key_tag order) *)
+      tv_cases : (int * tree_view) list;  (* jump-table entries, by value *)
+      tv_default : tree_view;  (* no handler pins this dimension's value *)
+    }
 
 type t = {
   cpu : Sim.Cpu.t;
@@ -187,6 +210,7 @@ type t = {
   pc_invalidations : int ref;
   pc_evictions : int ref;      (* CLOCK evictions across all event caches *)
   mutable fcache : bool;       (* flow-path cache enabled *)
+  mutable tmode : bool;        (* merged-tree dispatch enabled (default) *)
   mutable flow : flow;         (* dynamic delivery context *)
   mutable prio_override : Sim.Cpu.prio option;
       (* sticky delivery-priority demotion: set around handler bodies of
@@ -196,6 +220,8 @@ type t = {
          first nested interrupt-mode event *)
   mutable next_uid : int;      (* event uids, for hop identity *)
   mutable introspectors : (unit -> event_info) list; (* newest first *)
+  mutable tree_viewers : (unit -> string * tree_view option) list;
+      (* per-event compiled-tree renderers, newest first *)
   mutable flight : Observe.Flight.t option;
       (* packet flight recorder; [None] (the default) costs one load +
          branch per raise/handler site *)
@@ -224,10 +250,12 @@ let create ?registry ?trace ~cpu ~costs () =
     pc_invalidations = mkref registry "spin.path_cache.invalidations";
     pc_evictions = mkref registry "spin.path_cache.evictions";
     fcache = false;
+    tmode = true;
     flow = No_flow;
     prio_override = None;
     next_uid = 0;
     introspectors = [];
+    tree_viewers = [];
     flight = None;
   }
 
@@ -247,6 +275,8 @@ let path_cache_invalidations t = !(t.pc_invalidations)
 let path_cache_evictions t = !(t.pc_evictions)
 let set_flow_cache t on = t.fcache <- on
 let flow_cache_enabled t = t.fcache
+let set_tree_dispatch t on = t.tmode <- on
+let tree_dispatch_enabled t = t.tmode
 let set_flight t fl = t.flight <- fl
 let flight t = t.flight
 
@@ -285,9 +315,65 @@ type 'a handler = {
   guard : 'a -> bool;
   gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
   hkey : int option;    (* dispatch key this handler is indexed under *)
+  hkeys : int list;     (* every key the guard pins (sorted, distinct) *)
+  hexact : bool;        (* guard ≡ its keys: a proven path skips it *)
   cacheable : bool;     (* guard is a pure function of the flow signature *)
   kind : 'a kind;
   hs : hstats;
+  mutable live : bool;  (* flipped off by uninstall: delivery work items
+                           queued before the uninstall check this instead
+                           of re-hashing into the event table *)
+}
+
+(* --- merged dispatch tree ----------------------------------------------
+   DPF-style cross-filter compilation: all of an event's keyed handlers
+   merged into one decision tree over the key dimensions (EtherType, IP
+   protocol, ports — [Filter.key_tag] order; generic events use
+   [key lsr 16]).  Each switch tests one dimension's payload value
+   against an open-addressed jump table; each leaf holds the exact
+   handler set for that path.  One walk per raise replaces the
+   per-bucket guard re-evaluation: handlers whose guard is *exactly*
+   its keys ([hexact]) are proven matches at their leaves and their
+   closures are never called; inexact keyed handlers appear at their
+   leaves as residuals (closure still consulted); unkeyed handlers are
+   residuals at every leaf.  Wildcard handlers are cross-producted into
+   every value child, so a walk never needs backtracking.  Subtrees are
+   hash-consed on (remaining dimensions, handler set), which is the
+   prefix sharing: paths that agree on the handlers they can still
+   match share one subtree.
+
+   Soundness: a keyed handler's install contract says its guard rejects
+   any payload not presenting all its keys, so pruning it off
+   non-matching paths only skips guards that would have said no; an
+   [hexact] handler's contract additionally says the guard *accepts*
+   any payload presenting them, so the proven path may skip the yes.
+   The walk reads at most one value per dimension, which is exactly
+   what the vectored extractor ([set_keyvfn]) presents. *)
+
+type 'a tleaf = {
+  tl_exact : 'a handler array;  (* proven matches, hid order *)
+  tl_resid : 'a handler array;  (* residual guards to evaluate, hid order *)
+}
+
+type 'a tnode =
+  | Tleaf of 'a tleaf
+  | Tswitch of {
+      ts_dim : int;              (* key dimension this switch tests *)
+      ts_keys : int array;       (* open-addressed values, -1 = empty *)
+      ts_kids : 'a tnode array;  (* child for ts_keys.(i) *)
+      ts_mask : int;             (* Array.length ts_keys - 1 (power of 2) *)
+      ts_default : 'a tnode;     (* value not in the table / dim absent *)
+    }
+
+type 'a tree = {
+  tr_root : 'a tnode;
+  tr_nodes : int;   (* switches + distinct leaves *)
+  tr_depth : int;   (* longest switch chain *)
+  tr_ndims : int;   (* scratch slots a walk reads: max key dim + 1 *)
+  mutable tr_visited : int;
+      (* switches the last walk traversed — an out-parameter of
+         [tree_walk] so the hot path returns the leaf unboxed
+         (dispatchers are single-domain, so this cannot race) *)
 }
 
 type 'a event = {
@@ -300,15 +386,28 @@ type 'a event = {
   mutable linear : int list;                  (* unkeyed hids, newest first *)
   buckets : (int, int list ref) Hashtbl.t;    (* key -> hids, newest first *)
   mutable keyfn : ('a -> int list) option;    (* payload's demux keys *)
+  mutable keyvfn : ('a -> int array -> unit) option;
+      (* vectored key extractor: fills scratch slot [d] with dimension
+         [d]'s value or -1 — the allocation-free fast path *)
+  mutable kv_dims : int;                      (* dims the keyvfn fills *)
+  mutable scratch : int array;                (* per-event key-value probe *)
   mutable sigfn : ('a -> string option) option; (* flow signature, roots only *)
   mutable markfn : ('a -> int) option;        (* payload's flight-record mark *)
   entries : hop array Sharded.Cache.t;        (* flow signature -> chain *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
+  mutable tree : 'a tree option;              (* compiled merged tree *)
+  mutable tree_gen : int;      (* generation [tree] was compiled at; -1 =
+                                  never (also records a refused build, so
+                                  a raise retries only after churn) *)
+  mutable tree_on : bool;                     (* per-event opt-out *)
   ev_raises : int ref;
   ev_indexed : int ref;   (* raises served through the demux index *)
   ev_linear : int ref;    (* raises that scanned every live guard *)
   ev_cached : int ref;    (* root raises served from the flow-path cache *)
+  ev_tree : int ref;      (* raises served by a merged-tree walk *)
+  tr_rebuilds : int ref;
+  tr_resid_evals : int ref;
 }
 
 let info_of_event ev =
@@ -336,47 +435,25 @@ let info_of_event ev =
   {
     ei_name = ev.ename;
     ei_mode = ev.mode;
-    ei_indexed = ev.keyfn <> None;
+    ei_indexed = (match (ev.keyfn, ev.keyvfn) with
+                 | None, None -> false
+                 | _ -> true);
     ei_generation = !(ev.gen);
     ei_cache_entries = Sharded.Cache.length ev.entries;
+    ei_tree =
+      (match ev.tree with
+      | Some tr ->
+          Some
+            {
+              ti_nodes = tr.tr_nodes;
+              ti_depth = tr.tr_depth;
+              ti_rebuilds = !(ev.tr_rebuilds);
+              ti_raises = !(ev.ev_tree);
+              ti_residual_evals = !(ev.tr_resid_evals);
+            }
+      | None -> None);
     ei_handlers = handlers;
   }
-
-let event disp ?(mode = Interrupt) ename =
-  let uid = disp.next_uid in
-  disp.next_uid <- uid + 1;
-  let ev =
-    {
-      disp;
-      ename;
-      uid;
-      gen = ref 0;
-      mode;
-      table = Hashtbl.create 8;
-      linear = [];
-      buckets = Hashtbl.create 8;
-      keyfn = None;
-      sigfn = None;
-      markfn = None;
-      entries =
-        Sharded.Cache.create ~shards:cache_shards ~per_shard:cache_per_shard
-          ~evictions:disp.pc_evictions ();
-      nkeyed = 0;
-      next_hid = 0;
-      ev_raises = mkref disp.reg ("spin." ^ ename ^ ".raises");
-      ev_indexed = mkref disp.reg ("spin." ^ ename ^ ".indexed_raises");
-      ev_linear = mkref disp.reg ("spin." ^ ename ^ ".linear_raises");
-      ev_cached = mkref disp.reg ("spin." ^ ename ^ ".cached_raises");
-    }
-  in
-  disp.introspectors <- (fun () -> info_of_event ev) :: disp.introspectors;
-  (match disp.reg with
-  | Some r ->
-      Observe.Registry.gauge r
-        ("spin." ^ ename ^ ".cache_occupancy")
-        (fun () -> Sharded.Cache.length ev.entries)
-  | None -> ());
-  ev
 
 let dump t = List.rev_map (fun f -> f ()) t.introspectors
 
@@ -396,6 +473,17 @@ let set_keyfn ev kf =
   ev.keyfn <- Some kf;
   touch ev
 
+let set_keyvfn ev ~dims kvf =
+  if dims < 1 then invalid_arg "Dispatcher.set_keyvfn: dims must be >= 1";
+  ev.keyvfn <- Some kvf;
+  ev.kv_dims <- dims;
+  if Array.length ev.scratch < dims then ev.scratch <- Array.make dims (-1);
+  touch ev
+
+let set_event_tree ev on =
+  ev.tree_on <- on;
+  touch ev
+
 let set_sigfn ev sf = ev.sigfn <- Some sf
 
 (* Like [set_sigfn], purely observational: extracting the flight mark
@@ -411,6 +499,7 @@ let remove_hid ev hid =
   match Hashtbl.find_opt ev.table hid with
   | None -> ()
   | Some h ->
+      h.live <- false;
       Hashtbl.remove ev.table hid;
       touch ev;
       (match h.hkey with
@@ -432,7 +521,7 @@ let hstats_for disp ev label =
     h_terms = mkref disp.reg (prefix ^ ".terminations");
   }
 
-let add_handler ev ?label ~cacheable guard gcost key kind =
+let add_handler ev ?label ~cacheable ~exact guard gcost key keys kind =
   let hid = ev.next_hid in
   ev.next_hid <- hid + 1;
   let label =
@@ -444,12 +533,38 @@ let add_handler ev ?label ~cacheable guard gcost key kind =
   let cacheable =
     match kind with Eph _ -> false | Plain _ -> cacheable
   in
+  let hkeys =
+    List.sort_uniq compare
+      (match (key, keys) with
+      | None, None -> []
+      | Some k, None -> [ k ]
+      | None, Some ks -> ks
+      | Some k, Some ks -> k :: ks)
+  in
+  (* exactness is a claim about the keys; with none there is nothing a
+     tree walk could have proven *)
+  let hexact = exact && hkeys <> [] in
   Hashtbl.replace ev.table hid
-    { hid; label; guard; gcost; hkey = key; cacheable; kind; hs };
+    {
+      hid;
+      label;
+      guard;
+      gcost;
+      hkey = (match hkeys with [] -> None | k :: _ -> Some k);
+      hkeys;
+      hexact;
+      cacheable;
+      kind;
+      hs;
+      live = true;
+    };
   touch ev;
-  (match key with
-  | None -> ev.linear <- hid :: ev.linear
-  | Some k ->
+  (match hkeys with
+  | [] -> ev.linear <- hid :: ev.linear
+  | k :: _ ->
+      (* bucketed under the first key only: the install contract says the
+         guard rejects payloads not presenting *all* its keys, so any one
+         of them is a sound index *)
       ev.nkeyed <- ev.nkeyed + 1;
       (match Hashtbl.find_opt ev.buckets k with
       | Some b -> b := hid :: !b
@@ -458,13 +573,15 @@ let add_handler ev ?label ~cacheable guard gcost key kind =
 
 let no_guard _ = true
 
-let install ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero) ?dyncost
-    ?(cacheable = false) ?label ~cost fn =
-  add_handler ev ?label ~cacheable guard gcost key (Plain { cost; dyncost; fn })
+let install ev ?(guard = no_guard) ?key ?keys ?(exact = false)
+    ?(gcost = Sim.Stime.zero) ?dyncost ?(cacheable = false) ?label ~cost fn =
+  add_handler ev ?label ~cacheable ~exact guard gcost key keys
+    (Plain { cost; dyncost; fn })
 
-let install_ephemeral ev ?(guard = no_guard) ?key ?(gcost = Sim.Stime.zero)
-    ?label ?budget fn =
-  add_handler ev ?label ~cacheable:false guard gcost key (Eph { budget; fn })
+let install_ephemeral ev ?(guard = no_guard) ?key ?keys ?(exact = false)
+    ?(gcost = Sim.Stime.zero) ?label ?budget fn =
+  add_handler ev ?label ~cacheable:false ~exact guard gcost key keys
+    (Eph { budget; fn })
 
 (* Live handlers behind a hid list, pruning uninstalled ids in place. *)
 let prune ev ids =
@@ -480,24 +597,363 @@ let bucket_hids ev k =
         if live = [] then Hashtbl.remove ev.buckets k else b := live;
       live
 
+(* --- key-value extraction ---------------------------------------------
+   Decomposition of an encoded key into (dimension, value).  For
+   [Filter] keys this is [key_tag]/value; for generic raw int keys the
+   decomposition is the identity seen from both sides (handler keys and
+   extractor output decompose the same way), so the tree's dimension
+   model is sound for them too. *)
+let key_dim k = k lsr 16
+let key_val k = k land 0xffff
+
+(* Fill the event's scratch array with the payload's per-dimension
+   values (-1 = absent) and return it.  The vectored extractor writes in
+   place; a legacy list extractor is decoded into the slots (that path
+   still allocates the list — the alloc-free contract needs
+   [set_keyvfn]). *)
+let fill_keyvals ev v ndims =
+  let need = max 1 (max ndims ev.kv_dims) in
+  if Array.length ev.scratch < need then ev.scratch <- Array.make need (-1);
+  let s = ev.scratch in
+  (match ev.keyvfn with
+  (* a vectored extractor writes every dimension (-1 for absent) by
+     contract, so the scratch needs no wipe first *)
+  | Some kvf -> kvf v s
+  | None -> (
+      Array.fill s 0 (Array.length s) (-1);
+      match ev.keyfn with
+      | Some kf ->
+          List.iter
+            (fun k ->
+              let d = key_dim k in
+              if d >= 0 && d < Array.length s then s.(d) <- key_val k)
+            (kf v)
+      | None -> ()));
+  s
+
 (* The handlers whose guards this raise must evaluate, in install order.
    Without a key extractor every live handler is a candidate; with one,
-   only the matching buckets plus the linear fallback bucket are. *)
+   only the matching buckets plus the linear fallback bucket are.  An
+   event with at most one installed handler skips the index entirely:
+   scanning the single guard is cheaper than hashing into its bucket. *)
 let candidates ev v =
+  let all () = Hashtbl.fold (fun hid _ acc -> hid :: acc) ev.table [] in
   let hids =
-    match ev.keyfn with
-    | None -> Hashtbl.fold (fun hid _ acc -> hid :: acc) ev.table []
-    | Some kf ->
-        let keyed =
-          if ev.nkeyed = 0 then []
-          else List.concat_map (fun k -> bucket_hids ev k) (kf v)
-        in
-        let live_linear, stale = prune ev ev.linear in
-        if stale then ev.linear <- live_linear;
-        List.rev_append keyed live_linear
+    if Hashtbl.length ev.table <= 1 then all ()
+    else
+      match (ev.keyfn, ev.keyvfn) with
+      | None, None -> all ()
+      | keyfn, keyvfn ->
+          let keyed =
+            if ev.nkeyed = 0 then []
+            else
+              match keyvfn with
+              | Some _ ->
+                  let s = fill_keyvals ev v 0 in
+                  let acc = ref [] in
+                  for d = 0 to ev.kv_dims - 1 do
+                    let value = s.(d) in
+                    if value >= 0 then
+                      acc :=
+                        List.rev_append
+                          (bucket_hids ev ((d lsl 16) lor value))
+                          !acc
+                  done;
+                  !acc
+              | None -> (
+                  match keyfn with
+                  | Some kf ->
+                      List.concat_map (fun k -> bucket_hids ev k) (kf v)
+                  | None -> [])
+          in
+          let live_linear, stale = prune ev ev.linear in
+          if stale then ev.linear <- live_linear;
+          List.rev_append keyed live_linear
   in
   List.filter_map (fun hid -> Hashtbl.find_opt ev.table hid)
     (List.sort_uniq compare hids)
+
+(* --- merged-tree compilation ------------------------------------------ *)
+
+(* Open-addressed jump-table probe: returns the slot holding [v] or the
+   first empty slot.  Power-of-two table, Fibonacci-ish multiplicative
+   hash, linear probing; load factor <= 1/2 keeps probes short. *)
+let jump_index keys mask v =
+  let rec probe i =
+    let k = Array.unsafe_get keys i in
+    if k = v || k = -1 then i else probe ((i + 1) land mask)
+  in
+  probe ((v * 0x9e3779b1) land mask)
+
+(* Dimensions above this bound (or negative keys) fall back to the
+   bucket index: the walk's scratch array is sized by the max dimension,
+   and a generic event with huge raw keys should not cost a huge probe. *)
+let max_tree_dims = 64
+
+let build_tree ev =
+  let all =
+    Hashtbl.fold (fun _ h acc -> h :: acc) ev.table []
+    |> List.sort (fun a b -> compare a.hid b.hid)
+  in
+  let keyed, unkeyed = List.partition (fun h -> h.hkeys <> []) all in
+  let dims =
+    List.concat_map (fun h -> List.map key_dim h.hkeys) keyed
+    |> List.sort_uniq compare
+  in
+  let max_dim = List.fold_left max (-1) dims in
+  if max_dim >= max_tree_dims || List.exists (fun h -> List.exists (fun k -> k < 0) h.hkeys) keyed
+  then None
+  else begin
+    (* the single value a handler requires on dimension [d], if any *)
+    let requires h d =
+      List.fold_left
+        (fun acc k -> if key_dim k = d then Some (key_val k) else acc)
+        None h.hkeys
+    in
+    (* a handler pinning two different values on one dimension can never
+       match any payload (the walk reads one value per dimension) — it
+       contributes to no leaf *)
+    let satisfiable h =
+      List.for_all (fun k -> requires h (key_dim k) = Some (key_val k)) h.hkeys
+    in
+    let keyed = List.filter satisfiable keyed in
+    let nodes = ref 0 in
+    (* hash-consing memo: (remaining-dim count, handler hids) -> subtree.
+       Dimensions are consumed in one fixed order, so the remaining-dims
+       suffix is fully determined by its length. *)
+    let memo : (string, 'a tnode) Hashtbl.t = Hashtbl.create 64 in
+    let merge_by_hid a b = List.merge (fun x y -> compare x.hid y.hid) a b in
+    let mk_leaf hs =
+      incr nodes;
+      let exact, inexact = List.partition (fun h -> h.hexact) hs in
+      Tleaf
+        {
+          tl_exact = Array.of_list exact;
+          tl_resid = Array.of_list (merge_by_hid inexact unkeyed);
+        }
+    in
+    let rec build dims hs =
+      let mkey =
+        String.concat ","
+          (string_of_int (List.length dims)
+          :: List.map (fun h -> string_of_int h.hid) hs)
+      in
+      match Hashtbl.find_opt memo mkey with
+      | Some n -> n
+      | None ->
+          let n =
+            match dims with
+            | [] -> mk_leaf hs
+            | d :: rest -> (
+                match List.filter (fun h -> requires h d <> None) hs with
+                | [] -> build rest hs (* no handler tests this dimension *)
+                | constrained ->
+                    let values =
+                      List.filter_map (fun h -> requires h d) constrained
+                      |> List.sort_uniq compare
+                    in
+                    (* wildcards on [d] flow into every child (the
+                       cross-product that makes the walk single-path) *)
+                    let default =
+                      build rest
+                        (List.filter (fun h -> requires h d = None) hs)
+                    in
+                    let cases =
+                      List.map
+                        (fun v ->
+                          ( v,
+                            build rest
+                              (List.filter
+                                 (fun h ->
+                                   match requires h d with
+                                   | None -> true
+                                   | Some v' -> v' = v)
+                                 hs) ))
+                        values
+                    in
+                    incr nodes;
+                    let size =
+                      let want = 2 * List.length cases in
+                      let rec pow2 p = if p >= want then p else pow2 (p * 2) in
+                      pow2 4
+                    in
+                    let keys = Array.make size (-1) in
+                    let kids = Array.make size default in
+                    let mask = size - 1 in
+                    List.iter
+                      (fun (v, node) ->
+                        let i = jump_index keys mask v in
+                        keys.(i) <- v;
+                        kids.(i) <- node)
+                      cases;
+                    Tswitch
+                      {
+                        ts_dim = d;
+                        ts_keys = keys;
+                        ts_kids = kids;
+                        ts_mask = mask;
+                        ts_default = default;
+                      })
+          in
+          Hashtbl.add memo mkey n;
+          n
+    in
+    let root = build dims keyed in
+    let rec depth = function
+      | Tleaf _ -> 0
+      | Tswitch s ->
+          1
+          + Array.fold_left
+              (fun acc kid -> max acc (depth kid))
+              (depth s.ts_default) s.ts_kids
+    in
+    Some
+      {
+        tr_root = root;
+        tr_nodes = !nodes;
+        tr_depth = depth root;
+        tr_ndims = max_dim + 1;
+        tr_visited = 0;
+      }
+  end
+
+(* Tree dispatch applies when enabled (dispatcher-wide and per-event),
+   the event has a key extractor and at least one keyed handler, and
+   more than one handler total (the <=1 case scans one guard with no
+   index at all).  The compiled tree is memoized behind the event's
+   generation counter — the same counter the flow-path cache
+   invalidates on — so any install/uninstall/mode/extractor churn
+   recompiles lazily on the next raise. *)
+let tree_for ev =
+  if
+    (not (ev.disp.tmode && ev.tree_on))
+    || ev.nkeyed = 0
+    || Hashtbl.length ev.table <= 1
+    || (match (ev.keyfn, ev.keyvfn) with None, None -> true | _ -> false)
+  then None
+  else if ev.tree_gen = !(ev.gen) then ev.tree
+  else begin
+    ev.tree <- build_tree ev;
+    ev.tree_gen <- !(ev.gen);
+    (match ev.tree with Some _ -> incr ev.tr_rebuilds | None -> ());
+    ev.tree
+  end
+
+(* One walk: at each switch read the payload's value for that dimension
+   from the scratch array and jump.  Returns the leaf and the number of
+   switches visited (the [costs.tree_node] multiplier). *)
+let tree_walk tr s =
+  let rec go n visited =
+    match n with
+    | Tleaf l ->
+        tr.tr_visited <- visited;
+        l
+    | Tswitch sw ->
+        let value =
+          if sw.ts_dim < Array.length s then Array.unsafe_get s sw.ts_dim
+          else -1
+        in
+        let next =
+          if value < 0 then sw.ts_default
+          else
+            let i = jump_index sw.ts_keys sw.ts_mask value in
+            if Array.unsafe_get sw.ts_keys i = value then
+              Array.unsafe_get sw.ts_kids i
+            else sw.ts_default
+        in
+        go next (visited + 1)
+  in
+  go tr.tr_root 0
+
+let tree_raises ev = !(ev.ev_tree)
+
+(* Force-compile (if stale) and render the event's tree for
+   introspection — the CLI's [dispatch --tree] view. *)
+let compiled_tree ev =
+  match tree_for ev with
+  | None -> None
+  | Some tr ->
+      let label_of h = (h.hid, h.label) in
+      let rec view = function
+        | Tleaf l ->
+            Tree_leaf
+              {
+                tv_exact = Array.to_list (Array.map label_of l.tl_exact);
+                tv_resid = Array.to_list (Array.map label_of l.tl_resid);
+              }
+        | Tswitch sw ->
+            let cases = ref [] in
+            Array.iteri
+              (fun i k ->
+                if k >= 0 then cases := (k, view sw.ts_kids.(i)) :: !cases)
+              sw.ts_keys;
+            Tree_switch
+              {
+                tv_dim = sw.ts_dim;
+                tv_cases =
+                  List.sort (fun (a, _) (b, _) -> compare a b) !cases;
+                tv_default = view sw.ts_default;
+              }
+      in
+      Some (view tr.tr_root)
+
+(* Defined below [compiled_tree] so the per-event viewer closure it
+   registers can force-compile the tree on demand. *)
+let event disp ?(mode = Interrupt) ename =
+  let uid = disp.next_uid in
+  disp.next_uid <- uid + 1;
+  let ev =
+    {
+      disp;
+      ename;
+      uid;
+      gen = ref 0;
+      mode;
+      table = Hashtbl.create 8;
+      linear = [];
+      buckets = Hashtbl.create 8;
+      keyfn = None;
+      keyvfn = None;
+      kv_dims = 0;
+      scratch = [||];
+      sigfn = None;
+      markfn = None;
+      entries =
+        Sharded.Cache.create ~shards:cache_shards ~per_shard:cache_per_shard
+          ~evictions:disp.pc_evictions ();
+      nkeyed = 0;
+      next_hid = 0;
+      tree = None;
+      tree_gen = -1;
+      tree_on = true;
+      ev_raises = mkref disp.reg ("spin." ^ ename ^ ".raises");
+      ev_indexed = mkref disp.reg ("spin." ^ ename ^ ".indexed_raises");
+      ev_linear = mkref disp.reg ("spin." ^ ename ^ ".linear_raises");
+      ev_cached = mkref disp.reg ("spin." ^ ename ^ ".cached_raises");
+      ev_tree = mkref disp.reg ("spin." ^ ename ^ ".tree.raises");
+      tr_rebuilds = mkref disp.reg ("spin." ^ ename ^ ".tree.rebuilds");
+      tr_resid_evals =
+        mkref disp.reg ("spin." ^ ename ^ ".tree.residual_evals");
+    }
+  in
+  disp.introspectors <- (fun () -> info_of_event ev) :: disp.introspectors;
+  disp.tree_viewers <-
+    (fun () -> (ev.ename, compiled_tree ev)) :: disp.tree_viewers;
+  (match disp.reg with
+  | Some r ->
+      Observe.Registry.gauge r
+        ("spin." ^ ename ^ ".cache_occupancy")
+        (fun () -> Sharded.Cache.length ev.entries);
+      Observe.Registry.gauge r
+        ("spin." ^ ename ^ ".tree.depth")
+        (fun () -> match ev.tree with Some tr -> tr.tr_depth | None -> 0);
+      Observe.Registry.gauge r
+        ("spin." ^ ename ^ ".tree.nodes")
+        (fun () -> match ev.tree with Some tr -> tr.tr_nodes | None -> 0)
+  | None -> ());
+  ev
+
+let tree_views t = List.rev_map (fun f -> f ()) t.tree_viewers
 
 (* Fault containment: extension code that raises must not take the
    kernel down.  The typesafe language already rules out wild memory
@@ -510,7 +966,7 @@ let fault ev h =
 
 let contain ev h f = try f () with _exn -> fault ev h
 
-let still_installed ev h = Hashtbl.mem ev.table h.hid
+let still_installed _ev h = h.live
 
 let emit_span d event =
   Observe.Trace.emit d.trace { Observe.Trace.at_ns = now_ns d; event }
@@ -694,29 +1150,40 @@ let deliver ev v h flow over =
                end);
               flow_leave d flow))
 
-(* Normal graph dispatch of one raise, optionally recording the hop.
-   [raises]/[ev_raises] are the caller's job (so batch entry points can
-   amortize them). *)
-let raise_core ?over ev v flow =
+(* Graph dispatch of one raise through the bucket index (or a plain
+   scan), optionally recording the hop.  [raises]/[ev_raises] are the
+   caller's job (so batch entry points can amortize them). *)
+let raise_scan ?over ev v flow =
   let d = ev.disp in
   let cands = candidates ev v in
   let n_guards = List.length cands in
   Sim.Stats.Counter.add d.guard_evals n_guards;
+  (* Event-level classification: an event with a key extractor and any
+     keyed handler counts as an indexed raise.  The hash lookup itself
+     (and its [costs.index] charge) is skipped when <=1 handler is
+     installed — scanning the one guard is strictly cheaper. *)
   let indexed =
-    match ev.keyfn with Some _ -> ev.nkeyed > 0 | None -> false
+    (match (ev.keyfn, ev.keyvfn) with None, None -> false | _ -> true)
+    && ev.nkeyed > 0
   in
-  if indexed then begin
-    Sim.Stats.Counter.incr d.index_lookups;
-    incr ev.ev_indexed
-  end
-  else incr ev.ev_linear;
+  let use_index = indexed && Hashtbl.length ev.table > 1 in
+  if indexed then incr ev.ev_indexed else incr ev.ev_linear;
+  if use_index then Sim.Stats.Counter.incr d.index_lookups;
   if Observe.Trace.active d.trace then begin
     emit_span d
       (Observe.Trace.Raise
          { event = ev.ename; candidates = n_guards; indexed });
-    if indexed then
+    if use_index then
       let nkeys =
-        match ev.keyfn with Some kf -> List.length (kf v) | None -> 0
+        match ev.keyfn with
+        | Some kf -> List.length (kf v)
+        | None ->
+            let s = fill_keyvals ev v 0 in
+            let n = ref 0 in
+            for d = 0 to ev.kv_dims - 1 do
+              if s.(d) >= 0 then incr n
+            done;
+            !n
       in
       emit_span d
         (Observe.Trace.Index_lookup
@@ -730,7 +1197,7 @@ let raise_core ?over ev v flow =
     Sim.Stime.add extra_gcost
       (Sim.Stime.add d.costs.dispatch
          (Sim.Stime.add
-            (if indexed then d.costs.index else Sim.Stime.zero)
+            (if use_index then d.costs.index else Sim.Stime.zero)
             (Sim.Stime.mul d.costs.guard n_guards)))
   in
   let prio = prio_of ev over in
@@ -779,6 +1246,127 @@ let raise_core ?over ev v flow =
               :: r.rec_hops
       | No_flow | Replaying _ -> ());
       flow_leave d flow)
+
+(* Graph dispatch of one raise through the merged decision tree: one
+   walk finds the leaf; the leaf's [tl_exact] handlers are proven
+   matches (no closure call — the walk evaluated their guards), its
+   [tl_resid] handlers get a real guard evaluation.  The two arrays are
+   merged by hid at delivery time so install order is preserved exactly
+   as the scan path would have produced it.  [guard_evals] counts only
+   the residuals — that is the tentpole's claim, "zero per-handler
+   guard re-evaluation for tree-expressible guards" — while
+   [index_lookups]/[ev_indexed] count the walk as an index consult. *)
+let raise_tree ?over ev v flow tr =
+  let d = ev.disp in
+  let leaf = tree_walk tr (fill_keyvals ev v tr.tr_ndims) in
+  let visited = tr.tr_visited in
+  let n_exact = Array.length leaf.tl_exact in
+  let n_resid = Array.length leaf.tl_resid in
+  Sim.Stats.Counter.add d.guard_evals n_resid;
+  Sim.Stats.Counter.incr d.index_lookups;
+  incr ev.ev_indexed;
+  incr ev.ev_tree;
+  ev.tr_resid_evals := !(ev.tr_resid_evals) + n_resid;
+  if Observe.Trace.active d.trace then begin
+    emit_span d
+      (Observe.Trace.Raise
+         { event = ev.ename; candidates = n_exact + n_resid; indexed = true });
+    emit_span d
+      (Observe.Trace.Index_lookup
+         { event = ev.ename; keys = visited; candidates = n_exact + n_resid })
+  end;
+  flight_note_raise d ev v;
+  let extra_gcost =
+    Array.fold_left
+      (fun acc h -> Sim.Stime.add acc h.gcost)
+      Sim.Stime.zero leaf.tl_resid
+  in
+  let demux_cost =
+    Sim.Stime.add extra_gcost
+      (Sim.Stime.add d.costs.dispatch
+         (Sim.Stime.add
+            (Sim.Stime.mul d.costs.tree_node visited)
+            (Sim.Stime.mul d.costs.guard n_resid)))
+  in
+  let prio = prio_of ev over in
+  flow_enter flow;
+  let gen_at_raise = !(ev.gen) in
+  Sim.Cpu.run d.cpu ~prio ~cost:demux_cost (fun () ->
+      (* Demultiplex against the *current* registry.  The common case —
+         no churn between the raise and its delivery — reuses the leaf
+         phase 1 already found (same generation, same tree, same walk).
+         Otherwise re-walk against the rebuilt tree, or fall back to a
+         scan if churn took the event out of tree mode. *)
+      let exact, resid =
+        if !(ev.gen) = gen_at_raise then (leaf.tl_exact, leaf.tl_resid)
+        else
+          match tree_for ev with
+          | Some tr ->
+              let leaf = tree_walk tr (fill_keyvals ev v tr.tr_ndims) in
+              (leaf.tl_exact, leaf.tl_resid)
+          | None -> ([||], Array.of_list (candidates ev v))
+      in
+      (match flow with
+      | Recording r ->
+          if
+            ev.mode <> Interrupt || over <> None
+            || not
+                 (Array.for_all (fun h -> h.cacheable) exact
+                 && Array.for_all (fun h -> h.cacheable) resid)
+          then r.rec_ok <- false
+      | No_flow | Replaying _ -> ());
+      let accepted_rev = ref [] in
+      let ne = Array.length exact and nr = Array.length resid in
+      let i = ref 0 and j = ref 0 in
+      while !i < ne || !j < nr do
+        let take_exact =
+          !j >= nr || (!i < ne && exact.(!i).hid < resid.(!j).hid)
+        in
+        if take_exact then begin
+          let h = exact.(!i) in
+          incr i;
+          (* tree-proven match: the walk established every conjunct of
+             the guard, so the closure is never called *)
+          incr h.hs.h_hits;
+          accepted_rev := h.hid :: !accepted_rev;
+          deliver ev v h flow over
+        end
+        else begin
+          let h = resid.(!j) in
+          incr j;
+          let accepted = try h.guard v with _ -> fault ev h; false in
+          if accepted then incr h.hs.h_hits else incr h.hs.h_misses;
+          if Observe.Trace.active d.trace then
+            emit_span d
+              (Observe.Trace.Guard_eval
+                 { event = ev.ename; hid = h.hid; label = h.label;
+                   hit = accepted });
+          if accepted then begin
+            accepted_rev := h.hid :: !accepted_rev;
+            deliver ev v h flow over
+          end
+        end
+      done;
+      (match flow with
+      | Recording r ->
+          if r.rec_ok then
+            r.rec_hops <-
+              {
+                hop_uid = ev.uid;
+                hop_gen = ev.gen;
+                hop_gen_at = !(ev.gen);
+                hop_hids = List.rev !accepted_rev;
+              }
+              :: r.rec_hops
+      | No_flow | Replaying _ -> ());
+      flow_leave d flow)
+
+(* Normal graph dispatch of one raise: merged-tree walk when the event
+   compiles to one, bucket-index/linear scan otherwise. *)
+let raise_core ?over ev v flow =
+  match tree_for ev with
+  | Some tr -> raise_tree ?over ev v flow tr
+  | None -> raise_scan ?over ev v flow
 
 (* --- replay ----------------------------------------------------------- *)
 
@@ -996,11 +1584,17 @@ let raise_batch ?prio ev vs =
 (* --- introspection rendering ------------------------------------------ *)
 
 let pp_event_info ppf ei =
-  Fmt.pf ppf "%s [%s%s] %d handler(s) gen=%d cache=%d@." ei.ei_name
+  Fmt.pf ppf "%s [%s%s] %d handler(s) gen=%d cache=%d%s@." ei.ei_name
     (match ei.ei_mode with Interrupt -> "interrupt" | Thread -> "thread")
     (if ei.ei_indexed then ", indexed" else "")
     (List.length ei.ei_handlers)
-    ei.ei_generation ei.ei_cache_entries;
+    ei.ei_generation ei.ei_cache_entries
+    (match ei.ei_tree with
+    | Some ti ->
+        Printf.sprintf " tree[nodes=%d depth=%d rebuilds=%d raises=%d resid=%d]"
+          ti.ti_nodes ti.ti_depth ti.ti_rebuilds ti.ti_raises
+          ti.ti_residual_evals
+    | None -> "");
   List.iter
     (fun hi ->
       Fmt.pf ppf

@@ -33,6 +33,10 @@ type costs = {
   index : Sim.Stime.t;
       (** charged once per raise on an indexed event, replacing the
           [guard * installed] scan *)
+  tree_node : Sim.Stime.t;
+      (** charged per decision-tree switch visited on a merged-tree
+          raise (replacing [index] and the per-candidate [guard]
+          charges for tree-proven handlers) *)
   thread_spawn : Sim.Stime.t;
 }
 
@@ -72,7 +76,44 @@ val set_keyfn : 'a event -> ('a -> int list) -> unit
     Handlers installed with [~key:k] are only considered for payloads
     whose extracted keys include [k].  Soundness contract: a keyed
     handler's guard must reject any payload that does not present its
-    key, so the index only ever skips guards that would refuse. *)
+    key, so the index only ever skips guards that would refuse.  A
+    payload must present at most one key per dimension ([k lsr 16]) —
+    [Filter.context_keys] does by construction. *)
+
+val set_keyvfn : 'a event -> dims:int -> ('a -> int array -> unit) -> unit
+(** Vectored variant of {!set_keyfn}, the allocation-free fast path: the
+    extractor fills slot [d] ([0 <= d < dims]) of a per-event scratch
+    array with the payload's value on key dimension [d], or [-1] when
+    absent.  The extractor must write {e every} slot below [dims] on
+    every call — the scratch is reused without being wiped between
+    raises.  The scratch array is owned and reused by the event, so
+    steady-state dispatch allocates nothing.  Protocol-graph events pass
+    [Filter.read_context_keys] with [dims = Filter.num_key_dims].
+    Takes precedence over a list extractor if both are set; same
+    soundness contract as {!set_keyfn}. *)
+
+(** {1 Merged decision-tree dispatch}
+
+    All of an event's keyed handlers compiled into one decision tree
+    over the key dimensions (DPF-style cross-filter merge): common
+    tests are evaluated once, each switch jumps through a dense
+    open-addressed table, and the reached leaf holds the exact set of
+    matching handlers — one walk per raise, zero per-handler guard
+    re-evaluation for handlers installed with [~exact:true] (opaque
+    closure guards fall back to leaf-attached residual checks; unkeyed
+    handlers are residuals at every leaf).  The tree is memoized behind
+    the event's generation counter and recompiled lazily on the first
+    raise after any churn, so the flow-path cache and the per-domain
+    dispatcher instances keep counter-for-counter equivalence.  On by
+    default; {!set_tree_dispatch} ablates it dispatcher-wide and
+    {!set_event_tree} per event. *)
+
+val set_tree_dispatch : t -> bool -> unit
+val tree_dispatch_enabled : t -> bool
+
+val set_event_tree : _ event -> bool -> unit
+(** Per-event opt-out from merged-tree dispatch (bumps the generation,
+    so cached paths through the event revalidate). *)
 
 (** {1 Flow-path cache}
 
@@ -138,7 +179,8 @@ val linear_count : _ event -> int
 (** Handlers in the unkeyed fallback bucket, scanned on every raise. *)
 
 val install :
-  'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
+  'a event -> ?guard:('a -> bool) -> ?key:int -> ?keys:int list ->
+  ?exact:bool -> ?gcost:Sim.Stime.t ->
   ?dyncost:('a -> Sim.Stime.t) -> ?cacheable:bool -> ?label:string ->
   cost:Sim.Stime.t -> ('a -> unit) -> unit -> unit
 (** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
@@ -146,18 +188,26 @@ val install :
     [dyncost payload] for data-touching work) of CPU.  [gcost] adds
     per-evaluation guard cost on top of the dispatcher's base guard
     charge (interpreted packet filters).  [key] places the handler in the
-    event's dispatch index under that key (see {!set_keyfn}).
-    [cacheable] (default [false]) asserts that [guard]'s verdict is a
-    pure function of the payload's flow-signature fields, allowing the
-    flow-path cache to skip it on replay; a single non-cacheable
-    candidate on an event keeps every chain through that event out of
-    the cache.  [label] names the handler in spans, metrics
+    event's dispatch index under that key (see {!set_keyfn}); [keys]
+    supplies {e every} key the guard pins (one per dimension,
+    e.g. {!Filter.key_conjuncts}) so the merged decision tree can place
+    the handler on exactly the paths that satisfy all of them — [key]
+    and [keys] are unioned.  [exact] (default [false]) asserts the
+    guard is {e nothing but} those key equalities
+    ({!Filter.keys_exact}): a tree walk that proves them skips the
+    closure entirely.  [cacheable] (default [false]) asserts that
+    [guard]'s verdict is a pure function of the payload's
+    flow-signature fields, allowing the flow-path cache to skip it on
+    replay; a single non-cacheable candidate on an event keeps every
+    chain through that event out of the cache.  [label] names the
+    handler in spans, metrics
     ([spin.<event>.<label>.guard_hits|guard_misses|runs|run_ns]) and
     {!dump} output; it defaults to ["h<id>"].  Returns the uninstaller
     (O(1)). *)
 
 val install_ephemeral :
-  'a event -> ?guard:('a -> bool) -> ?key:int -> ?gcost:Sim.Stime.t ->
+  'a event -> ?guard:('a -> bool) -> ?key:int -> ?keys:int list ->
+  ?exact:bool -> ?gcost:Sim.Stime.t ->
   ?label:string -> ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) ->
   unit -> unit
 (** Attach an interrupt-level handler as an ephemeral program, optionally
@@ -238,14 +288,51 @@ type handler_info = {
       (** run-latency distribution; [None] on a registry-less dispatcher *)
 }
 
+type tree_info = {
+  ti_nodes : int;  (** switch + leaf nodes in the compiled tree *)
+  ti_depth : int;  (** longest switch chain a walk can visit *)
+  ti_rebuilds : int;  (** times the tree was (re)compiled *)
+  ti_raises : int;  (** raises served by a tree walk *)
+  ti_residual_evals : int;  (** leaf residual guards actually evaluated *)
+}
+
 type event_info = {
   ei_name : string;
   ei_mode : delivery;
   ei_indexed : bool;  (** the event has a demux-key extractor *)
   ei_generation : int;  (** invalidation generation (see {!touch}) *)
   ei_cache_entries : int;  (** live flow-path cache entries *)
+  ei_tree : tree_info option;
+      (** the last compiled merged dispatch tree, if any *)
   ei_handlers : handler_info list;  (** in install order *)
 }
+
+(** Structural rendering of a compiled tree ({!compiled_tree}). *)
+type tree_view =
+  | Tree_leaf of {
+      tv_exact : (int * string) list;
+          (** (hid, label) of proven matches — guards skipped *)
+      tv_resid : (int * string) list;
+          (** (hid, label) of residual guards — still evaluated *)
+    }
+  | Tree_switch of {
+      tv_dim : int;  (** key dimension tested ({!Filter.key_tag} order) *)
+      tv_cases : (int * tree_view) list;  (** jump-table entries by value *)
+      tv_default : tree_view;  (** taken when the dimension is absent or
+                                   carries an unlisted value *)
+    }
+
+val compiled_tree : _ event -> tree_view option
+(** The event's merged dispatch tree, compiling it first if stale.
+    [None] when tree dispatch does not apply (disabled, no key
+    extractor, no keyed handlers, or <=1 handler installed). *)
+
+val tree_raises : _ event -> int
+(** Raises on this event served by a merged-tree walk. *)
+
+val tree_views : t -> (string * tree_view option) list
+(** [compiled_tree] for every event declared on this dispatcher, in
+    declaration order — the CLI's [dispatch --tree] dump. *)
 
 val dump : t -> event_info list
 (** Every event declared on this dispatcher, in declaration order, with

@@ -388,9 +388,142 @@ let indexed_dispatch_agrees =
         descs;
       linear_hits = indexed_hits)
 
+(* The merged decision tree delivers to exactly the handlers — in exactly
+   the order — that both the bucket index and the linear interpreter
+   would, under random install/uninstall churn.  Three events share one
+   dispatcher: [linear] (no extractor), [indexed] (bucket index, tree
+   ablated per-event), [tree] (vectored extractor, tree on).  Handlers
+   mix tree-expressible guards (keys from [Filter.key_conjuncts], exact
+   iff [Filter.keys_exact]) with opaque closures the tree can only
+   attach as leaf residuals; toggling a handler bumps the generation
+   mid-churn, forcing incremental rebuilds.  Delivery order is recorded
+   per event, not just hit counts: the tree's exact/residual merge must
+   reproduce scan order. *)
+type churn_step = Fire of ctx_desc | Toggle of int
+
+let churn_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun d -> Fire d) ctx_gen);
+        (2, map (fun i -> Toggle i) (int_bound 7));
+      ])
+
+let pp_churn = function
+  | Fire d ->
+      Printf.sprintf "Fire(bytes=%d,ip=%s,ports=%s,adv=%d)"
+        (String.length d.bytes)
+        (match d.ip_proto with None -> "-" | Some p -> string_of_int p)
+        (match d.ports with
+        | None -> "-"
+        | Some (s, p) -> Printf.sprintf "%d,%d" s p)
+        d.adv
+  | Toggle i -> Printf.sprintf "Toggle %d" i
+
+let arb_tree_churn =
+  QCheck.make
+    ~print:(fun ((fs, opq), steps) ->
+      String.concat "\n"
+        (List.map2
+           (fun f o ->
+             Format.asprintf "%s%a" (if o then "opaque: " else "") Plexus.Filter.pp
+               f)
+           fs opq)
+      ^ "\n" ^ String.concat "; " (List.map pp_churn steps))
+    QCheck.Gen.(
+      pair
+        (pair (list_size (return 8) filter_gen) (list_size (return 8) bool))
+        (list_size (2 -- 16) churn_gen))
+
+let tree_dispatch_agrees =
+  QCheck.Test.make ~count:200
+    ~name:"tree dispatch = bucket index = linear interpreter"
+    arb_tree_churn
+    (fun ((filters, opaque), steps) ->
+      let filters = Array.of_list filters in
+      let opaque = Array.of_list opaque in
+      let e = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create e ~name:"c" in
+      let d =
+        Spin.Dispatcher.create ~cpu ~costs:Spin.Dispatcher.default_costs ()
+      in
+      let linear_ev = Spin.Dispatcher.event d "linear" in
+      let indexed_ev = Spin.Dispatcher.event d "indexed" in
+      let tree_ev = Spin.Dispatcher.event d "tree" in
+      Spin.Dispatcher.set_keyfn indexed_ev Plexus.Filter.context_keys;
+      Spin.Dispatcher.set_event_tree indexed_ev false;
+      Spin.Dispatcher.set_keyvfn tree_ev ~dims:Plexus.Filter.num_key_dims
+        Plexus.Filter.read_context_keys;
+      let n = Array.length filters in
+      (* delivery sequences, most recent first: handler index per firing *)
+      let linear_seq = ref [] and indexed_seq = ref [] and tree_seq = ref [] in
+      let uninstalls = Array.make n None in
+      let install_all i =
+        let f = filters.(i) in
+        let prog = Plexus.Filter.compile f in
+        let un_l =
+          Spin.Dispatcher.install linear_ev
+            ~guard:(Plexus.Filter.eval f)
+            ~cost:Sim.Stime.zero
+            (fun _ -> linear_seq := i :: !linear_seq)
+        in
+        let un_i =
+          Spin.Dispatcher.install indexed_ev
+            ~guard:(Plexus.Filter.run prog)
+            ?key:(Plexus.Filter.dispatch_key f)
+            ~cost:Sim.Stime.zero
+            (fun _ -> indexed_seq := i :: !indexed_seq)
+        in
+        let un_t =
+          (* an "opaque" handler hides its structure from the compiler:
+             the tree must fall back to evaluating it as a residual at
+             every leaf it could reach *)
+          if opaque.(i) then
+            Spin.Dispatcher.install tree_ev
+              ~guard:(Plexus.Filter.run prog)
+              ~cost:Sim.Stime.zero
+              (fun _ -> tree_seq := i :: !tree_seq)
+          else
+            Spin.Dispatcher.install tree_ev
+              ~guard:(Plexus.Filter.run prog)
+              ?key:(Plexus.Filter.dispatch_key f)
+              ~keys:(Plexus.Filter.key_conjuncts f)
+              ~exact:(Plexus.Filter.keys_exact f)
+              ~cost:Sim.Stime.zero
+              (fun _ -> tree_seq := i :: !tree_seq)
+        in
+        uninstalls.(i) <- Some (fun () -> un_l (); un_i (); un_t ())
+      in
+      for i = 0 to n - 1 do install_all i done;
+      List.iter
+        (fun step ->
+          match step with
+          | Toggle i -> (
+              (* uninstall if installed, reinstall fresh otherwise: either
+                 way the generation bumps and the tree must rebuild *)
+              match uninstalls.(i) with
+              | Some un ->
+                  un ();
+                  uninstalls.(i) <- None
+              | None -> install_all i)
+          | Fire desc ->
+              let ctx = make_ctx desc in
+              Spin.Dispatcher.raise linear_ev ctx;
+              Spin.Dispatcher.raise indexed_ev ctx;
+              Spin.Dispatcher.raise tree_ev ctx;
+              Sim.Engine.run e)
+        steps;
+      Spin.Dispatcher.faults d = 0
+      && !tree_seq = !linear_seq
+      && !tree_seq = !indexed_seq)
+
 let suite =
   suite
   @ [
       ( "fuzz.filter",
-        [ prop compiled_eval_agree; prop indexed_dispatch_agrees ] );
+        [
+          prop compiled_eval_agree;
+          prop indexed_dispatch_agrees;
+          prop tree_dispatch_agrees;
+        ] );
     ]

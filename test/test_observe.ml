@@ -231,9 +231,9 @@ let span_path_reconstruction () =
       ( "raise udp",
         function
         | Raise r -> r.event = "udp.PacketRecv" && r.indexed | _ -> false );
-      ( "index lookup udp",
-        function
-        | Index_lookup i -> i.event = "udp.PacketRecv" | _ -> false );
+      (* no "index lookup udp" step: the udp event has one handler, and
+         a <=1-handler event skips the hash lookup (scanning the single
+         guard is cheaper) — asserted below *)
       ( "guard hit srv@udp",
         function
         | Guard_eval g ->
@@ -256,6 +256,14 @@ let span_path_reconstruction () =
             else walk steps tail)
   in
   walk steps spans;
+  (* the 1-handler udp event skips the hash lookup entirely *)
+  Alcotest.(check bool) "no index lookup on a 1-handler event" false
+    (List.exists
+       (fun s ->
+         match s.Observe.Trace.event with
+         | Index_lookup i -> i.event = "udp.PacketRecv"
+         | _ -> false)
+       spans);
   (* per-handler histogram counts must match the raise counts *)
   let reg = Spin.Kernel.registry kernel_b in
   let counter name =

@@ -591,10 +591,18 @@ let keyed_raise_cost () =
   in
   Spin.Dispatcher.raise ev 1;
   Sim.Engine.run e;
-  (* dispatch 0.4 + index 0.25 + one guard 0.3 + handler 10; the second
-     bucket's guard is neither run nor charged *)
+  (* merged-tree dispatch: dispatch 0.4 + one tree switch 0.1 + the
+     matching leaf's one residual guard 0.3 + handler 10; the second
+     handler's guard is neither run nor charged *)
+  Alcotest.(check int) "tree raise charges the walk + matching guards"
+    10_800
+    (Sim.Stime.to_ns (Sim.Cpu.busy_time cpu));
+  (* and the bucket-index ablation charges hash + guard instead *)
+  Spin.Dispatcher.set_tree_dispatch d false;
+  Spin.Dispatcher.raise ev 1;
+  Sim.Engine.run e;
   Alcotest.(check int) "indexed raise charges one hash + matching guards"
-    10_950
+    (10_800 + 10_950)
     (Sim.Stime.to_ns (Sim.Cpu.busy_time cpu))
 
 let keyed_guard_fault_contained () =
@@ -674,6 +682,88 @@ let keyed_install_model =
         (fun _ (c, _) acc -> acc && (!c = 1 || !c = 4))
         installed true)
 
+(* ---- Merged decision tree ----------------------------------------------- *)
+
+(* A two-dimension event: payload is (a, b); dim 0 reads a, dim 1 reads
+   b, -1 meaning absent.  Exercises prefix sharing (two handlers pinning
+   the same a share the dim-0 edge), exact-path guard skipping,
+   leaf residuals for opaque guards, and unsatisfiable-handler drop. *)
+let tree_merges_and_skips () =
+  let e, _, d = mk_dispatcher () in
+  let ev = Spin.Dispatcher.event d "tree2d" in
+  Spin.Dispatcher.set_keyvfn ev ~dims:2 (fun (a, b) dst ->
+      dst.(0) <- a;
+      dst.(1) <- b);
+  let key dim v = (dim lsl 16) lor v in
+  let hits = Hashtbl.create 8 in
+  let hit tag = fun _ ->
+    Hashtbl.replace hits tag (1 + Option.value ~default:0 (Hashtbl.find_opt hits tag))
+  in
+  let evals = ref 0 in
+  (* exact on (a=1, b=2): the walk proves it, the guard must not run *)
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev
+      ~guard:(fun _ -> incr evals; true)
+      ~keys:[ key 0 1; key 1 2 ] ~exact:true ~cost:Sim.Stime.zero (hit "exact12")
+  in
+  (* keyed on a=1 only, inexact: leaf residual, guard still runs *)
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev
+      ~guard:(fun (a, b) -> incr evals; a = 1 && b mod 2 = 0)
+      ~key:(key 0 1) ~cost:Sim.Stime.zero (hit "resid1x")
+  in
+  (* pins two values on one dimension: unsatisfiable, dropped *)
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ev
+      ~guard:(fun _ -> incr evals; false)
+      ~keys:[ key 0 3; key 0 4 ] ~cost:Sim.Stime.zero (hit "unsat")
+  in
+  (match Spin.Dispatcher.compiled_tree ev with
+  | None -> Alcotest.fail "event should compile a tree"
+  | Some (Spin.Dispatcher.Tree_switch { tv_dim; tv_cases; _ }) ->
+      Alcotest.(check int) "root switches on dim 0" 0 tv_dim;
+      (* the unsatisfiable handler contributed no jump-table entry *)
+      Alcotest.(check (list int)) "cases are the satisfiable pins" [ 1 ]
+        (List.map fst tv_cases)
+  | Some (Spin.Dispatcher.Tree_leaf _) -> Alcotest.fail "root should switch");
+  Spin.Dispatcher.raise ev (1, 2);  (* exact12 proven + resid1x accepted *)
+  Spin.Dispatcher.raise ev (1, 3);  (* exact12 out (b<>2), resid1x rejects *)
+  Spin.Dispatcher.raise ev (9, 9);  (* default path: nothing *)
+  Sim.Engine.run e;
+  let count tag = Option.value ~default:0 (Hashtbl.find_opt hits tag) in
+  Alcotest.(check int) "exact handler fired without its guard" 1
+    (count "exact12");
+  Alcotest.(check int) "residual fired where its guard said yes" 1
+    (count "resid1x");
+  Alcotest.(check int) "unsatisfiable handler never fired" 0 (count "unsat");
+  (* residual evaluated on the two a=1 raises; the exact and the dropped
+     guards never ran *)
+  Alcotest.(check int) "only residual guards evaluated" 2 !evals;
+  Alcotest.(check int) "every raise walked the tree" 3
+    (Spin.Dispatcher.tree_raises ev)
+
+(* Churn invalidates the compiled tree through the generation counter:
+   the rebuilt tree must reflect the new handler set. *)
+let tree_rebuilds_on_churn () =
+  let e, _, d = mk_dispatcher () in
+  let ev = mk_keyed_event d in
+  let hits = Array.make 3 0 in
+  let ins k =
+    Spin.Dispatcher.install ev ~guard:(fun x -> x = k) ~key:k ~exact:true
+      ~cost:Sim.Stime.zero (fun _ -> hits.(k) <- hits.(k) + 1)
+  in
+  let un0 = ins 0 in
+  let (_ : unit -> unit) = ins 1 in
+  Spin.Dispatcher.raise ev 0;
+  Sim.Engine.run e;
+  un0 ();
+  let (_ : unit -> unit) = ins 2 in
+  Spin.Dispatcher.raise ev 0;
+  Spin.Dispatcher.raise ev 2;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "rebuilt tree routes the new set" [ 1; 0; 1 ]
+    (Array.to_list hits)
+
 let suite =
   suite
   @ [
@@ -685,5 +775,10 @@ let suite =
           tc "indexed raise cost" keyed_raise_cost;
           tc "guard fault in a bucket" keyed_guard_fault_contained;
           prop keyed_install_model;
+        ] );
+      ( "spin.dispatch_tree",
+        [
+          tc "merge, prefix share, exact skip" tree_merges_and_skips;
+          tc "rebuild on churn" tree_rebuilds_on_churn;
         ] );
     ]
