@@ -1254,6 +1254,113 @@ let run_parallel ~check ~max_domains =
       top_speedup need top.Par.Node.domains
   end
 
+(* ---- lifecycle: verifier, quarantine, zero-drop hot-swap --------------- *)
+
+let lifecycle_runs = 5
+let lifecycle_swap_every = 64
+
+let run_lifecycle ~check ~max_domains =
+  let r = Experiments.Lifecycle.print ~runs:lifecycle_runs () in
+  let dropped = Experiments.Lifecycle.dropped r in
+  (* Parallel leg: the same hot-swap protocol churning on every domain
+     of the multicore datapath, still counter-for-counter equivalent to
+     the 1-domain oracle.  Flow cache off: each swap bumps the event
+     generation, which invalidates path recordings at domain-dependent
+     points — bookkeeping divergence, not behavioral. *)
+  let plan =
+    Par.Rss.make ~seed:parallel_seed ~flows:parallel_flows
+      ~pkts_per_flow:parallel_pkts ()
+  in
+  let par_domains = min 2 max_domains in
+  let oracle =
+    Par.Node.run ~domains:1 ~flowcache:false
+      ~swap_every:lifecycle_swap_every plan
+  in
+  let par =
+    Par.Node.run ~domains:par_domains ~flowcache:false
+      ~swap_every:lifecycle_swap_every plan
+  in
+  let par_equiv =
+    List.for_all2
+      (fun (name, expect) (_, got) ->
+        if expect <> got then
+          Printf.eprintf
+            "FAIL: %d-domain swap-churn run diverges from the 1-domain \
+             oracle on %s (%d vs %d)\n%!"
+            par.Par.Node.domains name got expect;
+        expect = got)
+      (Par.Node.equiv_counters oracle)
+      (Par.Node.equiv_counters par)
+  in
+  Printf.printf
+    "  par churn: %d swaps at 1 domain, %d at %d domains, %d delivered, \
+     equivalence %s\n%!"
+    oracle.Par.Node.swaps par.Par.Node.swaps par.Par.Node.domains
+    par.Par.Node.delivered
+    (if par_equiv then "exact" else "BROKEN");
+  let oc = open_out "BENCH_lifecycle.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"invariants\",\n\
+    \  \"note\": \"zero-drop hot-swap soak: datagrams sent vs sunk across \
+     Linker.replace churn, swap drain latency in simulated ns, runtime \
+     quarantine and static verifier rejection; plus 2-domain swap churn \
+     equivalence against the 1-domain oracle.\",\n\
+    \  \"runs\": %d,\n\
+    \  \"sent\": %d,\n\
+    \  \"sunk\": %d,\n\
+    \  \"dropped\": %d,\n\
+    \  \"monitored\": %d,\n\
+    \  \"swaps\": %d,\n\
+    \  \"max_inflight_at_flip\": %d,\n\
+    \  \"drain_max_ns\": %d,\n\
+    \  \"quarantined_runs\": %d,\n\
+    \  \"verifier_rejected_runs\": %d,\n\
+    \  \"par\": { \"domains\": %d, \"swap_every\": %d, \"swaps\": %d, \
+     \"delivered\": %d, \"equivalent\": %b },\n\
+    \  \"gate\": \"dropped = 0, swaps > 0 with inflight observed at a flip, \
+     quarantine and verifier rejection on every run, par churn equivalence \
+     exact\"\n\
+     }\n"
+    r.Experiments.Lifecycle.l_runs r.Experiments.Lifecycle.l_sent
+    r.Experiments.Lifecycle.l_sunk dropped r.Experiments.Lifecycle.l_monitored
+    r.Experiments.Lifecycle.l_swaps r.Experiments.Lifecycle.l_max_inflight
+    r.Experiments.Lifecycle.l_drain_max_ns
+    r.Experiments.Lifecycle.l_quarantined
+    r.Experiments.Lifecycle.l_rejected par.Par.Node.domains
+    lifecycle_swap_every par.Par.Node.swaps par.Par.Node.delivered par_equiv;
+  close_out oc;
+  Printf.printf
+    "\n\
+    \  wrote BENCH_lifecycle.json (%d swaps, %d in flight at worst flip, 0 \
+     drops expected: dropped=%d)\n\
+     %!"
+    r.Experiments.Lifecycle.l_swaps r.Experiments.Lifecycle.l_max_inflight
+    dropped;
+  if check then begin
+    if not (Experiments.Lifecycle.report_ok r) then begin
+      Printf.eprintf
+        "FAIL: lifecycle soak violated an invariant (dropped=%d swaps=%d \
+         max_inflight=%d quarantined=%d/%d rejected=%d/%d failures=%d)\n%!"
+        dropped r.Experiments.Lifecycle.l_swaps
+        r.Experiments.Lifecycle.l_max_inflight
+        r.Experiments.Lifecycle.l_quarantined r.Experiments.Lifecycle.l_runs
+        r.Experiments.Lifecycle.l_rejected r.Experiments.Lifecycle.l_runs
+        r.Experiments.Lifecycle.l_failures;
+      exit 1
+    end;
+    if not par_equiv then exit 1;
+    if par.Par.Node.swaps = 0 || oracle.Par.Node.swaps = 0 then begin
+      Printf.eprintf "FAIL: par swap churn performed no swaps\n%!";
+      exit 1
+    end;
+    Printf.printf
+      "  lifecycle check passed (0 drops across %d swaps, quarantine + \
+       verifier enforced, par churn equivalent)\n%!"
+      (r.Experiments.Lifecycle.l_swaps + par.Par.Node.swaps
+      + oracle.Par.Node.swaps)
+  end
+
 (* ---- Part 2: paper reproduction --------------------------------------- *)
 
 let () =
@@ -1264,6 +1371,7 @@ let () =
   let faults_only = Array.mem "--faults-only" Sys.argv in
   let scale_only = Array.mem "--scale-only" Sys.argv in
   let parallel_only = Array.mem "--parallel-only" Sys.argv in
+  let lifecycle_only = Array.mem "--lifecycle-only" Sys.argv in
   let check = Array.mem "--check" Sys.argv in
   let max_domains =
     let v = ref 4 in
@@ -1322,6 +1430,7 @@ let () =
   else if faults_only then run_faults ~check
   else if scale_only then run_scale ~check
   else if parallel_only then run_parallel ~check ~max_domains
+  else if lifecycle_only then run_lifecycle ~check ~max_domains
   else begin
     let results = run_bechamel (micro_tests @ datapath_tests) in
     write_dispatch_json "BENCH_dispatch.json" results;
@@ -1329,6 +1438,7 @@ let () =
     run_observe ~check:false;
     run_faults ~check:false;
     run_parallel ~check:false ~max_domains;
+    run_lifecycle ~check:false ~max_domains;
     ignore (Experiments.Fig5.print ~iters:200 ());
     ignore (Experiments.Tput.print ~bytes:2_000_000 ());
     ignore (Experiments.Fig6.print ());

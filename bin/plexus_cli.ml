@@ -228,13 +228,13 @@ let run_top json by_latency timelines rate =
     let row_json (kernel, event, (hi : Spin.Dispatcher.handler_info)) =
       Printf.sprintf
         "    {\"kernel\": \"%s\", \"event\": \"%s\", \"label\": \"%s\", \
-         \"runs\": %d, \"cpu_ns\": %d, \"mbuf_allocs\": %d, \
+         \"gen\": %d, \"runs\": %d, \"cpu_ns\": %d, \"mbuf_allocs\": %d, \
          \"terminations\": %d, \"p99_ns\": %d}"
         (esc kernel) (esc event)
         (esc hi.Spin.Dispatcher.hi_label)
-        hi.Spin.Dispatcher.hi_runs hi.Spin.Dispatcher.hi_cpu_ns
-        hi.Spin.Dispatcher.hi_allocs hi.Spin.Dispatcher.hi_terminations
-        (p99 hi)
+        hi.Spin.Dispatcher.hi_gen hi.Spin.Dispatcher.hi_runs
+        hi.Spin.Dispatcher.hi_cpu_ns hi.Spin.Dispatcher.hi_allocs
+        hi.Spin.Dispatcher.hi_terminations (p99 hi)
     in
     let flights =
       List.map
@@ -253,14 +253,15 @@ let run_top json by_latency timelines rate =
   else begin
     Printf.printf "extensions by %s:\n"
       (if by_latency then "run-latency p99" else "cumulative modelled CPU");
-    Printf.printf "  %-7s %-22s %-12s %6s %12s %7s %6s %10s\n" "kernel" "event"
-      "label" "runs" "cpu_ns" "allocs" "terms" "p99_ns";
+    Printf.printf "  %-7s %-22s %-12s %4s %6s %12s %7s %6s %10s\n" "kernel"
+      "event" "label" "gen" "runs" "cpu_ns" "allocs" "terms" "p99_ns";
     List.iter
       (fun (kernel, event, (hi : Spin.Dispatcher.handler_info)) ->
-        Printf.printf "  %-7s %-22s %-12s %6d %12d %7d %6d %10d\n" kernel event
-          hi.Spin.Dispatcher.hi_label hi.Spin.Dispatcher.hi_runs
-          hi.Spin.Dispatcher.hi_cpu_ns hi.Spin.Dispatcher.hi_allocs
-          hi.Spin.Dispatcher.hi_terminations (p99 hi))
+        Printf.printf "  %-7s %-22s %-12s %4d %6d %12d %7d %6d %10d\n" kernel
+          event hi.Spin.Dispatcher.hi_label hi.Spin.Dispatcher.hi_gen
+          hi.Spin.Dispatcher.hi_runs hi.Spin.Dispatcher.hi_cpu_ns
+          hi.Spin.Dispatcher.hi_allocs hi.Spin.Dispatcher.hi_terminations
+          (p99 hi))
       rows;
     if timelines > 0 then
       List.iter
@@ -275,6 +276,12 @@ let run_top json by_latency timelines rate =
           List.iter (fun tl -> Fmt.pr "%a@." Observe.Flight.pp_timeline tl) shown)
         kernels
   end
+
+(* Extension lifecycle soak: zero-drop hot-swap under burst traffic,
+   runtime quarantine of a rogue extension, static verifier rejection. *)
+let run_lifecycle runs verbose =
+  let r = Experiments.Lifecycle.print ~runs ~verbose () in
+  if not (Experiments.Lifecycle.report_ok r) then exit 1
 
 (* Multicore datapath: shard a synthetic RSS workload across OCaml 5
    domains, check counter-for-counter equivalence with the single-domain
@@ -655,6 +662,25 @@ let top_cmd =
           terminations, latency) and dump sampled end-to-end timelines")
     Term.(const run_top $ json $ by_latency $ timelines $ rate)
 
+let lifecycle_cmd =
+  let runs =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~doc:"Soak runs (burst size and swap cadence vary).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-run outcomes.")
+  in
+  Cmd.v
+    (Cmd.info "lifecycle"
+       ~doc:
+         "Extension lifecycle soak: hot-swap a monitor extension under UDP \
+          burst traffic (zero datagrams dropped across the flip, drain \
+          latency measured), quarantine a rogue extension that blows its \
+          runtime budget, and reject an over-budget certificate at both \
+          admission points; exits non-zero on any invariant failure")
+    Term.(const run_lifecycle $ runs $ verbose)
+
 let parallel_cmd =
   let domains =
     Arg.(
@@ -730,6 +756,7 @@ let () =
             stats_cmd;
             observe_cmd;
             top_cmd;
+            lifecycle_cmd;
             parallel_cmd;
             dispatch_cmd;
             graph_cmd;

@@ -1,0 +1,336 @@
+(* Extension lifecycle soak: verifier admission, budget quarantine and
+   zero-drop hot-swap on the canonical two-host Plexus testbed.
+
+   One run drives UDP bursts a -> b while a compiler-signed "monitor"
+   extension on b's ip event is hot-swapped ({!Spin.Linker.replace})
+   every few packets — the swap is triggered from a control handler that
+   runs *inside* a delivery, so queued invocations to the old generation
+   are routinely in flight at the flip.  The invariants checked are the
+   protocol's claims:
+
+   - zero drop: every datagram sent reaches the sink, and the sum of the
+     per-generation monitor counts equals the number sent — at no
+     instant did a packet see neither generation;
+   - bounded drain: deliveries queued to a retired generation run to
+     completion ({!Spin.Dispatcher.swap_inflight} reaches 0), with the
+     drain latency measured in simulated time;
+   - quarantine: a rogue extension whose measured CPU blows the event's
+     {!Spin.Verifier.quarantine} window is evicted mid-traffic, without
+     disturbing delivery;
+   - admission: an extension whose declared budget exceeds the event's
+     {!Spin.Verifier.policy} (or the link-time policy) is rejected with
+     [Over_budget] before any of its code runs. *)
+
+let udp_guard ctx =
+  match ctx.Plexus.Pctx.ip with
+  | Some ip -> ip.Proto.Ipv4.proto = Proto.Ipv4.proto_udp
+  | None -> false
+
+(* The monitored extension, generation [gen]: counts UDP packets into
+   its own per-generation cell.  Certified with a declared op list so
+   installs are admissible under any reasonable event policy. *)
+let monitor_ext ~ip_ev ~counts ~gen =
+  let cell = ref 0 in
+  Hashtbl.replace counts gen cell;
+  Spin.Extension.Compiler.compile
+    ~name:(Printf.sprintf "lifecycle.monitor.gen%d" gen)
+    ~ops:[ Spin.Verifier.Count ]
+    ~imports:[]
+    (fun lk ->
+      let uninstall =
+        Spin.Dispatcher.install ip_ev ~guard:udp_guard ~cacheable:true
+          ~label:"monitor" ~cost:(Sim.Stime.us 1)
+          (fun _ -> incr cell)
+      in
+      lk.Spin.Extension.on_unlink uninstall)
+
+type outcome = {
+  o_sent : int;
+  o_sunk : int;
+  o_monitored : int;  (** sum of per-generation monitor counts *)
+  o_generations : int;  (** generations that saw at least one packet *)
+  o_swaps : int;
+  o_max_inflight : int;
+      (** most deliveries queued to the old generation at any flip *)
+  o_drain_max_ns : int;
+      (** worst simulated time from a flip to [swap_inflight = 0] *)
+  o_quarantined : bool;  (** the rogue extension was evicted *)
+  o_rejected : bool;  (** both over-budget admission paths refused *)
+}
+
+let outcome_ok o =
+  o.o_sunk = o.o_sent && o.o_monitored = o.o_sent && o.o_swaps > 0
+  && o.o_generations >= 2 && o.o_quarantined && o.o_rejected
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "lifecycle{sent=%d sunk=%d monitored=%d gens=%d swaps=%d max_inflight=%d \
+     drain_max=%dns quarantined=%b rejected=%b}"
+    o.o_sent o.o_sunk o.o_monitored o.o_generations o.o_swaps o.o_max_inflight
+    o.o_drain_max_ns o.o_quarantined o.o_rejected
+
+let run_once ?(count = 120) ?(burst = 4) ?(swap_period = 10) ?(qcount = 10) ()
+    =
+  let p = Common.plexus_pair (Netsim.Costs.ethernet ()) in
+  let gb = Plexus.Stack.graph p.Common.b in
+  let disp = Plexus.Graph.dispatcher gb in
+  let kernel_b = Plexus.Graph.kernel gb in
+  let domain = Plexus.Stack.app_domain p.Common.b in
+  let ip_ev =
+    Plexus.Graph.recv_event (Plexus.Ip_mgr.node (Plexus.Stack.ip p.Common.b))
+  in
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let gen = ref 0 in
+  let swaps = ref 0 and max_inflight = ref 0 and drain_max = ref 0 in
+  (* Drain poller: 1 us cadence from the flip until every delivery
+     queued to the retired generation has run. *)
+  let watch_drain () =
+    let t0 = Sim.Engine.now p.Common.engine in
+    let rec poll () =
+      if Spin.Dispatcher.swap_inflight disp = 0 then begin
+        let d =
+          Sim.Stime.to_ns (Sim.Stime.sub (Sim.Engine.now p.Common.engine) t0)
+        in
+        if d > !drain_max then drain_max := d
+      end
+      else
+        ignore
+          (Sim.Engine.schedule_in p.Common.engine ~delay:(Sim.Stime.us 1) poll)
+    in
+    ignore (Sim.Engine.schedule_in p.Common.engine ~delay:(Sim.Stime.us 1) poll)
+  in
+  (* The control handler is installed before the first monitor link so
+     its queued invocation runs first within a raise: the swap it
+     triggers then catches the same packet's monitor delivery still
+     queued — retired with pending work, the zero-drop case. *)
+  let link = ref None in
+  let do_swap () =
+    match !link with
+    | None -> ()
+    | Some l -> (
+        incr gen;
+        match
+          Spin.Kernel.replace kernel_b ~domain l
+            (monitor_ext ~ip_ev ~counts ~gen:!gen)
+        with
+        | Ok (nl, sw) ->
+            link := Some nl;
+            incr swaps;
+            if sw.Spin.Linker.swap_inflight > !max_inflight then
+              max_inflight := sw.Spin.Linker.swap_inflight;
+            if sw.Spin.Linker.swap_inflight > 0 then watch_drain ()
+        | Error e ->
+            failwith
+              (Fmt.str "lifecycle: swap failed: %a" Spin.Extension.pp_failure e)
+        )
+  in
+  let seen = ref 0 in
+  let (_ : unit -> unit) =
+    Spin.Dispatcher.install ip_ev ~guard:udp_guard ~cacheable:true
+      ~label:"swapctl" ~cost:(Sim.Stime.ns 300)
+      (fun _ ->
+        incr seen;
+        if !seen mod swap_period = 0 then do_swap ())
+  in
+  (match Plexus.Stack.link p.Common.b (monitor_ext ~ip_ev ~counts ~gen:0) with
+  | Ok l -> link := Some l
+  | Error e ->
+      failwith
+        (Fmt.str "lifecycle: monitor link failed: %a" Spin.Extension.pp_failure
+           e));
+  (* Sink and source. *)
+  let udp_b = Plexus.Stack.udp p.Common.b in
+  let sunk = ref 0 in
+  (match Plexus.Udp_mgr.bind udp_b ~owner:"lifecycle-sink" ~port:9 with
+  | Error _ -> assert false
+  | Ok ep ->
+      let (_ : unit -> unit) =
+        Plexus.Udp_mgr.install_recv udp_b ep (fun _ -> incr sunk)
+      in
+      ());
+  let udp_a = Plexus.Stack.udp p.Common.a in
+  let client =
+    match Plexus.Udp_mgr.bind udp_a ~owner:"lifecycle-src" ~port:5001 with
+    | Ok ep -> ep
+    | Error _ -> assert false
+  in
+  let send_burst ~base ~n =
+    for k = 0 to n - 1 do
+      ignore
+        (Sim.Engine.schedule_in p.Common.engine ~delay:base (fun () ->
+             Plexus.Udp_mgr.send udp_a client ~dst:(Common.ip_b, 9)
+               (Printf.sprintf "pkt-%d" k)))
+    done
+  in
+  (* [count] datagrams in back-to-back bursts of [burst], one burst per
+     millisecond: the bursts back up b's CPU queue, so swaps triggered
+     mid-burst retire the old monitor with deliveries in flight. *)
+  let nbursts = (count + burst - 1) / burst in
+  for i = 0 to nbursts - 1 do
+    let n = min burst (count - (i * burst)) in
+    send_burst ~base:(Sim.Stime.ms i) ~n
+  done;
+  Sim.Engine.run p.Common.engine ~max_events:20_000_000;
+  (* Quarantine phase: attach a runtime eviction policy to the ip event
+     and link a rogue whose measured CPU (600 us per packet) blows the
+     1 ms-per-10 ms window on its second delivery.  The well-behaved
+     handlers on the same event (monitor, control, the protocol graph's
+     own demux) stay an order of magnitude under the limit. *)
+  Spin.Dispatcher.set_quarantine ip_ev
+    (Some
+       (Spin.Verifier.quarantine ~window_ns:10_000_000 ~max_cpu_ns:1_000_000
+          ()));
+  (match
+     Plexus.Stack.link p.Common.b
+       (Spin.Extension.Compiler.compile ~name:"lifecycle.rogue"
+          ~ops:[ Spin.Verifier.Work { insns = 600_000 } ]
+          ~imports:[]
+          (fun lk ->
+            let uninstall =
+              Spin.Dispatcher.install ip_ev ~guard:udp_guard ~cacheable:true
+                ~label:"rogue" ~cost:(Sim.Stime.us 600)
+                (fun _ -> ())
+            in
+            lk.Spin.Extension.on_unlink uninstall))
+   with
+  | Ok _ -> ()
+  | Error e ->
+      failwith
+        (Fmt.str "lifecycle: rogue link failed: %a" Spin.Extension.pp_failure e));
+  for i = 0 to qcount - 1 do
+    ignore
+      (Sim.Engine.schedule_in p.Common.engine
+         ~delay:(Sim.Stime.us (100 * (i + 1)))
+         (fun () ->
+           Plexus.Udp_mgr.send udp_a client ~dst:(Common.ip_b, 9) "rogue-bait"))
+  done;
+  Sim.Engine.run p.Common.engine ~max_events:20_000_000;
+  let quarantined = Spin.Dispatcher.quarantines disp > 0 in
+  Spin.Dispatcher.set_quarantine ip_ev None;
+  (* Admission phase: the same over-budget extension must be refused by
+     both enforcement points — the event's install-time policy and the
+     linker's certificate check — before any of its code runs. *)
+  let tight = Spin.Verifier.policy ~max_insns:50_000 () in
+  let hog_ops =
+    [ Spin.Verifier.Loop
+        { iters = 1000; body = [ Spin.Verifier.Work { insns = 500 } ] } ]
+  in
+  let hog () =
+    Spin.Extension.Compiler.compile ~name:"lifecycle.hog" ~ops:hog_ops
+      ~imports:[]
+      (fun lk ->
+        let uninstall =
+          Spin.Dispatcher.install ip_ev ~guard:udp_guard ~label:"hog"
+            ~ops:hog_ops ~cost:(Sim.Stime.us 500)
+            (fun _ -> ())
+        in
+        lk.Spin.Extension.on_unlink uninstall)
+  in
+  Spin.Dispatcher.set_policy ip_ev (Some tight);
+  let rejected_by_event =
+    match Plexus.Stack.link p.Common.b (hog ()) with
+    | Error (Spin.Extension.Over_budget _) -> true
+    | Ok _ | Error _ -> false
+  in
+  Spin.Dispatcher.set_policy ip_ev None;
+  let rejected_by_link =
+    match Spin.Kernel.link ~policy:tight kernel_b ~domain (hog ()) with
+    | Error (Spin.Extension.Over_budget _) -> true
+    | Ok _ | Error _ -> false
+  in
+  let monitored = Hashtbl.fold (fun _ c acc -> acc + !c) counts 0 in
+  let generations =
+    Hashtbl.fold (fun _ c acc -> if !c > 0 then acc + 1 else acc) counts 0
+  in
+  {
+    o_sent = count + qcount;
+    o_sunk = !sunk;
+    o_monitored = monitored;
+    o_generations = generations;
+    o_swaps = !swaps;
+    o_max_inflight = !max_inflight;
+    o_drain_max_ns = !drain_max;
+    o_quarantined = quarantined;
+    o_rejected = rejected_by_event && rejected_by_link;
+  }
+
+(* --- soak driver ------------------------------------------------------- *)
+
+type report = {
+  l_runs : int;
+  l_sent : int;
+  l_sunk : int;
+  l_monitored : int;
+  l_swaps : int;
+  l_max_inflight : int;
+  l_drain_max_ns : int;
+  l_quarantined : int;  (** runs where the rogue was evicted *)
+  l_rejected : int;  (** runs where both admission paths refused *)
+  l_failures : int;  (** runs violating any lifecycle invariant *)
+}
+
+let report_ok r =
+  r.l_failures = 0 && r.l_sunk = r.l_sent && r.l_monitored = r.l_sent
+  && r.l_swaps > 0 && r.l_max_inflight > 0 && r.l_quarantined = r.l_runs
+  && r.l_rejected = r.l_runs
+
+let dropped r = r.l_sent - r.l_sunk
+
+(* Vary burst size and swap cadence across runs so flips land at
+   different depths of the receive backlog. *)
+let bursts = [| 4; 1; 8; 2; 6 |]
+let periods = [| 10; 7; 13; 5; 9 |]
+
+let run_soak ?(runs = 5) ?(verbose = false) () =
+  let acc =
+    ref
+      {
+        l_runs = runs;
+        l_sent = 0;
+        l_sunk = 0;
+        l_monitored = 0;
+        l_swaps = 0;
+        l_max_inflight = 0;
+        l_drain_max_ns = 0;
+        l_quarantined = 0;
+        l_rejected = 0;
+        l_failures = 0;
+      }
+  in
+  for i = 0 to runs - 1 do
+    let o =
+      run_once
+        ~burst:bursts.(i mod Array.length bursts)
+        ~swap_period:periods.(i mod Array.length periods)
+        ()
+    in
+    if verbose then Fmt.pr "run %d: %a@." i pp_outcome o;
+    let r = !acc in
+    acc :=
+      {
+        r with
+        l_sent = r.l_sent + o.o_sent;
+        l_sunk = r.l_sunk + o.o_sunk;
+        l_monitored = r.l_monitored + o.o_monitored;
+        l_swaps = r.l_swaps + o.o_swaps;
+        l_max_inflight = max r.l_max_inflight o.o_max_inflight;
+        l_drain_max_ns = max r.l_drain_max_ns o.o_drain_max_ns;
+        l_quarantined = (r.l_quarantined + if o.o_quarantined then 1 else 0);
+        l_rejected = (r.l_rejected + if o.o_rejected then 1 else 0);
+        l_failures = (r.l_failures + if outcome_ok o then 0 else 1);
+      }
+  done;
+  !acc
+
+let print ?runs ?verbose () =
+  Common.print_header
+    "Extension lifecycle: verifier, quarantine, zero-drop hot-swap";
+  let r = run_soak ?runs ?verbose () in
+  Printf.printf
+    "%d runs: sent=%d sunk=%d monitored=%d dropped=%d swaps=%d \
+     max_inflight=%d drain_max=%dns quarantined=%d/%d rejected=%d/%d -> %s\n"
+    r.l_runs r.l_sent r.l_sunk r.l_monitored (dropped r) r.l_swaps
+    r.l_max_inflight r.l_drain_max_ns r.l_quarantined r.l_runs r.l_rejected
+    r.l_runs
+    (if report_ok r then "OK" else "FAILED");
+  r

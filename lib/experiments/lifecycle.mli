@@ -1,0 +1,58 @@
+(** Extension lifecycle soak: static verifier admission, runtime budget
+    quarantine and zero-drop hot-swap, exercised end to end on the
+    two-host Plexus testbed.
+
+    Each run hot-swaps a compiler-signed monitor extension under UDP
+    burst traffic ({!Spin.Linker.replace} triggered from inside a
+    delivery, so the flip catches queued invocations in flight), then
+    quarantines a rogue extension whose measured CPU blows the event's
+    window, then checks that over-budget certificates are refused at
+    both admission points.  The headline invariant is conservation:
+    every datagram sent is both sunk by the application and counted by
+    exactly one monitor generation. *)
+
+type outcome = {
+  o_sent : int;
+  o_sunk : int;
+  o_monitored : int;  (** sum of per-generation monitor counts *)
+  o_generations : int;  (** generations that saw at least one packet *)
+  o_swaps : int;
+  o_max_inflight : int;
+      (** most deliveries queued to the old generation at any flip *)
+  o_drain_max_ns : int;
+      (** worst simulated time from a flip to [swap_inflight = 0] *)
+  o_quarantined : bool;  (** the rogue extension was evicted *)
+  o_rejected : bool;  (** both over-budget admission paths refused *)
+}
+
+val run_once :
+  ?count:int -> ?burst:int -> ?swap_period:int -> ?qcount:int -> unit ->
+  outcome
+(** One soak: [count] datagrams in bursts of [burst] (one burst per
+    simulated millisecond), a hot-swap every [swap_period]-th packet,
+    then [qcount] more datagrams under the quarantine policy. *)
+
+val outcome_ok : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type report = {
+  l_runs : int;
+  l_sent : int;
+  l_sunk : int;
+  l_monitored : int;
+  l_swaps : int;
+  l_max_inflight : int;
+  l_drain_max_ns : int;
+  l_quarantined : int;  (** runs where the rogue was evicted *)
+  l_rejected : int;  (** runs where both admission paths refused *)
+  l_failures : int;  (** runs violating any lifecycle invariant *)
+}
+
+val run_soak : ?runs:int -> ?verbose:bool -> unit -> report
+(** Sweep {!run_once} over varying burst sizes and swap cadences. *)
+
+val report_ok : report -> bool
+val dropped : report -> int
+
+val print : ?runs:int -> ?verbose:bool -> unit -> report
+(** {!run_soak} with a human-readable report on stdout. *)

@@ -20,7 +20,30 @@ type world = {
   udp : Plexus.Udp_mgr.t;
   tap_frames : int ref;
   acct_bytes : int ref;
+  swap_tap : unit -> unit;
+      (* hot-swap the tap extension for a behaviorally identical next
+         generation (Linker.replace through the node's dispatcher) *)
+  swaps : int ref;
 }
+
+(* The wire tap as a proper compiler-signed extension, so the parallel
+   runner can exercise [Linker.replace] under load.  Every generation
+   increments the same [tap_frames] cell with the same cost and label,
+   which is what makes swap churn invisible to the oracle equivalence
+   counters: only the lifecycle differs, never the datapath behavior. *)
+let make_tap_ext ~ev ~tap_frames ~gen =
+  Spin.Extension.Compiler.compile
+    ~name:(Printf.sprintf "par.tap.gen%d" gen)
+    ~ops:[ Spin.Verifier.Count ]
+    ~imports:[]
+    (fun lk ->
+      let uninstall =
+        Spin.Dispatcher.install ev
+          ~guard:(fun _ -> true)
+          ~cacheable:true ~label:"tap" ~cost:(Sim.Stime.us 2)
+          (fun _ -> incr tap_frames)
+      in
+      lk.Spin.Extension.on_unlink uninstall)
 
 (* One node's private copy of the steady-state server world: the
    canonical two-host testbed with the paper's extension trio on the
@@ -51,11 +74,31 @@ let make_world ~flowcache () =
     Plexus.Graph.recv_event (Plexus.Ip_mgr.node (Plexus.Stack.ip b))
   in
   let tap_frames = ref 0 and acct_bytes = ref 0 in
-  let (_ : unit -> unit) =
-    Spin.Dispatcher.install ether_ev
-      ~guard:(fun _ -> true)
-      ~cacheable:true ~label:"tap" ~cost:(Sim.Stime.us 2)
-      (fun _ -> incr tap_frames)
+  let disp = Plexus.Graph.dispatcher (Plexus.Stack.graph b) in
+  let tap_domain =
+    Spin.Kernel.root_domain (Netsim.Host.kernel eb.Netsim.Network.host)
+  in
+  let tap_gen = ref 0 in
+  let tap_link =
+    ref
+      (match
+         Spin.Linker.link ~domain:tap_domain
+           (make_tap_ext ~ev:ether_ev ~tap_frames ~gen:0)
+       with
+      | Ok l -> l
+      | Error _ -> failwith "Par.Node: tap link failed")
+  in
+  let swaps = ref 0 in
+  let swap_tap () =
+    incr tap_gen;
+    match
+      Spin.Linker.replace ~disp ~domain:tap_domain !tap_link
+        (make_tap_ext ~ev:ether_ev ~tap_frames ~gen:!tap_gen)
+    with
+    | Ok (nl, _) ->
+        tap_link := nl;
+        incr swaps
+    | Error _ -> failwith "Par.Node: tap swap failed"
   in
   let udp_guard ctx =
     match ctx.Plexus.Pctx.ip with
@@ -88,6 +131,8 @@ let make_world ~flowcache () =
     udp;
     tap_frames;
     acct_bytes;
+    swap_tap;
+    swaps;
   }
 
 type domain_stats = {
@@ -105,6 +150,7 @@ type domain_stats = {
   cache_evictions : int;
   tree_raises : int;
   tree_residual_evals : int;
+  swaps : int;
   busy_us : float;
   registry : Observe.Registry.t;
   flight : Observe.Flight.t;
@@ -136,7 +182,8 @@ let sum_counters reg ~suffix =
    peer rings until every producer has finished and the rings are
    observed empty — sound because phase B never pushes, so once
    [active] reaches zero no new frame can appear. *)
-let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me =
+let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~swap_every ~rings
+    ~active me =
   let w = make_world ~flowcache () in
   let incoming = Array.init domains (fun j -> rings.(j).(me)) in
   let outgoing = rings.(me) in
@@ -209,6 +256,13 @@ let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me =
     local := Mbuf.ro m :: !local;
     incr nlocal;
     incr processed;
+    (* Lifecycle churn: every [swap_every]-th frame this node injects,
+       hot-swap the tap extension.  The engine is quiescent at every
+       inject point (flush runs it to quiescence), so each swap retires
+       the old generation with nothing queued — and because every
+       generation is behaviorally identical, the oracle equivalence
+       counters are unaffected no matter where the swaps land. *)
+    if swap_every > 0 && !processed mod swap_every = 0 then w.swap_tap ();
     if !nlocal >= batch then flush ()
   in
   (* [op]: None for routine incoming service; [Some] at the two
@@ -308,6 +362,7 @@ let worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me =
     cache_evictions = Spin.Dispatcher.path_cache_evictions d;
     tree_raises = sum_counters reg ~suffix:".tree.raises";
     tree_residual_evals = sum_counters reg ~suffix:".tree.residual_evals";
+    swaps = !(w.swaps);
     busy_us = Sim.Stime.to_us (Sim.Cpu.busy_time w.cpu);
     registry = reg;
     flight = fl;
@@ -326,6 +381,7 @@ type stats = {
   cache_evictions : int;
   tree_raises : int;
   tree_residual_evals : int;
+  swaps : int;
   forwarded : int;
   busy_us : float array;
   busy_max_us : float;
@@ -338,7 +394,7 @@ type stats = {
 }
 
 let run ?(flowcache = true) ?(flight_rate = 0) ?(batch = 32)
-    ?(ring_capacity = 1024) ~domains plan =
+    ?(ring_capacity = 1024) ?(swap_every = 0) ~domains plan =
   if domains < 1 then invalid_arg "Par.Node.run: domains must be >= 1";
   if batch < 1 then invalid_arg "Par.Node.run: batch must be >= 1";
   (* power-of-two batch keeps the periodic-drain mask trick valid *)
@@ -354,7 +410,8 @@ let run ?(flowcache = true) ?(flight_rate = 0) ?(batch = 32)
   in
   let active = Atomic.make domains in
   let work me () =
-    worker ~plan ~domains ~flowcache ~flight_rate ~batch ~rings ~active me
+    worker ~plan ~domains ~flowcache ~flight_rate ~batch ~swap_every ~rings
+      ~active me
   in
   let per =
     if domains = 1 then [| work 0 () |]
@@ -414,6 +471,7 @@ let run ?(flowcache = true) ?(flight_rate = 0) ?(batch = 32)
     cache_evictions = sum (fun d -> d.cache_evictions);
     tree_raises = sum (fun d -> d.tree_raises);
     tree_residual_evals = sum (fun d -> d.tree_residual_evals);
+    swaps = sum (fun d -> d.swaps);
     forwarded;
     busy_us;
     busy_max_us;

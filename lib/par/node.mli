@@ -35,6 +35,9 @@ type domain_stats = {
   tree_raises : int;  (** raises served by a merged decision-tree walk *)
   tree_residual_evals : int;
       (** opaque guards the tree could not prove and had to evaluate *)
+  swaps : int;
+      (** tap-extension hot-swaps ({!Spin.Linker.replace}) this node
+          performed under [swap_every] churn *)
   busy_us : float;  (** this node's simulated CPU busy time *)
   registry : Observe.Registry.t;  (** the node's kernel registry *)
   flight : Observe.Flight.t;
@@ -54,6 +57,7 @@ type stats = {
   cache_evictions : int;
   tree_raises : int;
   tree_residual_evals : int;
+  swaps : int;  (** total hot-swaps across all domains *)
   forwarded : int;
   busy_us : float array;
   busy_max_us : float;  (** makespan: the loaded domain bounds the run *)
@@ -73,6 +77,7 @@ type stats = {
 
 val run :
   ?flowcache:bool -> ?flight_rate:int -> ?batch:int -> ?ring_capacity:int ->
+  ?swap_every:int ->
   domains:int -> Rss.t -> stats
 (** Execute the plan.  [flowcache] (default true) enables the flow-path
     cache in every node; [batch] (default 32) is the local injection
@@ -81,7 +86,15 @@ val run :
     1-in-N flight-recorder sampling: marks are pre-computed from each
     frame's plan ordinal ({!Rss.frame.pkt}) with the plan's seed, so
     the sampled packet-id set is identical for every domain count and a
-    handed-off frame keeps its timeline across the ring.
+    handed-off frame keeps its timeline across the ring.  [swap_every]
+    (default 0 = never) makes each node hot-swap its wire-tap extension
+    ({!Spin.Linker.replace}) after every Nth frame it injects: a
+    lifecycle-churn soak — every generation is behaviorally identical,
+    so {!equiv_counters} must still match the oracle.  Run swap churn
+    with [~flowcache:false]: each swap bumps the event generation,
+    which invalidates path recordings at points that depend on where
+    frames landed per domain, so hit/miss counts would diverge from the
+    oracle for reasons that are bookkeeping, not behavior.
     @raise Invalid_argument if [domains < 1]. *)
 
 val equiv_counters : stats -> (string * int) list

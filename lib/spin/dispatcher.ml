@@ -150,14 +150,18 @@ let cache_per_shard = 8192
 type handler_info = {
   hi_id : int;
   hi_label : string;
+  hi_gen : int; (* reinstall generation of this label (ledger key) *)
   hi_key : int option;
   hi_ephemeral : bool;
+  hi_budget : Verifier.budget option; (* certified static resource bound *)
   hi_guard_hits : int;
   hi_guard_misses : int;
   hi_runs : int;
   hi_cpu_ns : int; (* cumulative modelled CPU (the resource ledger) *)
   hi_allocs : int; (* mbufs allocated during this handler's runs *)
   hi_terminations : int; (* ephemeral budget overruns *)
+  hi_failures : int; (* ephemeral handler crashes (distinct from terms) *)
+  hi_quarantines : int; (* budget-blown evictions of this handler *)
   hi_lat : Observe.Histogram.snapshot option; (* run_ns distribution *)
 }
 
@@ -191,6 +195,11 @@ type tree_view =
       tv_default : tree_view;  (* no handler pins this dimension's value *)
     }
 
+(* Accounting for one hot-swap retire scope (see [begin_retiring]):
+   handlers retired and the queued deliveries still in flight to them at
+   the instant of the flip. *)
+type retire_acc = { mutable ra_retired : int; mutable ra_inflight : int }
+
 type t = {
   cpu : Sim.Cpu.t;
   costs : costs;
@@ -205,6 +214,9 @@ type t = {
   eph_commits : int ref;
   eph_actions : int ref;       (* committed ephemeral actions *)
   eph_terminated : int ref;    (* budget overruns *)
+  eph_failures : int ref;      (* handler crashes, distinct from overruns *)
+  quarantines : int ref;       (* budget-blown evictions *)
+  swaps : int ref;             (* completed hot-swap retire scopes *)
   pc_hits : int ref;           (* flow-path cache *)
   pc_misses : int ref;
   pc_invalidations : int ref;
@@ -225,6 +237,17 @@ type t = {
   mutable flight : Observe.Flight.t option;
       (* packet flight recorder; [None] (the default) costs one load +
          branch per raise/handler site *)
+  mutable staging : ((unit -> unit) * (unit -> unit)) list ref option;
+      (* open staging scope: installs land here as (activate, cancel)
+         thunks instead of entering their event tables, and become
+         visible atomically at [commit_staging] — the first half of the
+         hot-swap protocol *)
+  mutable retiring : retire_acc option;
+      (* open retire scope: uninstalls of handlers with queued
+         deliveries detach them from dispatch but let the queue drain
+         on the old generation — the second half of the hot-swap *)
+  mutable swap_pending : int;
+      (* queued deliveries to retired handlers not yet drained *)
 }
 
 let mkref reg name =
@@ -245,6 +268,9 @@ let create ?registry ?trace ~cpu ~costs () =
     eph_commits = mkref registry "spin.eph.commits";
     eph_actions = mkref registry "spin.eph.committed_actions";
     eph_terminated = mkref registry "spin.eph.terminated";
+    eph_failures = mkref registry "spin.eph.failures";
+    quarantines = mkref registry "spin.quarantines";
+    swaps = mkref registry "spin.swaps";
     pc_hits = mkref registry "spin.path_cache.hits";
     pc_misses = mkref registry "spin.path_cache.misses";
     pc_invalidations = mkref registry "spin.path_cache.invalidations";
@@ -257,6 +283,9 @@ let create ?registry ?trace ~cpu ~costs () =
     introspectors = [];
     tree_viewers = [];
     flight = None;
+    staging = None;
+    retiring = None;
+    swap_pending = 0;
   }
 
 let cpu t = t.cpu
@@ -269,6 +298,10 @@ let index_lookups t = Sim.Stats.Counter.get t.index_lookups
 let invocations t = Sim.Stats.Counter.get t.invocations
 let terminations t = Sim.Stats.Counter.get t.terminations
 let faults t = Sim.Stats.Counter.get t.faults
+let eph_failures t = !(t.eph_failures)
+let quarantines t = !(t.quarantines)
+let swaps t = !(t.swaps)
+let swap_inflight t = t.swap_pending
 let path_cache_hits t = !(t.pc_hits)
 let path_cache_misses t = !(t.pc_misses)
 let path_cache_invalidations t = !(t.pc_invalidations)
@@ -307,22 +340,51 @@ type hstats = {
   h_cpu : int ref;
   h_allocs : int ref;
   h_terms : int ref;
+  h_fails : int ref;  (* ephemeral handler crashes (not budget overruns) *)
+  h_quars : int ref;  (* times this handler was quarantine-evicted *)
 }
+
+(* Handler lifecycle (the hot-swap protocol's per-handler state):
+
+     Staged --activate--> Active --uninstall--> gone   (live <- false)
+                             |
+                             '--retire (uninstall under an open retire
+                                scope, queued deliveries pending)-->
+                          Retired --last queued delivery drains-->
+                                   gone (live <- false)
+
+   [Staged] handlers exist only in the staging scope's thunk list — the
+   event table never sees them, so dispatch gates need no filtering.
+   [Retired] handlers have left the table (no new delivery can reach
+   them) but keep [live = true] until every delivery queued before the
+   flip has run: that is the zero-drop guarantee. *)
+type hstate = Staged | Active | Retired
 
 type 'a handler = {
   hid : int;
   label : string;
+  hgen : int;           (* reinstall generation of this label *)
   guard : 'a -> bool;
   gcost : Sim.Stime.t;  (* extra per-evaluation cost (interpreted filters) *)
   hkey : int option;    (* dispatch key this handler is indexed under *)
   hkeys : int list;     (* every key the guard pins (sorted, distinct) *)
   hexact : bool;        (* guard ≡ its keys: a proven path skips it *)
   cacheable : bool;     (* guard is a pure function of the flow signature *)
+  hbudget : Verifier.budget option; (* certified static resource bound *)
   kind : 'a kind;
   hs : hstats;
+  mutable state : hstate;
+  mutable pending : int; (* delivery work items queued but not yet run *)
   mutable live : bool;  (* flipped off by uninstall: delivery work items
                            queued before the uninstall check this instead
                            of re-hashing into the event table *)
+  (* Quarantine window snapshot: the ledger's values when the current
+     enforcement window opened; the handler is evicted when the delta
+     exceeds the event's [Verifier.quarantine] limits. *)
+  mutable qw_start : int;
+  mutable qw_cpu : int;
+  mutable qw_allocs : int;
+  mutable qw_terms : int;
 }
 
 (* --- merged dispatch tree ----------------------------------------------
@@ -396,6 +458,11 @@ type 'a event = {
   entries : hop array Sharded.Cache.t;        (* flow signature -> chain *)
   mutable nkeyed : int;                       (* live handlers with a key *)
   mutable next_hid : int;
+  label_gens : (string, int) Hashtbl.t;
+      (* reinstall count per handler label: same-labeled reinstalls get
+         fresh ledger counters instead of merging into the old ones *)
+  mutable policy : Verifier.policy option;    (* install-time admission *)
+  mutable quarantine : Verifier.quarantine option; (* runtime eviction *)
   mutable tree : 'a tree option;              (* compiled merged tree *)
   mutable tree_gen : int;      (* generation [tree] was compiled at; -1 =
                                   never (also records a refused build, so
@@ -418,14 +485,18 @@ let info_of_event ev =
            {
              hi_id = h.hid;
              hi_label = h.label;
+             hi_gen = h.hgen;
              hi_key = h.hkey;
              hi_ephemeral = (match h.kind with Eph _ -> true | Plain _ -> false);
+             hi_budget = h.hbudget;
              hi_guard_hits = !(h.hs.h_hits);
              hi_guard_misses = !(h.hs.h_misses);
              hi_runs = !(h.hs.h_runs);
              hi_cpu_ns = !(h.hs.h_cpu);
              hi_allocs = !(h.hs.h_allocs);
              hi_terminations = !(h.hs.h_terms);
+             hi_failures = !(h.hs.h_fails);
+             hi_quarantines = !(h.hs.h_quars);
              hi_lat =
                (match h.hs.h_lat with
                | Some hist -> Some (Observe.Histogram.snapshot hist)
@@ -495,19 +566,46 @@ let handler_count ev = Hashtbl.length ev.table
 let indexed_count ev = ev.nkeyed
 let linear_count ev = Hashtbl.length ev.table - ev.nkeyed
 
-let remove_hid ev hid =
-  match Hashtbl.find_opt ev.table hid with
-  | None -> ()
-  | Some h ->
-      h.live <- false;
-      Hashtbl.remove ev.table hid;
+(* State-aware uninstall.  An [Active] handler leaves the event table
+   immediately — no new raise can select it — but what happens to its
+   already-queued deliveries depends on the dispatcher's retire scope:
+   outside one (plain uninstall), [live] flips off and queued work items
+   skip the body, exactly the old semantics; inside one (a hot-swap
+   flip), the handler moves to [Retired] with [live] still true so every
+   delivery queued before the flip drains on the old generation. *)
+let uninstall_h ev h =
+  match h.state with
+  | Staged ->
+      (* cancelled before activation: the commit thunk checks [live] *)
+      h.live <- false
+  | Retired ->
+      (* explicit uninstall/fault of a draining handler kills the
+         remaining queued runs; drain bookkeeping still completes *)
+      h.live <- false
+  | Active -> (
+      Hashtbl.remove ev.table h.hid;
       touch ev;
       (match h.hkey with
       | Some _ -> ev.nkeyed <- ev.nkeyed - 1
-      | None -> ())
+      | None -> ());
+      match ev.disp.retiring with
+      | Some acc when h.pending > 0 ->
+          h.state <- Retired;
+          acc.ra_retired <- acc.ra_retired + 1;
+          acc.ra_inflight <- acc.ra_inflight + h.pending;
+          ev.disp.swap_pending <- ev.disp.swap_pending + h.pending
+      | Some acc ->
+          acc.ra_retired <- acc.ra_retired + 1;
+          h.live <- false
+      | None -> h.live <- false)
 
-let hstats_for disp ev label =
-  let prefix = "spin." ^ ev.ename ^ "." ^ label in
+let hstats_for disp ev label gen =
+  (* Keyed by (label, reinstall generation): generation 0 keeps the
+     plain name, later generations append "#N" — so a hot-swapped
+     replacement starts a fresh ledger instead of inheriting the
+     retired generation's totals. *)
+  let qual = if gen = 0 then label else label ^ "#" ^ string_of_int gen in
+  let prefix = "spin." ^ ev.ename ^ "." ^ qual in
   {
     h_hits = mkref disp.reg (prefix ^ ".guard_hits");
     h_misses = mkref disp.reg (prefix ^ ".guard_misses");
@@ -519,15 +617,45 @@ let hstats_for disp ev label =
     h_cpu = mkref disp.reg (prefix ^ ".cpu_ns");
     h_allocs = mkref disp.reg (prefix ^ ".mbuf_allocs");
     h_terms = mkref disp.reg (prefix ^ ".terminations");
+    h_fails = mkref disp.reg (prefix ^ ".failures");
+    h_quars = mkref disp.reg (prefix ^ ".quarantines");
   }
 
-let add_handler ev ?label ~cacheable ~exact guard gcost key keys kind =
+exception
+  Install_rejected of {
+    event : string;
+    label : string;
+    violation : Verifier.violation;
+  }
+
+let add_handler ev ?label ?ops ~cacheable ~exact guard gcost key keys kind =
   let hid = ev.next_hid in
   ev.next_hid <- hid + 1;
   let label =
     match label with Some l -> l | None -> "h" ^ string_of_int hid
   in
-  let hs = hstats_for ev.disp ev label in
+  let hbudget = Option.map Verifier.infer ops in
+  (* Load-time admission: the declared budget (or its absence) must
+     satisfy the event's policy before any of the handler's code can
+     run.  Raised synchronously out of [install], so a rejected
+     extension's linkage fails cleanly. *)
+  (match ev.policy with
+  | None -> ()
+  | Some p -> (
+      match Verifier.admit p hbudget with
+      | Ok () -> ()
+      | Error violation ->
+          Stdlib.raise (Install_rejected { event = ev.ename; label; violation })));
+  let hgen =
+    let g =
+      match Hashtbl.find_opt ev.label_gens label with
+      | None -> 0
+      | Some g -> g + 1
+    in
+    Hashtbl.replace ev.label_gens label g;
+    g
+  in
+  let hs = hstats_for ev.disp ev label hgen in
   (* Ephemeral handlers are never replayed: their budget accounting and
      transactional termination are per-invocation dispatcher work. *)
   let cacheable =
@@ -544,44 +672,122 @@ let add_handler ev ?label ~cacheable ~exact guard gcost key keys kind =
   (* exactness is a claim about the keys; with none there is nothing a
      tree walk could have proven *)
   let hexact = exact && hkeys <> [] in
-  Hashtbl.replace ev.table hid
+  let h =
     {
       hid;
       label;
+      hgen;
       guard;
       gcost;
       hkey = (match hkeys with [] -> None | k :: _ -> Some k);
       hkeys;
       hexact;
       cacheable;
+      hbudget;
       kind;
       hs;
+      state = Staged;
+      pending = 0;
       live = true;
-    };
-  touch ev;
-  (match hkeys with
-  | [] -> ev.linear <- hid :: ev.linear
-  | k :: _ ->
-      (* bucketed under the first key only: the install contract says the
-         guard rejects payloads not presenting *all* its keys, so any one
-         of them is a sound index *)
-      ev.nkeyed <- ev.nkeyed + 1;
-      (match Hashtbl.find_opt ev.buckets k with
-      | Some b -> b := hid :: !b
-      | None -> Hashtbl.replace ev.buckets k (ref [ hid ])));
-  fun () -> remove_hid ev hid
+      qw_start = 0;
+      qw_cpu = 0;
+      qw_allocs = 0;
+      qw_terms = 0;
+    }
+  in
+  let activate () =
+    if h.live && h.state = Staged then begin
+      h.state <- Active;
+      (* the first quarantine enforcement window opens at activation *)
+      h.qw_start <- now_ns ev.disp;
+      h.qw_cpu <- !(h.hs.h_cpu);
+      h.qw_allocs <- !(h.hs.h_allocs);
+      h.qw_terms <- !(h.hs.h_terms);
+      Hashtbl.replace ev.table hid h;
+      touch ev;
+      match hkeys with
+      | [] -> ev.linear <- hid :: ev.linear
+      | k :: _ ->
+          (* bucketed under the first key only: the install contract says
+             the guard rejects payloads not presenting *all* its keys, so
+             any one of them is a sound index *)
+          ev.nkeyed <- ev.nkeyed + 1;
+          (match Hashtbl.find_opt ev.buckets k with
+          | Some b -> b := hid :: !b
+          | None -> Hashtbl.replace ev.buckets k (ref [ hid ]))
+    end
+  in
+  (match ev.disp.staging with
+  | None -> activate ()
+  | Some scope -> scope := (activate, fun () -> h.live <- false) :: !scope);
+  fun () -> uninstall_h ev h
 
 let no_guard _ = true
 
 let install ev ?(guard = no_guard) ?key ?keys ?(exact = false)
-    ?(gcost = Sim.Stime.zero) ?dyncost ?(cacheable = false) ?label ~cost fn =
-  add_handler ev ?label ~cacheable ~exact guard gcost key keys
+    ?(gcost = Sim.Stime.zero) ?dyncost ?(cacheable = false) ?label ?ops ~cost
+    fn =
+  add_handler ev ?label ?ops ~cacheable ~exact guard gcost key keys
     (Plain { cost; dyncost; fn })
 
 let install_ephemeral ev ?(guard = no_guard) ?key ?keys ?(exact = false)
-    ?(gcost = Sim.Stime.zero) ?label ?budget fn =
-  add_handler ev ?label ~cacheable:false ~exact guard gcost key keys
+    ?(gcost = Sim.Stime.zero) ?label ?ops ?budget fn =
+  (* A certified op list supplies the default runtime budget: the
+     static bound becomes the enforcement ceiling unless the installer
+     asks for a tighter one. *)
+  let budget =
+    match (budget, ops) with
+    | (Some _ as b), _ -> b
+    | None, Some ops -> Some (Verifier.cost (Verifier.infer ops))
+    | None, None -> None
+  in
+  add_handler ev ?label ?ops ~cacheable:false ~exact guard gcost key keys
     (Eph { budget; fn })
+
+(* --- lifecycle scopes (hot-swap protocol) ------------------------------
+   [Linker.replace] drives these: stage the new generation, link it
+   (installs land as thunks), commit (all new handlers become visible in
+   one step, before any raise can observe a half-linked extension), open
+   a retire scope, unlink the old generation (its in-flight deliveries
+   drain), close the scope.  Scopes are dispatcher-wide and must not
+   nest. *)
+
+let begin_staging d =
+  if d.staging <> None then
+    invalid_arg "Dispatcher.begin_staging: staging scope already open";
+  d.staging <- Some (ref [])
+
+let commit_staging d =
+  match d.staging with
+  | None -> invalid_arg "Dispatcher.commit_staging: no staging scope open"
+  | Some scope ->
+      d.staging <- None;
+      let entries = List.rev !scope in
+      List.iter (fun (activate, _) -> activate ()) entries;
+      List.length entries
+
+let abort_staging d =
+  match d.staging with
+  | None -> ()
+  | Some scope ->
+      d.staging <- None;
+      List.iter (fun (_, cancel) -> cancel ()) (List.rev !scope)
+
+let begin_retiring d =
+  if d.retiring <> None then
+    invalid_arg "Dispatcher.begin_retiring: retire scope already open";
+  d.retiring <- Some { ra_retired = 0; ra_inflight = 0 }
+
+let end_retiring d =
+  match d.retiring with
+  | None -> invalid_arg "Dispatcher.end_retiring: no retire scope open"
+  | Some acc ->
+      d.retiring <- None;
+      incr d.swaps;
+      (acc.ra_retired, acc.ra_inflight)
+
+let set_policy ev p = ev.policy <- p
+let set_quarantine ev q = ev.quarantine <- q
 
 (* Live handlers behind a hid list, pruning uninstalled ids in place. *)
 let prune ev ids =
@@ -923,6 +1129,9 @@ let event disp ?(mode = Interrupt) ename =
           ~evictions:disp.pc_evictions ();
       nkeyed = 0;
       next_hid = 0;
+      label_gens = Hashtbl.create 8;
+      policy = None;
+      quarantine = None;
       tree = None;
       tree_gen = -1;
       tree_on = true;
@@ -962,14 +1171,67 @@ let tree_views t = List.rev_map (fun f -> f ()) t.tree_viewers
    the offending extension rather than the system. *)
 let fault ev h =
   Sim.Stats.Counter.incr ev.disp.faults;
-  remove_hid ev h.hid
+  uninstall_h ev h
 
-let contain ev h f = try f () with _exn -> fault ev h
+(* Asynchronous exceptions signal resource exhaustion of the *kernel*,
+   not a misbehaving extension — containing them would let the system
+   limp on with its runtime in an unknown state.  They propagate;
+   everything else is an extension fault. *)
+let contain ev h f =
+  try f () with
+  | (Stack_overflow | Out_of_memory) as e -> Stdlib.raise e
+  | _exn -> fault ev h
 
 let still_installed _ev h = h.live
 
 let emit_span d event =
   Observe.Trace.emit d.trace { Observe.Trace.at_ns = now_ns d; event }
+
+(* Runtime budget enforcement (the quarantine half of the verifier):
+   called after a run's ledger update.  The window is tumbling — the
+   snapshot resets once [q_window_ns] has elapsed — so an extension is
+   evicted iff its measured usage inside one enforcement window exceeds
+   the limits.  Eviction is atomic with respect to dispatch: the
+   handler leaves the table and the generation bump invalidates every
+   cached chain through it; deliveries already queued to it still run
+   (they were admitted before the eviction). *)
+let quarantine_check ev h =
+  match ev.quarantine with
+  | None -> ()
+  | Some q ->
+      let d = ev.disp in
+      (* An expired window resets BEFORE the limit check: the deltas
+         below must have accrued within one window's span to be
+         comparable to the per-window limits.  Anything the handler did
+         while no window was current (the policy was attached after it
+         activated, or it idled across a boundary) is forgiven — a
+         handler that blows the limit inside a live window is still
+         caught at the very run that crosses it, because this check
+         follows every run. *)
+      let now = now_ns d in
+      if now - h.qw_start >= q.Verifier.q_window_ns then begin
+        h.qw_start <- now;
+        h.qw_cpu <- !(h.hs.h_cpu);
+        h.qw_allocs <- !(h.hs.h_allocs);
+        h.qw_terms <- !(h.hs.h_terms)
+      end;
+      let over =
+        !(h.hs.h_cpu) - h.qw_cpu > q.Verifier.q_max_cpu_ns
+        || !(h.hs.h_allocs) - h.qw_allocs > q.Verifier.q_max_allocs
+        || !(h.hs.h_terms) - h.qw_terms > q.Verifier.q_max_terminations
+      in
+      if over then begin
+        incr h.hs.h_quars;
+        incr d.quarantines;
+        if Observe.Trace.active d.trace then
+          emit_span d
+            (Observe.Trace.Drop
+               {
+                 scope = "spin." ^ ev.ename ^ "." ^ h.label;
+                 reason = "quarantine";
+               });
+        uninstall_h ev h
+      end
 
 (* Flight-recorder stage emission.  The mark ([ev.markfn]) reads the
    packet id stamped on the mbuf at ingress; 0 means not sampled, so an
@@ -1053,6 +1315,18 @@ let deliver ev v h flow over =
     | Interrupt -> Sim.Stime.zero
     | Thread -> d.costs.thread_spawn
   in
+  (* Drain bookkeeping shared by both kinds: every queued invocation
+     holds a [pending] reference; the last one out of a [Retired]
+     handler finalizes it (live <- false), which is the swap protocol's
+     "old generation fully drained" edge. *)
+  let enter () = h.pending <- h.pending + 1 in
+  let leave () =
+    h.pending <- h.pending - 1;
+    if h.state = Retired then begin
+      d.swap_pending <- d.swap_pending - 1;
+      if h.pending = 0 then h.live <- false
+    end
+  in
   match h.kind with
   | Plain { cost; dyncost; fn } ->
       let cost =
@@ -1062,6 +1336,7 @@ let deliver ev v h flow over =
       in
       let total = Sim.Stime.add spawn cost in
       flow_enter flow;
+      enter ();
       Sim.Cpu.run d.cpu ~prio ~cost:total (fun () ->
           (* skip if uninstalled while this invocation was queued *)
           (if still_installed ev h then begin
@@ -1088,15 +1363,29 @@ let deliver ev v h flow over =
                       hid = h.hid;
                       label = h.label;
                       duration_ns = run_ns;
-                    })
+                    });
+             quarantine_check ev h
            end);
+          leave ();
           flow_leave d flow)
   | Eph { budget; fn } -> (
-      match (try Some (Ephemeral.plan ?budget (fn v)) with _ -> None) with
-      | None -> fault ev h
-      | Some plan ->
+      (* The handler body runs at plan time.  Only its own crashes are
+         contained (and counted distinctly from budget overruns);
+         asynchronous exceptions — Stack_overflow, Out_of_memory — are
+         kernel-level resource exhaustion and must propagate. *)
+      match
+        try Ok (Ephemeral.plan ?budget (fn v)) with
+        | (Stack_overflow | Out_of_memory) as e -> Stdlib.raise e
+        | e -> Error e
+      with
+      | Error _exn ->
+          incr d.eph_failures;
+          incr h.hs.h_fails;
+          fault ev h
+      | Ok plan ->
           let r = Ephemeral.planned plan in
           flow_enter flow;
+          enter ();
           Sim.Cpu.run d.cpu ~prio
             ~cost:(Sim.Stime.add spawn r.Ephemeral.consumed)
             (fun () ->
@@ -1146,8 +1435,10 @@ let deliver ev v h flow over =
                                 duration_ns =
                                   Sim.Stime.to_ns r.Ephemeral.consumed;
                               }));
-                 d.prio_override <- None
+                 d.prio_override <- None;
+                 quarantine_check ev h
                end);
+              leave ();
               flow_leave d flow))
 
 (* Graph dispatch of one raise through the bucket index (or a plain
@@ -1221,7 +1512,11 @@ let raise_scan ?over ev v flow =
       List.iter
         (fun h ->
           (* a faulting guard is contained the same way *)
-          let accepted = try h.guard v with _ -> fault ev h; false in
+          let accepted =
+            try h.guard v with
+            | (Stack_overflow | Out_of_memory) as e -> Stdlib.raise e
+            | _ -> fault ev h; false
+          in
           if accepted then incr h.hs.h_hits else incr h.hs.h_misses;
           if Observe.Trace.active d.trace then
             emit_span d
@@ -1334,7 +1629,11 @@ let raise_tree ?over ev v flow tr =
         else begin
           let h = resid.(!j) in
           incr j;
-          let accepted = try h.guard v with _ -> fault ev h; false in
+          let accepted =
+            try h.guard v with
+            | (Stack_overflow | Out_of_memory) as e -> Stdlib.raise e
+            | _ -> fault ev h; false
+          in
           if accepted then incr h.hs.h_hits else incr h.hs.h_misses;
           if Observe.Trace.active d.trace then
             emit_span d
@@ -1405,6 +1704,7 @@ let run_hop ev v hids =
           | Some hist -> Observe.Histogram.record hist run_ns
           | None -> ());
           flight_note_run d ev v h ~dur_ns:run_ns;
+          quarantine_check ev h;
           Sim.Stime.add acc total
       | _ -> acc)
     Sim.Stime.zero hids
@@ -1598,8 +1898,10 @@ let pp_event_info ppf ei =
   List.iter
     (fun hi ->
       Fmt.pf ppf
-        "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d cpu=%dns allocs=%d%s@."
-        hi.hi_id hi.hi_label
+        "    h%-3d %-24s %s%s hits=%d misses=%d runs=%d cpu=%dns allocs=%d%s%s%s%s@."
+        hi.hi_id
+        (if hi.hi_gen = 0 then hi.hi_label
+         else Printf.sprintf "%s#%d" hi.hi_label hi.hi_gen)
         (match hi.hi_key with
         | Some k -> Printf.sprintf "key=0x%x " k
         | None -> "linear ")
@@ -1608,7 +1910,16 @@ let pp_event_info ppf ei =
         hi.hi_allocs
         (if hi.hi_terminations > 0 then
            Printf.sprintf " terms=%d" hi.hi_terminations
-         else ""))
+         else "")
+        (if hi.hi_failures > 0 then
+           Printf.sprintf " fails=%d" hi.hi_failures
+         else "")
+        (if hi.hi_quarantines > 0 then
+           Printf.sprintf " quars=%d" hi.hi_quarantines
+         else "")
+        (match hi.hi_budget with
+        | Some b -> Fmt.str " cert[%a]" Verifier.pp_budget b
+        | None -> ""))
     ei.ei_handlers
 
 let pp_dump ppf t = List.iter (fun ei -> Fmt.pf ppf "  %a" pp_event_info ei) (dump t)

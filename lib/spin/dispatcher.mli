@@ -178,10 +178,34 @@ val indexed_count : _ event -> int
 val linear_count : _ event -> int
 (** Handlers in the unkeyed fallback bucket, scanned on every raise. *)
 
+exception
+  Install_rejected of {
+    event : string;
+    label : string;
+    violation : Verifier.violation;
+  }
+(** Raised synchronously by {!install}/{!install_ephemeral} when the
+    target event carries a {!Verifier.policy} and the handler's declared
+    budget (or its absence, under [require_cert]) violates it. *)
+
+val set_policy : _ event -> Verifier.policy option -> unit
+(** Attach (or clear) the event's install-time admission policy.
+    Handlers already installed are not re-checked — the policy gates
+    admission, the quarantine gates runtime behavior. *)
+
+val set_quarantine : _ event -> Verifier.quarantine option -> unit
+(** Attach (or clear) the event's runtime eviction policy.  After each
+    handler run the dispatcher compares the run ledger's delta over the
+    current enforcement window against the limits; an extension over
+    any of them is atomically evicted — uninstalled, counted in
+    [spin.quarantines] and [spin.<event>.<label>.quarantines], and
+    Drop-spanned with reason ["quarantine"]. *)
+
 val install :
   'a event -> ?guard:('a -> bool) -> ?key:int -> ?keys:int list ->
   ?exact:bool -> ?gcost:Sim.Stime.t ->
   ?dyncost:('a -> Sim.Stime.t) -> ?cacheable:bool -> ?label:string ->
+  ?ops:Verifier.op list ->
   cost:Sim.Stime.t -> ('a -> unit) -> unit -> unit
 (** [install ev ?guard ~cost fn] attaches a handler; [fn] fires for each
     raise whose [guard] accepts the payload, charging [cost] (plus
@@ -202,17 +226,73 @@ val install :
     chain through that event out of the cache.  [label] names the
     handler in spans, metrics
     ([spin.<event>.<label>.guard_hits|guard_misses|runs|run_ns]) and
-    {!dump} output; it defaults to ["h<id>"].  Returns the uninstaller
-    (O(1)). *)
+    {!dump} output; it defaults to ["h<id>"].  Reinstalling a label
+    starts a fresh metric generation ([<label>#N...]) so a replacement
+    never inherits the retired generation's ledger.  [ops] declares the
+    handler's operations for the {!Verifier}: the inferred budget is
+    recorded in {!dump} and checked against the event's policy.
+    Returns the uninstaller (O(1)). *)
 
 val install_ephemeral :
   'a event -> ?guard:('a -> bool) -> ?key:int -> ?keys:int list ->
   ?exact:bool -> ?gcost:Sim.Stime.t ->
-  ?label:string -> ?budget:Sim.Stime.t -> ('a -> Ephemeral.t) ->
+  ?label:string -> ?ops:Verifier.op list -> ?budget:Sim.Stime.t ->
+  ('a -> Ephemeral.t) ->
   unit -> unit
 (** Attach an interrupt-level handler as an ephemeral program, optionally
     limited to [budget] of CPU per invocation (overruns are terminated
-    between actions).  Returns the uninstaller. *)
+    between actions).  When [ops] is declared and [budget] is not, the
+    certified bound ({!Verifier.cost} of the inferred budget) becomes
+    the runtime budget — the static promise is also the enforcement
+    ceiling.  Returns the uninstaller. *)
+
+(** {1 Hot-swap lifecycle scopes}
+
+    The zero-drop replacement protocol ({!Linker.replace} drives it):
+
+    {v
+    begin_staging -> link new generation (installs become thunks)
+                  -> commit_staging   (all-or-nothing visibility flip)
+    begin_retiring -> unlink old generation (handlers with queued
+                      deliveries drain on the old generation first)
+                   -> end_retiring
+    v}
+
+    Between [commit_staging] and the old generation's unlink both
+    generations are installed; a raise in that window delivers to both,
+    and deliveries queued to the old generation before its retirement
+    still run ([swap_inflight] counts them until they drain).  No
+    instant exists at which a matching packet sees neither generation. *)
+
+val begin_staging : t -> unit
+(** Open a staging scope: subsequent installs on any event of this
+    dispatcher are deferred (invisible to raises) until
+    {!commit_staging}.  Fails if a scope is already open. *)
+
+val commit_staging : t -> int
+(** Activate every install staged since {!begin_staging}, in install
+    order, and return how many there were.  The activations happen
+    synchronously with no engine work in between — a raise observes
+    either none or all of the staged generation. *)
+
+val abort_staging : t -> unit
+(** Discard the staged installs (a failed link): none become visible.
+    No-op if no scope is open. *)
+
+val begin_retiring : t -> unit
+(** Open a retire scope: until {!end_retiring}, uninstalling a handler
+    with queued deliveries retires it instead — it leaves the dispatch
+    tables immediately (no new raise selects it) but its queued
+    deliveries still run. *)
+
+val end_retiring : t -> int * int
+(** Close the retire scope; returns [(retired, inflight)] — handlers
+    retired and deliveries that were still queued to them at the flip.
+    Counted in [spin.swaps]. *)
+
+val swap_inflight : t -> int
+(** Deliveries queued to retired handlers that have not yet drained;
+    [0] means every old-generation delivery has completed. *)
 
 val raise : ?prio:Sim.Cpu.prio -> 'a event -> 'a -> unit
 (** Raise the event: evaluate the candidate guards (the matching index
@@ -263,15 +343,36 @@ val terminations : t -> int
 val faults : t -> int
 (** Handlers (or guards) that raised an exception.  The fault is
     contained: counted, and the offending handler uninstalled — never
-    propagated into the kernel. *)
+    propagated into the kernel.  Exception: asynchronous exceptions
+    ([Stack_overflow], [Out_of_memory]) signal kernel-level resource
+    exhaustion and are re-raised, never contained. *)
+
+val eph_failures : t -> int
+(** Ephemeral handler {e crashes} (the handler body raised while
+    building its program) — distinct from {!terminations}, which counts
+    budget overruns of healthy handlers.  Also published as
+    [spin.eph.failures]. *)
+
+val quarantines : t -> int
+(** Handlers evicted by a {!set_quarantine} policy ([spin.quarantines]). *)
+
+val swaps : t -> int
+(** Completed hot-swap retire scopes ([spin.swaps]). *)
 
 (** {1 Introspection} *)
 
 type handler_info = {
   hi_id : int;
   hi_label : string;
+  hi_gen : int;
+      (** reinstall generation of this label: the ledger is keyed by
+          (label, generation), so a hot-swapped replacement starts at
+          zero instead of inheriting the retired handler's totals *)
   hi_key : int option;
   hi_ephemeral : bool;
+  hi_budget : Verifier.budget option;
+      (** the certificate's statically inferred resource bound, when
+          the handler was installed with a declared op list *)
   hi_guard_hits : int;
   hi_guard_misses : int;
   hi_runs : int;
@@ -284,6 +385,10 @@ type handler_info = {
           ([spin.<event>.<label>.mbuf_allocs]) *)
   hi_terminations : int;
       (** ephemeral budget overruns ([spin.<event>.<label>.terminations]) *)
+  hi_failures : int;
+      (** ephemeral handler crashes ([spin.<event>.<label>.failures]) *)
+  hi_quarantines : int;
+      (** quarantine evictions ([spin.<event>.<label>.quarantines]) *)
   hi_lat : Observe.Histogram.snapshot option;
       (** run-latency distribution; [None] on a registry-less dispatcher *)
 }

@@ -51,6 +51,15 @@ type plan = { to_commit : action list; result : result }
    ordered. *)
 let plan ?budget (t : t) =
   let total = List.length t in
+  match budget with
+  | Some b when Sim.Stime.compare b Sim.Stime.zero <= 0 && total > 0 ->
+      (* An already-expired budget terminates the program before its
+         first action — even a zero-cost one — and charges nothing. *)
+      { to_commit = [];
+        result =
+          { committed = 0; total; terminated = true;
+            consumed = Sim.Stime.zero } }
+  | _ ->
   let rec go acc committed consumed = function
     | [] ->
         { to_commit = List.rev acc;

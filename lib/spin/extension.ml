@@ -23,6 +23,7 @@ type failure =
   | Undeclared_import of string * string
   | Type_clash of string * string
   | Init_raised of string
+  | Over_budget of Verifier.violation
 
 exception Link_failure of failure
 
@@ -31,12 +32,16 @@ type t = {
   imports : (string * string) list;
   init : linkage -> unit;
   cert : cert;
+  budget : Verifier.budget option;
+      (* statically inferred resource bound, part of the signature *)
 }
 
 let name t = t.name
 let imports t = t.imports
+let budget t = t.budget
 
-let make ~name ~imports ~init ~cert = { name; imports; init; cert }
+let make ?budget ~name ~imports ~init ~cert () =
+  { name; imports; init; cert; budget }
 
 let cert_valid t = match t.cert with Signed m -> m = compiler_magic | Forged -> false
 
@@ -52,6 +57,7 @@ let pp_failure ppf = function
       Fmt.pf ppf "import %s.%s was not declared" i s
   | Type_clash (i, s) -> Fmt.pf ppf "type clash resolving %s.%s" i s
   | Init_raised msg -> Fmt.pf ppf "initialization failed: %s" msg
+  | Over_budget v -> Fmt.pf ppf "budget rejected: %a" Verifier.pp_violation v
 
 module Compiler = struct
   (* "Our Modula-3 compiler signs partially resolved object files."  The
@@ -60,7 +66,7 @@ module Compiler = struct
 
   exception Compile_error of string
 
-  let compile ~name ~imports init =
+  let compile ?ops ~name ~imports init =
     let sorted = List.sort compare imports in
     let rec dup = function
       | a :: (b :: _ as tl) -> if a = b then Some a else dup tl
@@ -70,7 +76,10 @@ module Compiler = struct
     | Some (i, s) ->
         raise (Compile_error (Fmt.str "duplicate import %s.%s" i s))
     | None -> ());
-    make ~name ~imports ~init ~cert:(Signed compiler_magic)
+    (* The verifier runs as a compiler pass: the declared op list is
+       folded into a static budget and sealed into the certificate. *)
+    let budget = Option.map Verifier.infer ops in
+    make ?budget ~name ~imports ~init ~cert:(Signed compiler_magic) ()
 
-  let forge ~name ~imports init = make ~name ~imports ~init ~cert:Forged
+  let forge ~name ~imports init = make ~name ~imports ~init ~cert:Forged ()
 end

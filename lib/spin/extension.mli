@@ -21,12 +21,18 @@ type failure =
   | Undeclared_import of string * string       (** [get] outside the declared list *)
   | Type_clash of string * string              (** witness mismatch *)
   | Init_raised of string                      (** initialization threw *)
+  | Over_budget of Verifier.violation
+      (** declared resource bound exceeds the target policy *)
 
 exception Link_failure of failure
 
 val name : t -> string
 val imports : t -> (string * string) list
 val cert_valid : t -> bool
+
+val budget : t -> Verifier.budget option
+(** The statically inferred resource bound sealed into the certificate
+    by {!Compiler.compile}, if the extension declared its op list. *)
 
 val init : t -> linkage -> unit
 (** Run the extension's initializer (used by the linker only). *)
@@ -37,8 +43,12 @@ module Compiler : sig
   exception Compile_error of string
 
   val compile :
+    ?ops:Verifier.op list ->
     name:string -> imports:(string * string) list -> (linkage -> unit) -> t
-  (** Type-check (statically validate) and sign an extension. *)
+  (** Type-check (statically validate) and sign an extension.  When
+      [ops] declares the handler's operations, the verifier infers the
+      worst-case {!Verifier.budget} and seals it into the certificate;
+      the linker then enforces it against the target domain's policy. *)
 
   val forge :
     name:string -> imports:(string * string) list -> (linkage -> unit) -> t

@@ -116,8 +116,11 @@ let restricted_domain t dname inames =
     inames;
   d
 
-let link t ~domain ext =
+let link ?policy t ~domain ext =
   ignore t;
-  Linker.link ~domain ext
+  Linker.link ?policy ~domain ext
+
+let replace ?policy t ~domain old next =
+  Linker.replace ?policy ~disp:t.dispatcher ~domain old next
 
 let now t = Sim.Engine.now t.engine

@@ -63,4 +63,12 @@ val restricted_domain : t -> string -> string list -> Domain.t
     @raise Invalid_argument if an interface does not exist. *)
 
 val link :
+  ?policy:Verifier.policy ->
   t -> domain:Domain.t -> Extension.t -> (Linker.linked, Extension.failure) result
+
+val replace :
+  ?policy:Verifier.policy ->
+  t -> domain:Domain.t -> Linker.linked -> Extension.t ->
+  (Linker.linked * Linker.swap, Extension.failure) result
+(** Hot-swap a linked extension on this kernel's dispatcher: see
+    {!Linker.replace}. *)

@@ -1,0 +1,116 @@
+(* Static resource verification (Rex-style load-time bounds) and the
+   runtime quarantine policy.  See verifier.mli. *)
+
+type op =
+  | Enqueue
+  | Count
+  | Work of { insns : int }
+  | Alloc of { mbufs : int }
+  | Loop of { iters : int; body : op list }
+
+type budget = { b_insns : int; b_allocs : int; b_cost_ns : int }
+
+(* The cost model ties instructions to modelled time at 1 insn ~ 1 ns
+   (the simulator's 1 GHz-ish CPU), so a certificate's instruction
+   bound doubles as its ephemeral time budget. *)
+let ns_per_insn = 1
+let enqueue_insns = 300 (* Ephemeral.enqueue's default cost *)
+let count_insns = 100 (* Ephemeral.count's default cost *)
+let alloc_insns = 200 (* pool pop + header init per mbuf *)
+
+let zero = { b_insns = 0; b_allocs = 0; b_cost_ns = 0 }
+
+let add a b =
+  {
+    b_insns = a.b_insns + b.b_insns;
+    b_allocs = a.b_allocs + b.b_allocs;
+    b_cost_ns = a.b_cost_ns + b.b_cost_ns;
+  }
+
+let scale n b =
+  { b_insns = n * b.b_insns; b_allocs = n * b.b_allocs; b_cost_ns = n * b.b_cost_ns }
+
+let of_insns ?(allocs = 0) insns =
+  { b_insns = insns; b_allocs = allocs; b_cost_ns = insns * ns_per_insn }
+
+let rec infer ops =
+  List.fold_left
+    (fun acc op ->
+      add acc
+        (match op with
+        | Enqueue -> of_insns enqueue_insns
+        | Count -> of_insns count_insns
+        | Work { insns } -> of_insns (max 0 insns)
+        | Alloc { mbufs } ->
+            of_insns ~allocs:(max 0 mbufs) (alloc_insns * max 0 mbufs)
+        | Loop { iters; body } -> scale (max 0 iters) (infer body)))
+    zero ops
+
+let cost b = Sim.Stime.ns b.b_cost_ns
+
+type policy = {
+  p_max_insns : int;
+  p_max_allocs : int;
+  p_max_cost_ns : int;
+  p_require_cert : bool;
+}
+
+let policy ?(max_insns = max_int) ?(max_allocs = max_int)
+    ?(max_cost_ns = max_int) ?(require_cert = false) () =
+  {
+    p_max_insns = max_insns;
+    p_max_allocs = max_allocs;
+    p_max_cost_ns = max_cost_ns;
+    p_require_cert = require_cert;
+  }
+
+type violation = { v_resource : string; v_declared : int; v_allowed : int }
+
+let admit p b =
+  match b with
+  | None ->
+      if p.p_require_cert then
+        Error { v_resource = "certificate"; v_declared = 0; v_allowed = 0 }
+      else Ok ()
+  | Some b ->
+      if b.b_insns > p.p_max_insns then
+        Error
+          { v_resource = "insns"; v_declared = b.b_insns;
+            v_allowed = p.p_max_insns }
+      else if b.b_allocs > p.p_max_allocs then
+        Error
+          { v_resource = "allocs"; v_declared = b.b_allocs;
+            v_allowed = p.p_max_allocs }
+      else if b.b_cost_ns > p.p_max_cost_ns then
+        Error
+          { v_resource = "cost_ns"; v_declared = b.b_cost_ns;
+            v_allowed = p.p_max_cost_ns }
+      else Ok ()
+
+type quarantine = {
+  q_window_ns : int;
+  q_max_cpu_ns : int;
+  q_max_allocs : int;
+  q_max_terminations : int;
+}
+
+let quarantine ~window_ns ?(max_cpu_ns = max_int) ?(max_allocs = max_int)
+    ?(max_terminations = max_int) () =
+  if window_ns <= 0 then
+    invalid_arg "Verifier.quarantine: window_ns must be positive";
+  {
+    q_window_ns = window_ns;
+    q_max_cpu_ns = max_cpu_ns;
+    q_max_allocs = max_allocs;
+    q_max_terminations = max_terminations;
+  }
+
+let pp_budget ppf b =
+  Fmt.pf ppf "insns<=%d allocs<=%d cost<=%dns" b.b_insns b.b_allocs b.b_cost_ns
+
+let pp_violation ppf v =
+  if v.v_resource = "certificate" then
+    Fmt.pf ppf "event requires a certified budget and none was declared"
+  else
+    Fmt.pf ppf "declared %s %d exceeds the event policy's %d" v.v_resource
+      v.v_declared v.v_allowed

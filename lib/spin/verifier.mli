@@ -1,0 +1,86 @@
+(** Static resource verification for extensions (ROADMAP item 3a).
+
+    The paper's safety story stops at the language boundary: typesafe
+    code plus the {!Ephemeral} runtime time budget.  Rex-style
+    verification moves the resource bound to {e load time}: an extension
+    declares the operations its handler performs as a list of {!op}s —
+    a vocabulary mirroring the {!Ephemeral} action constructors plus
+    statically bounded loops — and the verifier folds that list into a
+    {!budget} of instructions, buffer allocations and modelled CPU
+    time.  The budget travels inside the compiler certificate
+    ({!Extension.Compiler.compile}) and is checked against the target
+    event's {!policy} at install time; a handler whose declared bound
+    exceeds the policy is rejected with a typed {!violation} before any
+    of its code runs.
+
+    The same module defines the {!quarantine} policy the dispatcher
+    enforces at run time: an installed extension whose {e measured}
+    ledger (CPU, allocations, terminations) blows its limits inside a
+    sliding window is evicted (ROADMAP item 3a's kernel-driven
+    quarantine). *)
+
+(** One operation of a handler's declared program.  Costs mirror the
+    {!Ephemeral} constructors (1 instruction ~ 1 modelled ns). *)
+type op =
+  | Enqueue  (** bounded queue push ({!Ephemeral.enqueue}, ~300 insns) *)
+  | Count  (** counter increment ({!Ephemeral.count}, ~100 insns) *)
+  | Work of { insns : int }  (** opaque straight-line block *)
+  | Alloc of { mbufs : int }  (** buffer allocation (~200 insns each) *)
+  | Loop of { iters : int; body : op list }
+      (** statically bounded loop: [iters] is a compile-time constant —
+          an unbounded loop is unrepresentable, which is the Rex claim *)
+
+type budget = {
+  b_insns : int;  (** worst-case instructions per invocation *)
+  b_allocs : int;  (** worst-case mbuf allocations per invocation *)
+  b_cost_ns : int;  (** worst-case modelled CPU ns per invocation *)
+}
+
+val infer : op list -> budget
+(** Fold a declared op list into its static worst-case budget.
+    Total by construction: the only iteration is {!Loop} with a
+    constant trip count. *)
+
+val cost : budget -> Sim.Stime.t
+(** The budget's CPU bound as simulated time — the default runtime
+    budget for an ephemeral handler installed with a certificate. *)
+
+(** Per-event admission policy for declared budgets. *)
+type policy = {
+  p_max_insns : int;
+  p_max_allocs : int;
+  p_max_cost_ns : int;
+  p_require_cert : bool;
+      (** when true, a handler with no declared op list is rejected
+          outright — the event accepts only certified extensions *)
+}
+
+val policy :
+  ?max_insns:int -> ?max_allocs:int -> ?max_cost_ns:int ->
+  ?require_cert:bool -> unit -> policy
+(** Build a policy; omitted limits are unlimited, [require_cert]
+    defaults to [false]. *)
+
+(** A typed admission failure: which resource, what the handler
+    declared, what the policy allows. *)
+type violation = { v_resource : string; v_declared : int; v_allowed : int }
+
+val admit : policy -> budget option -> (unit, violation) result
+(** Check a declared budget ([None] = uncertified) against a policy. *)
+
+(** Runtime eviction policy: limits on the {e measured} per-extension
+    ledger within a sliding window of [q_window_ns] simulated time. *)
+type quarantine = {
+  q_window_ns : int;
+  q_max_cpu_ns : int;
+  q_max_allocs : int;
+  q_max_terminations : int;
+}
+
+val quarantine :
+  window_ns:int -> ?max_cpu_ns:int -> ?max_allocs:int ->
+  ?max_terminations:int -> unit -> quarantine
+(** Build a quarantine policy; omitted limits are unlimited. *)
+
+val pp_budget : Format.formatter -> budget -> unit
+val pp_violation : Format.formatter -> violation -> unit

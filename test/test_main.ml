@@ -6,4 +6,5 @@ let () =
    @ Test_netsim.suite @ Test_plexus.suite @ Test_osmodel.suite
    @ Test_apps.suite @ Test_features.suite @ Test_more.suite @ Test_fuzz.suite
    @ Test_experiments.suite @ Test_observe.suite @ Test_flowcache.suite
-   @ Test_chaos.suite @ Test_scale.suite @ Test_parallel.suite)
+   @ Test_chaos.suite @ Test_scale.suite @ Test_parallel.suite
+   @ Test_lifecycle.suite)
